@@ -1,0 +1,442 @@
+// Package repro's root benchmark harness: one benchmark per paper
+// artifact (Figure 10, Figure 11, the Theorem 4.1 lower-bound instance,
+// the Theorem 3.19 ratio sweep, the Theorem 3.18 NN approximation) plus
+// micro-benchmarks of the hot protocol paths and ablation benches for the
+// design choices listed in DESIGN.md. Reported custom metrics carry the
+// paper's units (hops/op, ratio, makespan).
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/arrow"
+	"repro/internal/centralized"
+	"repro/internal/directory"
+	"repro/internal/graph"
+	"repro/internal/ivy"
+	"repro/internal/nta"
+	"repro/internal/opt"
+	"repro/internal/queuing"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/stabilize"
+	"repro/internal/tree"
+	"repro/internal/tsp"
+	"repro/internal/workload"
+)
+
+// BenchmarkFig10Arrow measures the closed-loop arrow makespan per node
+// count — the arrow curve of Figure 10. The reported "makespan" metric is
+// the figure's y-axis (simulated time units).
+func BenchmarkFig10Arrow(b *testing.B) {
+	for _, n := range []int{2, 8, 16, 32, 64, 76} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := tree.BalancedBinary(n)
+			var makespan sim.Time
+			for i := 0; i < b.N; i++ {
+				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: 500})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.Makespan
+			}
+			b.ReportMetric(float64(makespan), "makespan")
+		})
+	}
+}
+
+// BenchmarkFig10Centralized measures the centralized curve of Figure 10;
+// its makespan grows linearly with n, unlike arrow's.
+func BenchmarkFig10Centralized(b *testing.B) {
+	for _, n := range []int{2, 8, 16, 32, 64, 76} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.Complete(n)
+			var makespan sim.Time
+			for i := 0; i < b.N; i++ {
+				res, err := centralized.RunClosedLoop(g, centralized.LoopConfig{Center: 0, PerNode: 500})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.Makespan
+			}
+			b.ReportMetric(float64(makespan), "makespan")
+		})
+	}
+}
+
+// BenchmarkFig11Hops reports arrow's average interprocessor messages per
+// queuing operation — Figure 11's metric.
+func BenchmarkFig11Hops(b *testing.B) {
+	for _, n := range []int{2, 8, 16, 32, 64, 76} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := tree.BalancedBinary(n)
+			var hops float64
+			for i := 0; i < b.N; i++ {
+				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: 500})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hops = res.AvgQueueHops()
+			}
+			b.ReportMetric(hops, "hops/op")
+		})
+	}
+}
+
+// BenchmarkLowerBound runs the Theorem 4.1 instance per diameter and
+// reports the measured arrow/opt ratio.
+func BenchmarkLowerBound(b *testing.B) {
+	for _, logD := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("D=%d", 1<<logD), func(b *testing.B) {
+			inst := workload.LowerBound(logD, workload.DefaultK(1<<logD))
+			t := tree.PathTree(inst.D + 1)
+			g := graph.Path(inst.D + 1)
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := arrow.Run(t, inst.Set, arrow.Options{Root: inst.Root})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bounds := opt.Compute(g, inst.Root, inst.Set, opt.DistOfGraph(g))
+				ratio = opt.Ratio(res.TotalLatency, bounds.Upper)
+			}
+			b.ReportMetric(ratio, "ratio")
+		})
+	}
+}
+
+// BenchmarkRatioSweep measures the Theorem 3.19 competitive ratio on the
+// standard configuration set (exact optimal denominators).
+func BenchmarkRatioSweep(b *testing.B) {
+	cfgs := analysis.DefaultRatioConfigs(1)
+	for _, cfg := range cfgs {
+		b.Run(cfg.Name+"/"+cfg.WorkName, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				row, err := analysis.MeasureRatio(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = row.Ratio
+			}
+			b.ReportMetric(ratio, "ratio")
+		})
+	}
+}
+
+// BenchmarkNNHeuristic measures the Theorem 3.18 machinery: NN path
+// construction cost over cT instances.
+func BenchmarkNNHeuristic(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := tree.BalancedBinary(n)
+			set := workload.Poisson(n, 0.5, sim.Time(4*n), 1)
+			ct := opt.CostAdapter(set, 0, queuing.CT(opt.DistOfTree(tr)))
+			pts := len(set) + 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tsp.NearestNeighborPath(pts, ct)
+			}
+		})
+	}
+}
+
+// BenchmarkHeldKarp measures the exact optimal solver used as ground
+// truth (exponential; sizes kept small).
+func BenchmarkHeldKarp(b *testing.B) {
+	for _, n := range []int{8, 12, 15} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := tree.BalancedBinary(31)
+			set := workload.OneShot(31, n, 3)
+			co := opt.CostAdapter(set, 0, queuing.CO(opt.DistOfTree(tr)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tsp.OptimalPath(n+1, co); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArrowProtocolStep measures raw protocol throughput: simulated
+// queue operations per second on a saturated tree.
+func BenchmarkArrowProtocolStep(b *testing.B) {
+	for _, n := range []int{15, 63, 255, 1023} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := tree.BalancedBinary(n)
+			perNode := 16
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: perNode}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n*perNode)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkTreeChoice is the DESIGN.md ablation: same workload, different
+// spanning trees.
+func BenchmarkTreeChoice(b *testing.B) {
+	g := graph.Complete(64)
+	set := workload.Poisson(64, 0.5, 200, 9)
+	for _, kind := range []analysis.TreeKind{
+		analysis.TreeBalancedBinary, analysis.TreeMST, analysis.TreeStar, analysis.TreePath,
+	} {
+		b.Run(kind.String(), func(b *testing.B) {
+			t, err := analysis.BuildTree(kind, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				res, err := arrow.Run(t, set, arrow.Options{Root: t.Root()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.TotalLatency
+			}
+			b.ReportMetric(float64(cost), "latency")
+		})
+	}
+}
+
+// BenchmarkArbitration is the DESIGN.md ablation over simultaneous-
+// message processing order.
+func BenchmarkArbitration(b *testing.B) {
+	t := tree.BalancedBinary(127)
+	set := workload.OneShot(127, 64, 5)
+	for _, arb := range []sim.Arbitration{sim.ArbFIFO, sim.ArbLIFO, sim.ArbRandom} {
+		b.Run(arb.String(), func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				res, err := arrow.Run(t, set, arrow.Options{Root: 0, Arbitration: arb, Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.TotalLatency
+			}
+			b.ReportMetric(float64(cost), "latency")
+		})
+	}
+}
+
+// BenchmarkAsyncModels compares delay models (Section 3.8 ablation).
+func BenchmarkAsyncModels(b *testing.B) {
+	t := tree.BalancedBinary(63)
+	set := workload.Bursty(63, 16, 3, 64, 3)
+	models := []sim.LatencyModel{
+		sim.SynchronousScaled(8),
+		sim.AsyncUniform(8),
+		sim.AsyncBimodal(8, 0.1),
+	}
+	for _, m := range models {
+		b.Run(m.Name(), func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				res, err := arrow.Run(t, set, arrow.Options{Root: 0, Latency: m, Seed: 11})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.TotalLatency
+			}
+			b.ReportMetric(float64(cost)/8, "norm-latency")
+		})
+	}
+}
+
+// BenchmarkBaselines compares the three queuing protocols end to end on
+// an identical workload.
+func BenchmarkBaselines(b *testing.B) {
+	const n = 48
+	g := graph.Complete(n)
+	t := tree.BalancedBinary(n)
+	set := workload.Poisson(n, 1.0, 200, 1)
+	b.Run("arrow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := arrow.Run(t, set, arrow.Options{Root: 0}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nta.Run(g, set, nta.Options{Root: 0}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("centralized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := centralized.Run(g, set, centralized.Options{Center: 0}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTreeDistance measures the LCA-based dT query, the analysis
+// hot path.
+func BenchmarkTreeDistance(b *testing.B) {
+	for _, n := range []int{1 << 8, 1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := tree.BalancedBinary(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := graph.NodeID(i % n)
+				v := graph.NodeID((i * 7) % n)
+				t.Dist(u, v)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorEventLoop measures raw simulator throughput
+// (events/second) with a two-node message ping-pong.
+func BenchmarkSimulatorEventLoop(b *testing.B) {
+	t := tree.PathTree(2)
+	s := sim.New(sim.Config{Topology: sim.TreeTopology{T: t}})
+	hops := 0
+	s.SetAllHandlers(func(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
+		hops++
+		if hops < b.N {
+			ctx.Send(at, from, msg)
+		}
+	})
+	s.ScheduleAt(0, func(ctx *sim.Context) { ctx.Send(0, 1, struct{}{}) })
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkDirectories compares the arrow directory against the
+// home-based directory on grids (the E11 experiment).
+func BenchmarkDirectories(b *testing.B) {
+	for _, side := range []int{3, 5, 8} {
+		n := side * side
+		g := graph.Grid(side, side)
+		center, _ := g.Center()
+		t, err := tree.BFS(g, center)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := directory.Config{PerNode: 50}
+		b.Run(fmt.Sprintf("arrow/n=%d", n), func(b *testing.B) {
+			var mk sim.Time
+			for i := 0; i < b.N; i++ {
+				res, err := directory.RunArrow(t, center, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mk = res.Makespan
+			}
+			b.ReportMetric(float64(mk), "makespan")
+		})
+		b.Run(fmt.Sprintf("home/n=%d", n), func(b *testing.B) {
+			var mk sim.Time
+			for i := 0; i < b.N; i++ {
+				res, err := directory.RunHome(g, center, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mk = res.Makespan
+			}
+			b.ReportMetric(float64(mk), "makespan")
+		})
+	}
+}
+
+// BenchmarkStabilize measures repair cost from heavy random corruption.
+func BenchmarkStabilize(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := tree.BalancedBinary(n)
+			rng := rand.New(rand.NewSource(1))
+			corrupt := make([][]graph.NodeID, b.N)
+			for i := range corrupt {
+				links := make([]graph.NodeID, n)
+				for v := range links {
+					links[v] = graph.NodeID(rng.Intn(n))
+				}
+				corrupt[i] = links
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := stabilize.Repair(t, corrupt[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIvyAmortized measures the Ivy find chain cost (Ginat et al.'s
+// amortized Θ(log n)).
+func BenchmarkIvyAmortized(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d := ivy.NewDirectory(n, 0)
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Find(graph.NodeID(rng.Intn(n)))
+			}
+			b.ReportMetric(d.AmortizedChain(), "chain/op")
+		})
+	}
+}
+
+// BenchmarkRuntimeVsSim is the DESIGN.md ablation: the same total-order
+// workload executed on the deterministic simulator and on the goroutine
+// runtime (wall-clock execution engines compared, not protocol cost).
+func BenchmarkRuntimeVsSim(b *testing.B) {
+	const n, requests = 31, 128
+	t := tree.BalancedBinary(n)
+	b.Run("sim", func(b *testing.B) {
+		set := workload.OneShot(n, n/2, 3)
+		for i := 0; i < b.N; i++ {
+			if _, err := arrow.Run(t, set, arrow.Options{Root: 0}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net := runtime.New(t, 0, runtime.Options{})
+			net.Start()
+			done := make(chan struct{})
+			go func() {
+				for range net.Completions() {
+				}
+				close(done)
+			}()
+			for r := 0; r < requests; r++ {
+				net.Request(graph.NodeID(r % n))
+			}
+			net.Stop()
+			<-done
+		}
+	})
+}
+
+// BenchmarkOneShot measures the one-shot regime end to end, including
+// the exact optimal computation.
+func BenchmarkOneShot(b *testing.B) {
+	for _, r := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				rows, err := analysis.OneShotExperiment(32, []int{r}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = rows[0].Ratio
+			}
+			b.ReportMetric(ratio, "ratio")
+		})
+	}
+}

@@ -1,0 +1,323 @@
+// Command arrowbench regenerates the paper's tables and figures plus the
+// theory-validation experiments described in DESIGN.md.
+//
+// Usage:
+//
+//	arrowbench -exp fig10        # Figure 10: arrow vs centralized makespan
+//	arrowbench -exp fig11        # Figure 11: avg hops per queuing op
+//	arrowbench -exp lowerbound   # Theorem 4.1 instance sweep
+//	arrowbench -exp adversarial  # randomized worst-ratio search
+//	arrowbench -exp ratio        # Theorem 3.19 ratio sweep (exact opt)
+//	arrowbench -exp sequential   # Demmer–Herlihy sequential regime
+//	arrowbench -exp trees        # spanning-tree ablation
+//	arrowbench -exp arbitration  # simultaneous-message arbitration ablation
+//	arrowbench -exp async        # Section 3.8 asynchronous models
+//	arrowbench -exp stretch      # Theorem 4.2 shortcut gadget
+//	arrowbench -exp nnapprox     # Theorem 3.18 NN-vs-optimal sweep
+//	arrowbench -exp baselines    # arrow vs NTA vs centralized on one workload
+//	arrowbench -exp oneshot      # PODC'01 one-shot regime: ratio vs s log |R|
+//	arrowbench -exp directory    # arrow directory vs home-based (Herlihy–Warres)
+//	arrowbench -exp commtree     # Peleg–Reshef demand-aware tree selection
+//	arrowbench -exp stabilize    # self-stabilization repair statistics
+//	arrowbench -exp all          # everything above
+//
+// The -pernode, -seed and -sizes flags scale the Section 5 experiments;
+// the paper used 100,000 requests per processor on up to 76 processors,
+// which this harness reproduces shape-exactly at smaller default sizes
+// (pass -pernode 100000 for the full run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/centralized"
+	"repro/internal/graph"
+	"repro/internal/nta"
+	"repro/internal/opt"
+	"repro/internal/tree"
+	"repro/internal/workload"
+
+	arrowproto "repro/internal/arrow"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see command doc)")
+	perNode := flag.Int("pernode", 2000, "closed-loop requests per node (paper: 100000)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	sizes := flag.String("sizes", "2,4,8,16,24,32,48,64,76", "comma-separated node counts for fig10/fig11")
+	flag.Parse()
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+	experiments := map[string]func() error{
+		"fig10":       func() error { return runSP2(ns, *perNode, *seed, true, false) },
+		"fig11":       func() error { return runSP2(ns, *perNode, *seed, false, true) },
+		"lowerbound":  func() error { return runLowerBound() },
+		"adversarial": func() error { return runAdversarial(*seed) },
+		"ratio":       func() error { return runRatio(*seed) },
+		"sequential":  func() error { return runSequential(*seed) },
+		"trees":       func() error { return runTrees(*seed) },
+		"arbitration": func() error { return runArbitration(*seed) },
+		"async":       func() error { return runAsync(*seed) },
+		"stretch":     func() error { return runStretch() },
+		"nnapprox":    func() error { return runNNApprox(*seed) },
+		"baselines":   func() error { return runBaselines(*seed) },
+		"oneshot":     func() error { return runOneShot(*seed) },
+		"directory":   func() error { return runDirectory(*seed) },
+		"commtree":    func() error { return runCommTree(*seed) },
+		"stabilize":   func() error { return runStabilize(*seed) },
+	}
+	if *exp == "all" {
+		order := []string{
+			"fig10", "fig11", "lowerbound", "adversarial", "ratio", "sequential",
+			"trees", "arbitration", "async", "stretch", "nnapprox", "baselines",
+			"oneshot", "directory", "commtree", "stabilize",
+		}
+		for _, name := range order {
+			if name == "fig10" {
+				if err := runSP2(ns, *perNode, *seed, true, true); err != nil {
+					fatal(err)
+				}
+				continue
+			}
+			if name == "fig11" {
+				continue // already printed with fig10
+			}
+			if err := experiments[name](); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	run, ok := experiments[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if err := run(); err != nil {
+		fatal(err)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var ns []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		ns = append(ns, n)
+	}
+	return ns, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arrowbench:", err)
+	os.Exit(1)
+}
+
+func runSP2(ns []int, perNode int, seed int64, fig10, fig11 bool) error {
+	rows, err := analysis.SP2Experiment(ns, perNode, seed)
+	if err != nil {
+		return err
+	}
+	if fig10 {
+		fmt.Print(analysis.Fig10Table(rows).Render())
+		fmt.Println()
+	}
+	if fig11 {
+		fmt.Print(analysis.Fig11Table(rows).Render())
+		fmt.Println()
+	}
+	return nil
+}
+
+func runLowerBound() error {
+	rows, err := analysis.LowerBoundSweep([]int{3, 4, 5, 6, 7, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.LowerBoundTable(rows).Render())
+	fmt.Println()
+	return nil
+}
+
+func runAdversarial(seed int64) error {
+	var results []analysis.AdversarialResult
+	for _, d := range []int{8, 16, 32, 64, 128} {
+		r, err := analysis.AdversarialSearch(d, 10, 600, seed)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	fmt.Print(analysis.AdversarialTable(results).Render())
+	fmt.Println()
+	return nil
+}
+
+func runRatio(seed int64) error {
+	var rows []analysis.RatioRow
+	for _, cfg := range analysis.DefaultRatioConfigs(seed) {
+		row, err := analysis.MeasureRatio(cfg)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(analysis.RatioTable("Theorem 3.19 — measured competitive ratio vs O(s log D)", rows).Render())
+	fmt.Println()
+	return nil
+}
+
+func runSequential(seed int64) error {
+	rows, err := analysis.SequentialExperiment([]int{8, 16, 32, 64}, 40, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.SequentialTable(rows).Render())
+	fmt.Println()
+	return nil
+}
+
+func runTrees(seed int64) error {
+	rows, err := analysis.TreeChoiceExperiment(32, 24, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.TreeChoiceTable(rows).Render())
+	fmt.Println()
+	return nil
+}
+
+func runArbitration(seed int64) error {
+	rows, err := analysis.ArbitrationExperiment(63, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.ArbitrationTable(rows).Render())
+	fmt.Println()
+	return nil
+}
+
+func runAsync(seed int64) error {
+	rows, err := analysis.AsyncExperiment(32, 16, 8, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.AsyncTable(rows).Render())
+	fmt.Println()
+	return nil
+}
+
+func runStretch() error {
+	rows, err := analysis.StretchExperiment(4, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.StretchTable(rows).Render())
+	fmt.Println()
+	return nil
+}
+
+func runNNApprox(seed int64) error {
+	rows, err := analysis.NNApproximationSweep([]int{6, 8, 10, 12}, 4, seed)
+	if err != nil {
+		return err
+	}
+	t := &analysis.Table{
+		Title:   "Theorem 3.18 — NN heuristic vs exact optimum (random instances)",
+		Headers: []string{"points", "NN cost", "opt tour", "ratio", "bound"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Points, r.NNCost, r.Opt, r.Ratio, r.Bound)
+	}
+	fmt.Print(t.Render())
+	fmt.Println()
+	return nil
+}
+
+func runOneShot(seed int64) error {
+	rows, err := analysis.OneShotExperiment(32, []int{2, 4, 8, 12}, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.OneShotTable(rows).Render())
+	fmt.Println()
+	return nil
+}
+
+func runDirectory(seed int64) error {
+	rows, err := analysis.DirectoryExperiment([]int{2, 3, 5, 8}, 200, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.DirectoryTable(rows).Render())
+	fmt.Println()
+	return nil
+}
+
+// runBaselines compares arrow against NTA and the centralized protocol on
+// one shared dynamic workload over a complete graph.
+func runBaselines(seed int64) error {
+	const n = 48
+	g := graph.Complete(n)
+	t := tree.BalancedBinary(n)
+	set := workload.Poisson(n, 1.0, 200, seed)
+	if len(set) == 0 {
+		return fmt.Errorf("empty workload")
+	}
+	ar, err := arrowproto.Run(t, set, arrowproto.Options{Root: 0, Seed: seed})
+	if err != nil {
+		return err
+	}
+	nt, err := nta.Run(g, set, nta.Options{Root: 0, Seed: seed})
+	if err != nil {
+		return err
+	}
+	ce, err := centralized.Run(g, set, centralized.Options{Center: 0, Seed: seed})
+	if err != nil {
+		return err
+	}
+	bounds := opt.Compute(g, 0, set, opt.DistOfGraph(g))
+	den := bounds.Upper
+	if bounds.Exact {
+		den = bounds.Lower
+	}
+	tbl := &analysis.Table{
+		Title:   fmt.Sprintf("Baselines — complete graph n=%d, |R|=%d Poisson requests", n, len(set)),
+		Headers: []string{"protocol", "total latency", "messages", "makespan", "ratio vs opt bound"},
+	}
+	tbl.AddRow("arrow", ar.TotalLatency, ar.TotalHops, ar.Makespan, opt.Ratio(ar.TotalLatency, den))
+	tbl.AddRow("nta", nt.TotalLatency, nt.TotalHops, nt.Makespan, opt.Ratio(nt.TotalLatency, den))
+	tbl.AddRow("centralized", ce.TotalLatency, ce.TotalHops, ce.Makespan, opt.Ratio(ce.TotalLatency, den))
+	fmt.Print(tbl.Render())
+	fmt.Println()
+	return nil
+}
+
+func runCommTree(seed int64) error {
+	rows, err := analysis.CommTreeExperiment(6, 60, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.CommTreeTable(rows).Render())
+	fmt.Println()
+	return nil
+}
+
+func runStabilize(seed int64) error {
+	rows, err := analysis.StabilizeExperiment([]int{15, 63, 255, 1023}, 0.3, 20, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.StabilizeTable(rows).Render())
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,65 @@
+// Command lowerbound generates and runs the Theorem 4.1 adversarial
+// instance (the Figure 9 construction): a recursively built request set
+// on a path spanning tree of diameter D. It prints the instance, arrow's
+// measured cost, bounds on the optimal offline cost, and the resulting
+// ratio, optionally dumping the request set for inspection.
+//
+// Usage:
+//
+//	lowerbound -logd 6          # D = 64, paper's Figure 9 diameter
+//	lowerbound -logd 6 -k 6     # override recursion depth (paper's figure)
+//	lowerbound -logd 5 -dump    # print every generated request
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arrow"
+	"repro/internal/graph"
+	"repro/internal/opt"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func main() {
+	logD := flag.Int("logd", 6, "diameter exponent: D = 2^logd")
+	k := flag.Int("k", 0, "recursion depth (0 = paper's log D / log log D)")
+	dump := flag.Bool("dump", false, "print the generated request set")
+	flag.Parse()
+
+	depth := *k
+	if depth == 0 {
+		depth = workload.DefaultK(1 << *logD)
+	}
+	inst := workload.LowerBound(*logD, depth)
+	fmt.Printf("Theorem 4.1 instance: path diameter D=%d, recursion depth k=%d, |R|=%d\n",
+		inst.D, inst.K, len(inst.Set))
+	if *dump {
+		for _, r := range inst.Set {
+			fmt.Printf("  r%-4d = (v%d, t=%d)\n", r.ID, r.Node, r.Time)
+		}
+	}
+
+	t := tree.PathTree(inst.D + 1)
+	g := graph.Path(inst.D + 1)
+	res, err := arrow.Run(t, inst.Set, arrow.Options{Root: inst.Root})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+	bounds := opt.Compute(g, inst.Root, inst.Set, opt.DistOfGraph(g))
+
+	fmt.Printf("\narrow total latency:      %d\n", res.TotalLatency)
+	fmt.Printf("arrow total hops:         %d\n", res.TotalHops)
+	fmt.Printf("optimal cost upper bound: %d (achievable order)\n", bounds.Upper)
+	fmt.Printf("optimal cost lower bound: %d", bounds.Lower)
+	if bounds.Exact {
+		fmt.Printf(" (exact)")
+	}
+	fmt.Printf("\nmeasured ratio:           %.3f (>= true competitive ratio witness)\n",
+		opt.Ratio(res.TotalLatency, bounds.Upper))
+	fmt.Printf("theory reference k*D:     %d (asymptotic regime; see EXPERIMENTS.md)\n",
+		inst.K*inst.D)
+}

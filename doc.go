@@ -1,0 +1,11 @@
+// Package repro is a complete Go reproduction of "Dynamic Analysis of
+// the Arrow Distributed Protocol" (Herlihy, Kuhn, Tirthapura,
+// Wattenhofer; SPAA 2004 / Theory of Computing Systems 39, 2006).
+//
+// The repository root carries the benchmark harness (bench_test.go, one
+// benchmark per paper table/figure plus ablations) and cross-module
+// integration tests; the implementation lives under internal/ and the
+// runnable entry points under cmd/ and examples/. Start with README.md
+// for the architecture overview, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arrow"
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"a", "long-header"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("xyz", "w")
+	out := tbl.Render()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Error("float not formatted to 3 decimals")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestBuildTreeKinds(t *testing.T) {
+	g := graph.Complete(15)
+	for _, kind := range []TreeKind{
+		TreeBalancedBinary, TreeMST, TreeKruskal, TreeBFS, TreeSPT, TreeStar, TreePath,
+	} {
+		tr, err := BuildTree(kind, g)
+		if err != nil {
+			t.Errorf("%v: %v", kind, err)
+			continue
+		}
+		if tr.NumNodes() != 15 {
+			t.Errorf("%v: %d nodes", kind, tr.NumNodes())
+		}
+	}
+	if _, err := BuildTree(TreeKind(99), g); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestBuildTreeRejectsNonEmbeddable(t *testing.T) {
+	// A cycle has no star spanning tree (center 0 lacks edges to all).
+	g := graph.Cycle(6)
+	if _, err := BuildTree(TreeStar, g); err == nil {
+		t.Error("star tree on a cycle should fail embedding check")
+	}
+	// But path tree embeds in a cycle.
+	if _, err := BuildTree(TreePath, g); err != nil {
+		t.Errorf("path tree on cycle: %v", err)
+	}
+}
+
+func TestSP2ExperimentShape(t *testing.T) {
+	rows, err := SP2Experiment([]int{2, 8, 32}, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Figure 10's shape: centralized makespan grows ~linearly (x4 per
+	// size step here), arrow's grows much slower.
+	centralGrowth := float64(rows[2].CentralMakespan) / float64(rows[0].CentralMakespan)
+	arrowGrowth := float64(rows[2].ArrowMakespan) / float64(rows[0].ArrowMakespan)
+	if centralGrowth < 8 {
+		t.Errorf("centralized growth %.1fx over 16x nodes, want >= 8x", centralGrowth)
+	}
+	if arrowGrowth > centralGrowth/2 {
+		t.Errorf("arrow growth %.1fx should be far below centralized %.1fx", arrowGrowth, centralGrowth)
+	}
+	// Figure 11's range: around 1-2 hops per op under saturation.
+	for _, r := range rows {
+		if r.AvgHops < 0 || r.AvgHops > 4 {
+			t.Errorf("n=%d: avg hops %.2f outside plausible range", r.N, r.AvgHops)
+		}
+	}
+	if out := Fig10Table(rows).Render(); !strings.Contains(out, "Figure 10") {
+		t.Error("fig10 table malformed")
+	}
+	if out := Fig11Table(rows).Render(); !strings.Contains(out, "Figure 11") {
+		t.Error("fig11 table malformed")
+	}
+}
+
+func TestRatioSweepStaysWithinTheoremBound(t *testing.T) {
+	// Theorem 3.19 with the explicit constants of the proof gives
+	// ratio <= (3·ceil(log2 3D)+1)·12·s·2-ish; we check the much
+	// stronger empirical statement ratio <= s·log2(3D) which the sweep
+	// satisfies comfortably — regression guard for protocol changes.
+	for _, cfg := range DefaultRatioConfigs(3) {
+		row, err := MeasureRatio(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !row.Exact {
+			continue
+		}
+		if row.Ratio > row.Bound {
+			t.Errorf("%s/%s: ratio %.2f exceeds s*log2(3D) = %.2f",
+				cfg.Name, cfg.WorkName, row.Ratio, row.Bound)
+		}
+		if row.Ratio < 1.0-1e-9 {
+			t.Errorf("%s/%s: ratio %.2f below 1 — opt bound broken", cfg.Name, cfg.WorkName, row.Ratio)
+		}
+	}
+}
+
+func TestArrowOrderIsNearestNeighborSync(t *testing.T) {
+	// Lemma 3.8, synchronous model: exhaustive check across many random
+	// instances and arbitration policies.
+	trial := 0
+	for seed := int64(0); seed < 60; seed++ {
+		n := 4 + int(seed%24)
+		tr := tree.BalancedBinary(n)
+		set := workload.Poisson(n, 0.7, sim.Time(2*n), seed)
+		if len(set) == 0 {
+			continue
+		}
+		for _, arb := range []sim.Arbitration{sim.ArbFIFO, sim.ArbLIFO, sim.ArbRandom} {
+			trial++
+			if err := CheckNNOrder(tr, set, arrow.Options{Root: 0, Arbitration: arb, Seed: seed}); err != nil {
+				t.Fatalf("seed %d arb %v: %v", seed, arb, err)
+			}
+		}
+	}
+	if trial < 100 {
+		t.Fatalf("only %d NN trials ran", trial)
+	}
+}
+
+func TestArrowOrderIsNearestNeighborOnTrees(t *testing.T) {
+	// Lemma 3.8 on varied tree shapes, not just balanced binary.
+	for seed := int64(0); seed < 20; seed++ {
+		g := graph.RandomGeometric(20, 0.4, 3, seed)
+		tr, err := BuildTree(TreeMST, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := workload.Bursty(20, 4, 3, 15, seed)
+		if err := CheckNNOrder(tr, set, arrow.Options{Root: tr.Root(), Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestLongestEdgeBoundLemma313(t *testing.T) {
+	// Lemma 3.13: the longest cT edge on arrow's path is <= 3D, after the
+	// Lemma 3.11/3.12 time compression. Raw workloads here are already
+	// dense enough that the bound holds directly.
+	for seed := int64(0); seed < 25; seed++ {
+		n := 15
+		tr := tree.BalancedBinary(n)
+		d := tr.Diameter()
+		set := workload.Bursty(n, 5, 3, sim.Time(d), seed)
+		res, err := arrow.Run(tr, set, arrow.Options{Root: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mx := LongestEdgeCT(tr, set, 0, res.Order); mx > 3*d {
+			t.Errorf("seed %d: longest cT edge %d exceeds 3D = %d", seed, mx, 3*d)
+		}
+	}
+}
+
+func TestVerifyNNOrderDetectsViolation(t *testing.T) {
+	tr := tree.PathTree(6)
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 1, Time: 0},
+		{Node: 5, Time: 0},
+	})
+	// Root 0: NN order must serve node 1 first. The reversed order is a
+	// violation VerifyNNOrder must flag.
+	if err := VerifyNNOrder(tr, set, 0, queuing.Order{1, 0}); err == nil {
+		t.Error("expected NN violation for reversed order")
+	}
+	if err := VerifyNNOrder(tr, set, 0, queuing.Order{0, 1}); err != nil {
+		t.Errorf("correct order rejected: %v", err)
+	}
+	if err := VerifyNNOrder(tr, set, 0, queuing.Order{0}); err == nil {
+		t.Error("expected permutation error")
+	}
+}
+
+func TestLowerBoundSweepRuns(t *testing.T) {
+	rows, err := LowerBoundSweep([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Ratio < 1.0-1e-9 {
+			t.Errorf("D=%d: ratio %.3f below 1", r.D, r.Ratio)
+		}
+		if r.CostArrow < int64(r.D) {
+			t.Errorf("D=%d: arrow cost %d below D", r.D, r.CostArrow)
+		}
+	}
+	if out := LowerBoundTable(rows).Render(); !strings.Contains(out, "Theorem 4.1") {
+		t.Error("table malformed")
+	}
+}
+
+func TestSequentialExperimentBounds(t *testing.T) {
+	rows, err := SequentialExperiment([]int{8, 16}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if int64(r.MaxHops) > r.D {
+			t.Errorf("n=%d: sequential request used %d hops > D=%d", r.N, r.MaxHops, r.D)
+		}
+		if r.Ratio > r.S+1e-9 {
+			t.Errorf("n=%d: sequential ratio %.3f exceeds stretch %.3f", r.N, r.Ratio, r.S)
+		}
+	}
+}
+
+func TestTreeChoiceExperiment(t *testing.T) {
+	rows, err := TreeChoiceExperiment(16, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The path tree has the worst diameter; its cost should not beat the
+	// balanced binary tree on a complete graph under this workload.
+	var binCost, pathCost int64
+	for _, r := range rows {
+		switch r.Tree {
+		case "balanced-binary":
+			binCost = r.CostArrow
+		case "path":
+			pathCost = r.CostArrow
+		}
+	}
+	// On small workloads the two can be close; flag only a dramatic
+	// inversion (path tree should never halve the balanced tree's cost).
+	if pathCost*2 < binCost {
+		t.Errorf("path tree (%d) beat balanced binary (%d) by 2x — suspicious", pathCost, binCost)
+	}
+}
+
+func TestArbitrationExperimentCompletes(t *testing.T) {
+	rows, err := ArbitrationExperiment(31, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CostArrow <= 0 {
+			t.Errorf("%s: cost %d", r.Arbitration, r.CostArrow)
+		}
+	}
+}
+
+func TestAsyncExperimentNormalization(t *testing.T) {
+	rows, err := AsyncExperiment(16, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.NormalizedCost <= 0 {
+			t.Errorf("%s: normalized cost %f", r.Model, r.NormalizedCost)
+		}
+	}
+	// Async delays are at most the synchronous worst case, so total cost
+	// cannot exceed sync by more than rounding effects.
+	if rows[1].CostArrow > rows[0].CostArrow*2 {
+		t.Errorf("async cost %d wildly exceeds sync %d", rows[1].CostArrow, rows[0].CostArrow)
+	}
+}
+
+func TestStretchExperimentScaling(t *testing.T) {
+	rows, err := StretchExperiment(3, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].D != rows[0].D*4 {
+		t.Errorf("stretch-4 diameter %d, want %d", rows[1].D, rows[0].D*4)
+	}
+	for _, r := range rows {
+		if r.Ratio <= 0 {
+			t.Errorf("s=%d: ratio %f", r.S, r.Ratio)
+		}
+	}
+}
+
+func TestAdversarialSearchFindsNontrivialRatio(t *testing.T) {
+	r, err := AdversarialSearch(16, 8, 150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BestRatio < 1.2 {
+		t.Errorf("search found only ratio %.3f, expected > 1.2 on D=16", r.BestRatio)
+	}
+	if len(r.BestSet) != 8 {
+		t.Errorf("witness has %d requests", len(r.BestSet))
+	}
+	if out := AdversarialTable([]AdversarialResult{r}).Render(); !strings.Contains(out, "16") {
+		t.Error("table malformed")
+	}
+}
+
+func TestNNApproximationSweepWithinBound(t *testing.T) {
+	rows, err := NNApproximationSweep([]int{6, 8}, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Ratio > 2*r.Bound+2 {
+			t.Errorf("NN ratio %.2f far exceeds theorem bound %.2f", r.Ratio, r.Bound)
+		}
+	}
+}

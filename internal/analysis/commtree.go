@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"math/rand"
+
+	"repro/internal/arrow"
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// CommTreeRow compares spanning trees for a known, skewed request
+// distribution — the Peleg–Reshef tree-selection problem (§1.1): when the
+// origin distribution of the next request is known, a minimum
+// communication spanning tree minimizes the expected sequential overhead.
+type CommTreeRow struct {
+	Tree string
+	// Expected is E[dT(U,V)] under the demand distribution — the
+	// analytic objective.
+	Expected float64
+	// Measured is arrow's average per-request latency on a sequential
+	// workload drawn from the distribution.
+	Measured float64
+}
+
+// CommTreeExperiment draws a Zipf-like demand distribution over a grid,
+// builds MST / BFS / demand-aware CommTree spanning trees, and measures
+// arrow's sequential cost on each.
+func CommTreeExperiment(side int, requests int, seed int64) ([]CommTreeRow, error) {
+	g := graph.Grid(side, side)
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(seed))
+	// Skewed demand: a handful of hot nodes carry most of the traffic.
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.05
+	}
+	for h := 0; h < 3; h++ {
+		p[rng.Intn(n)] += 5
+	}
+
+	// Sequential workload drawn from p, spaced beyond any tree diameter.
+	cum := make([]float64, n)
+	var total float64
+	for i, v := range p {
+		total += v
+		cum[i] = total
+	}
+	draw := func() graph.NodeID {
+		x := rng.Float64() * total
+		for i, c := range cum {
+			if x <= c {
+				return graph.NodeID(i)
+			}
+		}
+		return graph.NodeID(n - 1)
+	}
+	gap := sim.Time(6 * side)
+	reqs := make([]queuing.Request, requests)
+	for i := range reqs {
+		reqs[i] = queuing.Request{Node: draw(), Time: sim.Time(i) * gap}
+	}
+	set := queuing.NewSet(reqs)
+
+	type namedTree struct {
+		name string
+		t    *tree.Tree
+	}
+	center, _ := g.Center()
+	bfs, err := tree.BFS(g, center)
+	if err != nil {
+		return nil, err
+	}
+	mst, err := tree.PrimMST(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := tree.CommTree(g, p, 6)
+	if err != nil {
+		return nil, err
+	}
+	trees := []namedTree{{"bfs-center", bfs}, {"mst", mst}, {"comm-tree", ct}}
+	rows := make([]CommTreeRow, 0, len(trees))
+	for _, nt := range trees {
+		res, err := arrow.Run(nt.t, set, arrow.Options{Root: nt.t.Root(), Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CommTreeRow{
+			Tree:     nt.name,
+			Expected: tree.ExpectedPairCost(nt.t, p),
+			Measured: float64(res.TotalLatency) / float64(len(set)),
+		})
+	}
+	return rows, nil
+}
+
+// CommTreeTable formats the tree-selection comparison.
+func CommTreeTable(rows []CommTreeRow) *Table {
+	t := &Table{
+		Title:   "Peleg–Reshef tree selection — skewed demand, sequential regime",
+		Headers: []string{"tree", "E[dT(U,V)]", "measured latency/op"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Tree, r.Expected, r.Measured)
+	}
+	return t
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/stabilize"
+	"repro/internal/tree"
+)
+
+// StabilizeRow summarizes self-stabilization repair over a batch of
+// random corruptions of one tree size.
+type StabilizeRow struct {
+	N            int
+	Trials       int
+	CorruptFrac  float64
+	AvgRounds    float64
+	MaxRounds    int
+	AvgDecycles  float64
+	AvgMerges    float64
+	AllConverged bool
+}
+
+// StabilizeExperiment corrupts a fraction of pointers uniformly at
+// random and measures repair cost (rounds, de-cycles, merges) across
+// trials — the E14 experiment.
+func StabilizeExperiment(ns []int, corruptFrac float64, trials int, seed int64) ([]StabilizeRow, error) {
+	rows := make([]StabilizeRow, 0, len(ns))
+	for _, n := range ns {
+		t := tree.BalancedBinary(n)
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		row := StabilizeRow{N: n, Trials: trials, CorruptFrac: corruptFrac, AllConverged: true}
+		var sumRounds, sumDecycles, sumMerges int64
+		for trial := 0; trial < trials; trial++ {
+			links := make([]graph.NodeID, n)
+			for v := range links {
+				node := graph.NodeID(v)
+				if node == 0 {
+					links[v] = 0
+				} else {
+					links[v] = t.NextHop(node, 0)
+				}
+			}
+			for k := 0; k < int(float64(n)*corruptFrac); k++ {
+				links[rng.Intn(n)] = graph.NodeID(rng.Intn(n))
+			}
+			res, err := stabilize.Repair(t, links)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := stabilize.IsLegal(t, links); !ok {
+				row.AllConverged = false
+			}
+			sumRounds += int64(res.Rounds)
+			sumDecycles += int64(res.DecycledEdges)
+			sumMerges += int64(res.MergedRegions)
+			if res.Rounds > row.MaxRounds {
+				row.MaxRounds = res.Rounds
+			}
+		}
+		row.AvgRounds = float64(sumRounds) / float64(trials)
+		row.AvgDecycles = float64(sumDecycles) / float64(trials)
+		row.AvgMerges = float64(sumMerges) / float64(trials)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// StabilizeTable formats the self-stabilization experiment.
+func StabilizeTable(rows []StabilizeRow) *Table {
+	t := &Table{
+		Title:   "Self-stabilization (Herlihy–Tirthapura) — repair from random corruption",
+		Headers: []string{"n", "trials", "corrupt", "avg rounds", "max rounds", "avg de-cycles", "avg merges", "converged"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.N, r.Trials, r.CorruptFrac, r.AvgRounds, r.MaxRounds, r.AvgDecycles, r.AvgMerges, r.AllConverged)
+	}
+	return t
+}

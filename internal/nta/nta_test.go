@@ -1,0 +1,145 @@
+package nta
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/workload"
+)
+
+func TestSingleRequest(t *testing.T) {
+	g := graph.Complete(5)
+	set := queuing.NewSet([]queuing.Request{{Node: 3, Time: 0}})
+	res, err := Run(g, set, Options{Root: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Completions[0]
+	if c.PredID != -1 {
+		t.Errorf("pred = %d, want -1", c.PredID)
+	}
+	if c.Hops != 1 {
+		t.Errorf("hops = %d, want 1 (direct to root)", c.Hops)
+	}
+	if c.Latency() != 1 {
+		t.Errorf("latency = %d, want 1", c.Latency())
+	}
+}
+
+func TestPointerCollapse(t *testing.T) {
+	// Sequential requests: after v requests, everyone's path to the tail
+	// shortens toward v. A second requester reaches the tail in one hop
+	// because the first requester updated the root's pointer.
+	g := graph.Complete(6)
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 3, Time: 0},
+		{Node: 4, Time: 100},
+		{Node: 5, Time: 200},
+	})
+	res, err := Run(g, set, Options{Root: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request from 4 goes 4 -> 0 (old pointer) -> 3: 2 hops. Request from
+	// 5 goes 5 -> 0 -> 4 (0's pointer was updated to 4): 2 hops.
+	if res.Completions[1].Hops != 2 {
+		t.Errorf("request 1 hops = %d, want 2", res.Completions[1].Hops)
+	}
+	if res.Completions[2].Hops != 2 {
+		t.Errorf("request 2 hops = %d, want 2", res.Completions[2].Hops)
+	}
+	for i, id := range res.Order {
+		if id != i {
+			t.Errorf("sequential order broken: %v", res.Order)
+			break
+		}
+	}
+}
+
+func TestLocalTailRequest(t *testing.T) {
+	g := graph.Complete(4)
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 2, Time: 0},
+		{Node: 2, Time: 50}, // 2 holds the tail: local completion
+	})
+	res, err := Run(g, set, Options{Root: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions[1].Hops != 0 {
+		t.Errorf("tail holder's request hops = %d, want 0", res.Completions[1].Hops)
+	}
+	if res.Completions[1].PredID != 0 {
+		t.Errorf("pred = %d, want 0", res.Completions[1].PredID)
+	}
+}
+
+func TestConcurrentTotalOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 6 + int(seed)%20
+		g := graph.Complete(n)
+		set := workload.Poisson(n, 0.8, 80, seed)
+		if len(set) == 0 {
+			continue
+		}
+		res, err := Run(g, set, Options{Root: 0, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !queuing.ValidOrder(res.Order, len(set)) {
+			t.Fatalf("seed %d: invalid order", seed)
+		}
+		// Every request visits at most n nodes.
+		for _, c := range res.Completions {
+			if c.Hops > n {
+				t.Errorf("seed %d: request %d used %d hops > n", seed, c.Req.ID, c.Hops)
+			}
+		}
+	}
+}
+
+func TestAmortizedHopsModestUnderUniformLoad(t *testing.T) {
+	// The NTA analysis gives expected O(log n) messages per operation
+	// under uniform random requests; verify the average stays well below
+	// the trivial n bound.
+	n := 64
+	g := graph.Complete(n)
+	set := workload.Sequential(n, 300, 3, 7)
+	res, err := Run(g, set, Options{Root: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(res.TotalHops) / float64(len(set))
+	if avg > 12 { // 2*log2(64) = 12: generous bound for the expectation
+		t.Errorf("avg hops %f exceeds ~2 log n", avg)
+	}
+}
+
+func TestRejectsBadRoot(t *testing.T) {
+	g := graph.Complete(3)
+	if _, err := Run(g, queuing.Set{}, Options{Root: 7}); err == nil {
+		t.Error("expected root range error")
+	}
+}
+
+func TestWorksOnNonCompleteGraphViaMetric(t *testing.T) {
+	// NTA assumes full connectivity; over a sparse graph the simulator
+	// routes logically with metric latency. Physical hops then exceed
+	// logical hops.
+	g := graph.Cycle(8)
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 4, Time: 0},
+		{Node: 6, Time: 20},
+	})
+	res, err := Run(g, set, Options{Root: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions[0].PhysHops != 4 {
+		t.Errorf("phys hops = %d, want 4 (cycle distance 4)", res.Completions[0].PhysHops)
+	}
+	if res.Completions[0].Hops != 1 {
+		t.Errorf("logical hops = %d, want 1", res.Completions[0].Hops)
+	}
+}

@@ -1,0 +1,143 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func TestComputeExactSmallInstance(t *testing.T) {
+	g := graph.Path(5)
+	// Two simultaneous requests at the two ends; root in the middle.
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 0, Time: 0},
+		{Node: 4, Time: 0},
+	})
+	b := Compute(g, 2, set, DistOfGraph(g))
+	if !b.Exact {
+		t.Fatal("tiny instance should be exact")
+	}
+	// Optimal: root(2) -> 0 (cost 2) -> 4 (cost 4) or symmetric = 6.
+	if b.Lower != 6 {
+		t.Errorf("exact optimal = %d, want 6", b.Lower)
+	}
+	if !queuing.ValidOrder(b.ExactOrder, 2) {
+		t.Errorf("exact order invalid: %v", b.ExactOrder)
+	}
+	if b.Upper < b.Lower {
+		t.Errorf("upper %d below lower %d", b.Upper, b.Lower)
+	}
+}
+
+func TestComputeTimeDominatedCost(t *testing.T) {
+	g := graph.Path(3)
+	// Request at t=10 ordered after one at t=0: ordering backwards in
+	// time is expensive (cO = ti - tj), forcing time order.
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 1, Time: 0},
+		{Node: 2, Time: 50},
+	})
+	b := Compute(g, 0, set, DistOfGraph(g))
+	if !b.Exact {
+		t.Fatal("should be exact")
+	}
+	// Time order: root->1 (d=1), 1->2 (d=1) = 2. Reverse would cost
+	// max(2, 0) + max(1, 50-0)=50+... so optimal is 2.
+	if b.Lower != 2 {
+		t.Errorf("optimal = %d, want 2", b.Lower)
+	}
+	if got := b.ExactOrder[0]; got != 0 {
+		t.Errorf("optimal order starts with request %d, want 0", got)
+	}
+}
+
+func TestComputeLargeUsesMSTBound(t *testing.T) {
+	g := graph.Complete(30)
+	set := workload.OneShot(30, 25, 3) // too many requests for exact
+	b := Compute(g, 0, set, DistOfGraph(g))
+	if b.Exact {
+		t.Fatal("25 requests should not be exact")
+	}
+	if b.Lower < 1 {
+		t.Errorf("lower bound %d, want >= 1", b.Lower)
+	}
+	if b.ManhattanMST <= 0 {
+		t.Errorf("Manhattan MST = %d, want > 0", b.ManhattanMST)
+	}
+	if b.Lower > b.Upper {
+		t.Errorf("lower %d exceeds upper %d", b.Lower, b.Upper)
+	}
+}
+
+func TestLowerBoundNeverExceedsExact(t *testing.T) {
+	// The Manhattan-MST/12 bound must hold whenever we can compute the
+	// exact optimum.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		g := graph.GNP(n, 0.4, seed)
+		k := 2 + rng.Intn(8)
+		set := workload.OneShot(n, min(k, n), seed)
+		dg := DistOfGraph(g)
+		b := Compute(g, 0, set, dg)
+		if !b.Exact {
+			return true
+		}
+		mstBound := b.ManhattanMST / 12
+		return mstBound <= b.Lower
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostAdapterMapsRootAndRequests(t *testing.T) {
+	tr := tree.PathTree(6)
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 3, Time: 2},
+		{Node: 5, Time: 4},
+	})
+	c := CostAdapter(set, 0, queuing.CA(DistOfTree(tr)))
+	if got := c(0, 1); got != 3 {
+		t.Errorf("root->req0 = %d, want dT(0,3)=3", got)
+	}
+	if got := c(1, 2); got != 2 {
+		t.Errorf("req0->req1 = %d, want dT(3,5)=2", got)
+	}
+}
+
+func TestDistFuncsAgreeOnTreeGraphs(t *testing.T) {
+	tr := tree.BalancedBinary(15)
+	g := tr.ToGraph()
+	dg := DistOfGraph(g)
+	dt := DistOfTree(tr)
+	for u := 0; u < 15; u++ {
+		for v := 0; v < 15; v++ {
+			if dg(graph.NodeID(u), graph.NodeID(v)) != dt(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatalf("dG != dT at (%d,%d) on a tree graph", u, v)
+			}
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(10, 5); r != 2 {
+		t.Errorf("Ratio(10,5) = %f", r)
+	}
+	if r := Ratio(10, 0); r != 0 {
+		t.Errorf("Ratio by zero = %f, want 0", r)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	g := graph.Path(4)
+	b := Compute(g, 0, queuing.Set{}, DistOfGraph(g))
+	if !b.Exact || b.Lower != 0 || b.Upper != 0 {
+		t.Errorf("empty set bounds = %+v", b)
+	}
+}

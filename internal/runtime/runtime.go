@@ -1,0 +1,325 @@
+// Package runtime is a live, goroutine-based implementation of the arrow
+// protocol: every tree node is a goroutine owning its link pointer, and
+// tree edges are channel-backed FIFO mailboxes — the natural Go embedding
+// of the paper's asynchronous message-passing model. It complements the
+// deterministic simulator (package arrow): the simulator measures the
+// paper's cost model exactly, while this runtime demonstrates the protocol
+// under real, racy concurrency (run the tests with -race).
+//
+// State is never shared: each node's link and id fields are touched only
+// by its own goroutine, and all coordination flows through channels.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// Completion reports one queued request, delivered on the network's
+// completions channel. PredID is -1 when the request was queued behind
+// the virtual root request.
+type Completion struct {
+	ReqID  int64
+	PredID int64
+	Origin graph.NodeID
+	Sink   graph.NodeID
+	Hops   int
+	At     time.Time
+}
+
+// Options tunes a Network.
+type Options struct {
+	// HopDelay, if positive, delays each message hop to emulate network
+	// latency in demonstrations.
+	HopDelay time.Duration
+}
+
+// Network runs the arrow protocol over a spanning tree with one goroutine
+// per node.
+type Network struct {
+	t    *tree.Tree
+	root graph.NodeID
+	opts Options
+
+	nodes       []*node
+	compIn      chan Completion
+	completions chan Completion
+	collectorWg sync.WaitGroup
+	nextReq     atomic.Int64
+	inflight    sync.WaitGroup
+	running     atomic.Bool
+	stopped     chan struct{}
+	wg          sync.WaitGroup
+}
+
+type message any
+
+type queueMsg struct {
+	reqID  int64
+	origin graph.NodeID
+	from   graph.NodeID
+	hops   int
+}
+
+type issueMsg struct {
+	reqID int64
+	done  chan<- struct{} // optional: closed once initiation is processed
+}
+
+type stopMsg struct{}
+
+type node struct {
+	id      graph.NodeID
+	link    graph.NodeID
+	lastReq int64
+	in      chan message // unbounded mailbox input
+	out     chan message // node loop reads here
+	net     *Network
+}
+
+// New builds a network over tree t with the initial sink at root.
+func New(t *tree.Tree, root graph.NodeID, opts Options) *Network {
+	n := t.NumNodes()
+	if int(root) < 0 || int(root) >= n {
+		panic(fmt.Sprintf("runtime: root %d out of range", root))
+	}
+	net := &Network{
+		t:           t,
+		root:        root,
+		opts:        opts,
+		nodes:       make([]*node, n),
+		compIn:      make(chan Completion, 16),
+		completions: make(chan Completion),
+		stopped:     make(chan struct{}),
+	}
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		link := id
+		if id != root {
+			link = t.NextHop(id, root)
+		}
+		net.nodes[v] = &node{
+			id:      id,
+			link:    link,
+			lastReq: -1,
+			in:      make(chan message, 16),
+			out:     make(chan message),
+			net:     net,
+		}
+	}
+	return net
+}
+
+// Start launches the node goroutines. It must be called exactly once.
+func (net *Network) Start() {
+	if !net.running.CompareAndSwap(false, true) {
+		panic("runtime: Start called twice")
+	}
+	for _, nd := range net.nodes {
+		net.wg.Add(2)
+		go nd.mailbox()
+		go nd.run()
+	}
+	net.collectorWg.Add(1)
+	go net.collect()
+}
+
+// collect pumps completions from the bounded internal channel to the
+// public channel through an unbounded buffer, so protocol goroutines never
+// block on a slow (or absent) consumer.
+func (net *Network) collect() {
+	defer net.collectorWg.Done()
+	var buf []Completion
+	in := net.compIn
+	for in != nil || len(buf) > 0 {
+		var out chan Completion
+		var head Completion
+		if len(buf) > 0 {
+			out = net.completions
+			head = buf[0]
+		}
+		select {
+		case c, ok := <-in:
+			if !ok {
+				in = nil
+				continue
+			}
+			buf = append(buf, c)
+		case out <- head:
+			buf = buf[1:]
+		}
+	}
+	close(net.completions)
+}
+
+// Completions returns the channel on which queuing completions are
+// delivered. Delivery is unbounded (slow consumers never stall the
+// protocol); the channel is closed by Stop.
+func (net *Network) Completions() <-chan Completion { return net.completions }
+
+// Request asynchronously issues a queuing request at node v and returns
+// its request ID. The completion eventually appears on Completions.
+func (net *Network) Request(v graph.NodeID) int64 {
+	if !net.running.Load() {
+		panic("runtime: Request before Start or after Stop")
+	}
+	id := net.nextReq.Add(1) - 1
+	net.inflight.Add(1)
+	net.nodes[v].in <- issueMsg{reqID: id}
+	return id
+}
+
+// RequestSync issues a request at v and waits until v's protocol
+// initiation step has executed (not until queuing completes). Useful for
+// tests that need a deterministic issue order.
+func (net *Network) RequestSync(v graph.NodeID) int64 {
+	if !net.running.Load() {
+		panic("runtime: Request before Start or after Stop")
+	}
+	id := net.nextReq.Add(1) - 1
+	net.inflight.Add(1)
+	done := make(chan struct{})
+	net.nodes[v].in <- issueMsg{reqID: id, done: done}
+	<-done
+	return id
+}
+
+// Wait blocks until every issued request has completed (quiescence).
+func (net *Network) Wait() { net.inflight.Wait() }
+
+// Stop waits for quiescence, terminates all goroutines, and closes the
+// completions channel (after all buffered completions are delivered).
+// A consumer must be draining Completions, otherwise Stop blocks until
+// the remaining completions are read. The network cannot be restarted.
+func (net *Network) Stop() {
+	net.Wait()
+	if !net.running.CompareAndSwap(true, false) {
+		return
+	}
+	for _, nd := range net.nodes {
+		nd.in <- stopMsg{}
+	}
+	net.wg.Wait()
+	close(net.compIn)
+	net.collectorWg.Wait()
+	close(net.stopped)
+}
+
+// Links returns a snapshot of all link pointers. Only valid after Stop
+// (otherwise racy by construction).
+func (net *Network) Links() []graph.NodeID {
+	select {
+	case <-net.stopped:
+	default:
+		panic("runtime: Links before Stop")
+	}
+	links := make([]graph.NodeID, len(net.nodes))
+	for i, nd := range net.nodes {
+		links[i] = nd.link
+	}
+	return links
+}
+
+// mailbox pumps messages from the unbounded input buffer to the node
+// loop, preserving FIFO order. Buffering in a goroutine-owned slice keeps
+// protocol sends non-blocking, which rules out channel deadlock between
+// mutually sending neighbours.
+func (nd *node) mailbox() {
+	defer nd.net.wg.Done()
+	var buf []message
+	in := nd.in
+	for in != nil || len(buf) > 0 {
+		var out chan message
+		var head message
+		if len(buf) > 0 {
+			out = nd.out
+			head = buf[0]
+		}
+		select {
+		case m, ok := <-in:
+			if !ok {
+				in = nil
+				continue
+			}
+			buf = append(buf, m)
+			if _, stop := m.(stopMsg); stop {
+				in = nil
+			}
+		case out <- head:
+			buf = buf[1:]
+		}
+	}
+	close(nd.out)
+}
+
+func (nd *node) run() {
+	defer nd.net.wg.Done()
+	for m := range nd.out {
+		switch msg := m.(type) {
+		case issueMsg:
+			nd.initiate(msg)
+		case queueMsg:
+			nd.pathReversal(msg)
+		case stopMsg:
+			// Drain is unnecessary: Stop only runs after quiescence.
+			return
+		default:
+			panic(fmt.Sprintf("runtime: unexpected message %T", m))
+		}
+	}
+}
+
+func (nd *node) initiate(msg issueMsg) {
+	if msg.done != nil {
+		defer close(msg.done)
+	}
+	if nd.link == nd.id {
+		pred := nd.lastReq
+		nd.lastReq = msg.reqID
+		nd.complete(Completion{
+			ReqID: msg.reqID, PredID: pred, Origin: nd.id, Sink: nd.id, At: time.Now(),
+		})
+		return
+	}
+	target := nd.link
+	nd.lastReq = msg.reqID
+	nd.link = nd.id
+	nd.send(target, queueMsg{reqID: msg.reqID, origin: nd.id, from: nd.id, hops: 1})
+}
+
+func (nd *node) pathReversal(msg queueMsg) {
+	next := nd.link
+	nd.link = msg.from
+	if next != nd.id {
+		fwd := msg
+		fwd.from = nd.id
+		fwd.hops++
+		nd.send(next, fwd)
+		return
+	}
+	nd.complete(Completion{
+		ReqID:  msg.reqID,
+		PredID: nd.lastReq,
+		Origin: msg.origin,
+		Sink:   nd.id,
+		Hops:   msg.hops,
+		At:     time.Now(),
+	})
+}
+
+func (nd *node) send(to graph.NodeID, msg queueMsg) {
+	if d := nd.net.opts.HopDelay; d > 0 {
+		time.Sleep(d)
+	}
+	nd.net.nodes[to].in <- msg
+}
+
+func (nd *node) complete(c Completion) {
+	nd.net.compIn <- c
+	nd.net.inflight.Done()
+}

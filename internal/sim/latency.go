@@ -1,0 +1,89 @@
+package sim
+
+import "math/rand"
+
+// LatencyModel maps an edge's nominal weight to a per-message delay.
+// Implementations must return delays in [1, ∞); the simulator additionally
+// clamps to >= 1 and enforces link FIFO order.
+type LatencyModel interface {
+	// Delay returns the delay for one message over an edge of weight w.
+	Delay(w int64, rng *rand.Rand) Time
+	// Scale returns the model's time scale: the worst-case delay of a
+	// message over a unit-weight edge. Costs measured under the model are
+	// comparable to analytic unit-latency bounds after dividing by Scale.
+	Scale() int64
+	// Name identifies the model in experiment output.
+	Name() string
+}
+
+type syncModel struct{ scale int64 }
+
+// Synchronous returns the paper's synchronous model: a message over an
+// edge of weight w always takes exactly w time units.
+func Synchronous() LatencyModel { return syncModel{scale: 1} }
+
+// SynchronousScaled returns a synchronous model where each weight unit
+// costs scale time units. Useful for comparing against async runs that use
+// the same scale.
+func SynchronousScaled(scale int64) LatencyModel {
+	if scale < 1 {
+		panic("sim: latency scale must be >= 1")
+	}
+	return syncModel{scale: scale}
+}
+
+func (m syncModel) Delay(w int64, _ *rand.Rand) Time { return w * m.scale }
+func (m syncModel) Scale() int64                     { return m.scale }
+func (m syncModel) Name() string                     { return "sync" }
+
+type asyncUniform struct{ scale int64 }
+
+// AsyncUniform returns the asynchronous model of Section 3.8 with delays
+// scaled so the slowest message over an edge of weight w takes w·scale
+// units: each message independently draws an integer delay uniformly from
+// [1, w·scale]. With scale >= 2 even unit-weight edges exhibit variable
+// delays.
+func AsyncUniform(scale int64) LatencyModel {
+	if scale < 1 {
+		panic("sim: latency scale must be >= 1")
+	}
+	return asyncUniform{scale: scale}
+}
+
+func (m asyncUniform) Delay(w int64, rng *rand.Rand) Time {
+	hi := w * m.scale
+	if hi <= 1 {
+		return 1
+	}
+	return 1 + rng.Int63n(hi)
+}
+func (m asyncUniform) Scale() int64 { return m.scale }
+func (m asyncUniform) Name() string { return "async-uniform" }
+
+type asyncBimodal struct {
+	scale    int64
+	slowProb float64
+}
+
+// AsyncBimodal returns an adversarial-ish asynchronous model: most
+// messages are fast (delay 1 per weight unit) but with probability
+// slowProb a message takes the full w·scale. This stresses the protocol's
+// tolerance to stragglers while keeping the worst case bounded.
+func AsyncBimodal(scale int64, slowProb float64) LatencyModel {
+	if scale < 1 {
+		panic("sim: latency scale must be >= 1")
+	}
+	if slowProb < 0 || slowProb > 1 {
+		panic("sim: slowProb must be in [0,1]")
+	}
+	return asyncBimodal{scale: scale, slowProb: slowProb}
+}
+
+func (m asyncBimodal) Delay(w int64, rng *rand.Rand) Time {
+	if rng.Float64() < m.slowProb {
+		return w * m.scale
+	}
+	return w
+}
+func (m asyncBimodal) Scale() int64 { return m.scale }
+func (m asyncBimodal) Name() string { return "async-bimodal" }

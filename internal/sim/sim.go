@@ -1,0 +1,286 @@
+// Package sim is a deterministic discrete-event simulator for asynchronous
+// message-passing networks with FIFO links — the communication model of
+// the paper (Section 3.1). It supports:
+//
+//   - synchronous execution, where every message on an edge of weight w is
+//     delivered exactly w time units after it is sent (the paper's unit
+//     latency model when w = 1);
+//   - asynchronous execution, where message delays are drawn per message
+//     from a seeded RNG, normalized so the slowest message over an edge of
+//     weight w takes w·scale units (Section 3.8's "slowest message is 1"
+//     scaling), while link FIFO order is preserved;
+//   - configurable arbitration of simultaneously arriving messages (FIFO /
+//     LIFO / seeded random), matching the paper's claim that the analysis
+//     holds for any local processing order.
+//
+// The simulator is single-threaded and fully deterministic for a fixed
+// seed, which makes protocol costs exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Time is a simulated timestamp. The synchronous model of the paper uses
+// integral times; asynchronous runs use scaled integral times.
+type Time = int64
+
+// Message is an opaque protocol payload.
+type Message any
+
+// Handler processes a message arriving at node `at` from node `from` at
+// the simulator's current time. Handlers run atomically (the simulator is
+// single-threaded), matching the paper's atomic path-reversal step.
+type Handler func(ctx *Context, at, from graph.NodeID, msg Message)
+
+// TimerFunc is a scheduled local action at a node.
+type TimerFunc func(ctx *Context)
+
+// Arbitration selects the processing order of events that carry identical
+// timestamps.
+type Arbitration int
+
+const (
+	// ArbFIFO processes same-time events in the order they were scheduled.
+	ArbFIFO Arbitration = iota
+	// ArbLIFO processes same-time events in reverse scheduling order.
+	ArbLIFO
+	// ArbRandom processes same-time events in seeded random order.
+	ArbRandom
+)
+
+func (a Arbitration) String() string {
+	switch a {
+	case ArbFIFO:
+		return "fifo"
+	case ArbLIFO:
+		return "lifo"
+	case ArbRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("arbitration(%d)", int(a))
+	}
+}
+
+// Topology tells the simulator which point-to-point sends are legal and
+// how expensive they are.
+type Topology interface {
+	// Latency returns the nominal latency of a message from u to v and
+	// whether the pair may communicate directly.
+	Latency(u, v graph.NodeID) (graph.Weight, bool)
+	// Hops returns the number of physical link traversals a message from
+	// u to v represents (1 for a direct link, path length for routed
+	// metric topologies). Used for message-count accounting.
+	Hops(u, v graph.NodeID) int
+	// NumNodes returns the node count.
+	NumNodes() int
+}
+
+// Config configures a Simulator.
+type Config struct {
+	Topology Topology
+	// Latency is the delay model; defaults to Synchronous() when nil.
+	Latency LatencyModel
+	// Arbitration of simultaneous events; defaults to ArbFIFO.
+	Arbitration Arbitration
+	// Seed drives random arbitration and random latency; ignored otherwise.
+	Seed int64
+	// MaxEvents aborts the run (with a panic describing a likely protocol
+	// bug) after this many events; 0 means no limit.
+	MaxEvents int64
+}
+
+// Simulator is a deterministic discrete-event engine.
+type Simulator struct {
+	cfg      Config
+	now      Time
+	events   eventHeap
+	seq      uint64
+	handlers []Handler
+	lastArr  map[linkKey]Time
+	rng      *rand.Rand
+
+	processed Time // number of events processed (int64)
+	messages  int64
+	hops      int64
+}
+
+type linkKey struct{ u, v graph.NodeID }
+
+// New creates a simulator from cfg. Node handlers default to a no-op and
+// are installed with SetHandler / SetAllHandlers.
+func New(cfg Config) *Simulator {
+	if cfg.Topology == nil {
+		panic("sim: nil topology")
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = Synchronous()
+	}
+	return &Simulator{
+		cfg:      cfg,
+		handlers: make([]Handler, cfg.Topology.NumNodes()),
+		lastArr:  make(map[linkKey]Time),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// SetHandler installs the message handler for one node.
+func (s *Simulator) SetHandler(v graph.NodeID, h Handler) { s.handlers[v] = h }
+
+// SetAllHandlers installs the same handler on every node; protocols that
+// keep state in arrays indexed by node typically use this.
+func (s *Simulator) SetAllHandlers(h Handler) {
+	for i := range s.handlers {
+		s.handlers[i] = h
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Messages returns the number of logical sends performed so far.
+func (s *Simulator) Messages() int64 { return s.messages }
+
+// Hops returns the number of physical link traversals so far (equals
+// Messages on direct topologies).
+func (s *Simulator) Hops() int64 { return s.hops }
+
+// EventsProcessed returns the number of events the run has consumed.
+func (s *Simulator) EventsProcessed() int64 { return int64(s.processed) }
+
+// Context is handed to handlers and timers; it exposes the simulator
+// operations that are legal during event processing.
+type Context struct{ s *Simulator }
+
+// Now returns the current simulated time.
+func (c *Context) Now() Time { return c.s.now }
+
+// Send transmits msg from u to v. The pair must be connected in the
+// topology. Delivery preserves per-link FIFO order.
+func (c *Context) Send(u, v graph.NodeID, msg Message) { c.s.send(u, v, msg) }
+
+// After schedules fn to run at node-local time Now()+d.
+func (c *Context) After(d Time, fn TimerFunc) { c.s.scheduleTimer(c.s.now+d, fn) }
+
+// Rand returns the simulator's seeded RNG (deterministic per run).
+func (c *Context) Rand() *rand.Rand { return c.s.rng }
+
+func (s *Simulator) send(u, v graph.NodeID, msg Message) {
+	w, ok := s.cfg.Topology.Latency(u, v)
+	if !ok {
+		panic(fmt.Sprintf("sim: illegal send %d -> %d (not connected in topology)", u, v))
+	}
+	delay := s.cfg.Latency.Delay(w, s.rng)
+	if delay < 1 {
+		delay = 1
+	}
+	arrive := s.now + delay
+	key := linkKey{u, v}
+	if last, ok := s.lastArr[key]; ok && arrive < last {
+		arrive = last // FIFO: never overtake an earlier message on this link
+	}
+	s.lastArr[key] = arrive
+	s.messages++
+	s.hops += int64(s.cfg.Topology.Hops(u, v))
+	s.push(&event{at: arrive, kind: evMessage, to: v, from: u, msg: msg})
+}
+
+// ScheduleAt schedules fn at absolute time t (>= current time). It is the
+// entry point for injecting external queuing requests before Run.
+func (s *Simulator) ScheduleAt(t Time, fn TimerFunc) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule in the past (t=%d now=%d)", t, s.now))
+	}
+	s.scheduleTimer(t, fn)
+}
+
+func (s *Simulator) scheduleTimer(t Time, fn TimerFunc) {
+	s.push(&event{at: t, kind: evTimer, fn: fn})
+}
+
+func (s *Simulator) push(e *event) {
+	s.seq++
+	e.seq = s.seq
+	switch s.cfg.Arbitration {
+	case ArbFIFO:
+		e.pri = int64(e.seq)
+	case ArbLIFO:
+		e.pri = -int64(e.seq)
+	case ArbRandom:
+		e.pri = s.rng.Int63()
+	}
+	heap.Push(&s.events, e)
+}
+
+// Run processes events until the queue is empty and returns the final
+// simulated time (the makespan).
+func (s *Simulator) Run() Time {
+	ctx := &Context{s: s}
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = e.at
+		s.processed++
+		if s.cfg.MaxEvents > 0 && int64(s.processed) > s.cfg.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d — protocol likely diverged", s.cfg.MaxEvents))
+		}
+		switch e.kind {
+		case evTimer:
+			e.fn(ctx)
+		case evMessage:
+			h := s.handlers[e.to]
+			if h == nil {
+				panic(fmt.Sprintf("sim: message for node %d with no handler", e.to))
+			}
+			h(ctx, e.to, e.from, e.msg)
+		}
+	}
+	return s.now
+}
+
+type evKind uint8
+
+const (
+	evTimer evKind = iota
+	evMessage
+)
+
+type event struct {
+	at   Time
+	pri  int64
+	seq  uint64
+	kind evKind
+	to   graph.NodeID
+	from graph.NodeID
+	msg  Message
+	fn   TimerFunc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

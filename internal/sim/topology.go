@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// TreeTopology restricts communication to spanning-tree neighbours — the
+// arrow protocol's constraint ("the pointers can point only to a neighbor
+// in the spanning tree").
+type TreeTopology struct{ T *tree.Tree }
+
+// Latency implements Topology: only tree edges are legal.
+func (t TreeTopology) Latency(u, v graph.NodeID) (graph.Weight, bool) {
+	for _, e := range t.T.Neighbors(u) {
+		if e.To == v {
+			return e.W, true
+		}
+	}
+	return 0, false
+}
+
+// Hops implements Topology: tree edges are single physical links.
+func (t TreeTopology) Hops(u, v graph.NodeID) int { return 1 }
+
+// NumNodes implements Topology.
+func (t TreeTopology) NumNodes() int { return t.T.NumNodes() }
+
+// DirectTopology allows communication along graph edges only.
+type DirectTopology struct{ G *graph.Graph }
+
+// Latency implements Topology.
+func (t DirectTopology) Latency(u, v graph.NodeID) (graph.Weight, bool) {
+	return t.G.EdgeWeight(u, v)
+}
+
+// Hops implements Topology.
+func (t DirectTopology) Hops(u, v graph.NodeID) int { return 1 }
+
+// NumNodes implements Topology.
+func (t DirectTopology) NumNodes() int { return t.G.NumNodes() }
+
+// MetricTopology allows any pair of nodes to exchange messages with
+// latency dG(u, v), modelling protocols that route over shortest paths
+// (the centralized baseline, NTA, Ivy). Hop accounting charges the
+// shortest path's edge count per logical message.
+type MetricTopology struct {
+	dist [][]graph.Weight
+	hops [][]int32
+}
+
+// NewMetricTopology precomputes all-pairs distances and hop counts of g.
+func NewMetricTopology(g *graph.Graph) *MetricTopology {
+	n := g.NumNodes()
+	m := &MetricTopology{
+		dist: g.AllPairs(),
+		hops: make([][]int32, n),
+	}
+	// Hop counts: shortest path edge count under the weighted metric. For
+	// unit graphs hops == dist; otherwise recompute paths per source pair
+	// lazily would be costly, so we count hops along one weighted shortest
+	// path via repeated ShortestPath only for non-unit graphs.
+	if g.Unit() {
+		for i := 0; i < n; i++ {
+			m.hops[i] = make([]int32, n)
+			for j := 0; j < n; j++ {
+				if m.dist[i][j] != graph.Infinity {
+					m.hops[i][j] = int32(m.dist[i][j])
+				}
+			}
+		}
+		return m
+	}
+	for i := 0; i < n; i++ {
+		m.hops[i] = make([]int32, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			path, _ := g.ShortestPath(graph.NodeID(i), graph.NodeID(j))
+			if path != nil {
+				m.hops[i][j] = int32(len(path) - 1)
+			}
+		}
+	}
+	return m
+}
+
+// Latency implements Topology.
+func (m *MetricTopology) Latency(u, v graph.NodeID) (graph.Weight, bool) {
+	d := m.dist[u][v]
+	if d == graph.Infinity {
+		return 0, false
+	}
+	return d, true
+}
+
+// Hops implements Topology.
+func (m *MetricTopology) Hops(u, v graph.NodeID) int { return int(m.hops[u][v]) }
+
+// NumNodes implements Topology.
+func (m *MetricTopology) NumNodes() int { return len(m.dist) }
+
+// Dist exposes the precomputed distance matrix (shared with analysis
+// code to avoid recomputing all-pairs shortest paths).
+func (m *MetricTopology) Dist(u, v graph.NodeID) graph.Weight { return m.dist[u][v] }

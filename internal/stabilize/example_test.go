@@ -1,0 +1,33 @@
+package stabilize_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/stabilize"
+	"repro/internal/tree"
+)
+
+// ExampleRepair shows fault recovery: a corrupted pointer state (two
+// sinks and one facing-arrow pair) is restored to a legal single-sink
+// configuration by local checking and correction.
+func ExampleRepair() {
+	t := tree.PathTree(6) // 0-1-2-3-4-5
+	// Corrupted state: facing arrows between 1 and 2, spurious sink at 4.
+	links := []graph.NodeID{0, 2, 1, 2, 4, 4}
+	fmt.Println("violations before:", len(stabilize.CheckLocal(t, links)))
+	fmt.Println("sinks before:", len(stabilize.Sinks(links)))
+
+	res, err := stabilize.Repair(t, links)
+	if err != nil {
+		panic(err)
+	}
+	_, legal := stabilize.IsLegal(t, links)
+	fmt.Println("legal after repair:", legal)
+	fmt.Println("unique sink:", res.Sink)
+	// Output:
+	// violations before: 1
+	// sinks before: 2
+	// legal after repair: true
+	// unique sink: 0
+}

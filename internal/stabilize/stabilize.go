@@ -1,0 +1,284 @@
+// Package stabilize adds fault tolerance to the arrow protocol in the
+// spirit of Herlihy and Tirthapura's self-stabilizing distributed queuing
+// [9] (cited in the paper's Section 1.1): transient faults may corrupt
+// link pointers arbitrarily, and simple local checking and correction
+// actions restore a legal configuration — one in which following link
+// pointers from every node reaches a unique sink.
+//
+// The repair algorithm runs in synchronous daemon rounds and uses three
+// local mechanisms:
+//
+//  1. De-cycling: the only cycles a pointer state on a tree can contain
+//     are two facing arrows (link(u) = v and link(v) = u). Each such
+//     edge is detected by its endpoints; the higher-ID endpoint resets
+//     its pointer to itself, becoming a sink.
+//  2. Region waves: every node learns the ID of the sink its pointer
+//     chain leads to, by adopting the value of its link target (O(D)
+//     rounds).
+//  3. Region merging: where two regions meet, the boundary node on the
+//     higher-sink-ID side redirects its pointer across the boundary and
+//     launches a path-reversal token toward its old sink — exactly the
+//     arrow protocol's queue-message mechanics — so its whole region
+//     re-orients across the boundary. One token per region per round
+//     guarantees tokens stay in disjoint regions and each consumes
+//     exactly one sink.
+//
+// Legal configurations are never modified, and every corrupted state
+// converges to a legal one; both properties are exercised by randomized
+// tests.
+package stabilize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// Violation describes one locally detectable illegal condition.
+type Violation struct {
+	// U, V are the endpoints of a facing-arrow edge (U < V).
+	U, V graph.NodeID
+}
+
+// CheckLocal returns all facing-arrow violations: tree edges whose two
+// endpoints point at each other. On a tree, a pointer state has a cycle
+// iff it has a facing-arrow edge, so an empty result plus a single sink
+// implies legality.
+func CheckLocal(t *tree.Tree, links []graph.NodeID) []Violation {
+	var out []Violation
+	for v := 0; v < t.NumNodes(); v++ {
+		node := graph.NodeID(v)
+		target := links[node]
+		if target > node && links[target] == node {
+			out = append(out, Violation{U: node, V: target})
+		}
+	}
+	return out
+}
+
+// Sinks returns all nodes whose link points at themselves.
+func Sinks(links []graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for v, l := range links {
+		if graph.NodeID(v) == l {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// IsLegal reports whether the pointer state is legal: no facing arrows,
+// exactly one sink, and every chain reaches it. It also returns the sink
+// when legal.
+func IsLegal(t *tree.Tree, links []graph.NodeID) (graph.NodeID, bool) {
+	if len(CheckLocal(t, links)) > 0 {
+		return -1, false
+	}
+	sinks := Sinks(links)
+	if len(sinks) != 1 {
+		return -1, false
+	}
+	// With no 2-cycles on a tree, every chain terminates at some sink;
+	// one sink means it is the right one. Validate pointers are tree
+	// edges while we are at it.
+	for v := 0; v < t.NumNodes(); v++ {
+		node := graph.NodeID(v)
+		if links[node] == node {
+			continue
+		}
+		legal := false
+		for _, e := range t.Neighbors(node) {
+			if e.To == links[node] {
+				legal = true
+			}
+		}
+		if !legal {
+			return -1, false
+		}
+	}
+	return sinks[0], true
+}
+
+// Result reports what a Repair run did.
+type Result struct {
+	// Rounds is the number of synchronous rounds consumed.
+	Rounds int
+	// DecycledEdges counts facing-arrow corrections.
+	DecycledEdges int
+	// MergedRegions counts region-merge tokens launched.
+	MergedRegions int
+	// Sink is the unique sink of the repaired state.
+	Sink graph.NodeID
+}
+
+// maxRepairRounds bounds the repair loop; legal states converge in
+// O(n · regions) rounds, so this is generous.
+func maxRepairRounds(n int) int { return 8*n + 64 }
+
+// Repair restores links (in place) to a legal configuration. Pointers
+// that do not name a tree neighbour (arbitrary corruption) are first
+// reset to self, which is a purely local action. Repair never modifies
+// an already-legal configuration.
+func Repair(t *tree.Tree, links []graph.NodeID) (Result, error) {
+	n := t.NumNodes()
+	var res Result
+	if len(links) != n {
+		return res, fmt.Errorf("stabilize: %d links for %d nodes", len(links), n)
+	}
+	// Phase 0 (local): a pointer to a non-neighbour is locally
+	// detectable garbage; the node resets itself to be a sink.
+	for v := 0; v < n; v++ {
+		node := graph.NodeID(v)
+		if links[node] == node {
+			continue
+		}
+		ok := false
+		for _, e := range t.Neighbors(node) {
+			if e.To == links[node] {
+				ok = true
+			}
+		}
+		if !ok {
+			links[node] = node
+		}
+	}
+	for {
+		if res.Rounds > maxRepairRounds(n) {
+			return res, fmt.Errorf("stabilize: repair did not converge in %d rounds", res.Rounds)
+		}
+		// Phase 1 (local): break facing arrows.
+		for _, viol := range CheckLocal(t, links) {
+			links[viol.V] = viol.V // higher ID becomes a sink
+			res.DecycledEdges++
+		}
+		res.Rounds++
+
+		sinks := Sinks(links)
+		if len(sinks) == 1 {
+			res.Sink = sinks[0]
+			return res, nil
+		}
+		if len(sinks) == 0 {
+			// All 2-cycles were just broken; next iteration re-counts.
+			continue
+		}
+		// Phase 2 (waves): compute each node's region sink.
+		sinkOf, rounds := regionWave(t, links)
+		res.Rounds += rounds
+		// Phase 3: one merge token per non-minimal region.
+		tokens, merges := electBoundaryIssuers(t, links, sinkOf)
+		res.MergedRegions += merges
+		rounds = runMergeTokens(t, links, tokens)
+		res.Rounds += rounds
+	}
+}
+
+// regionWave propagates sink IDs along reversed pointer chains: a sink
+// knows its region; every other node adopts its link target's value once
+// known. Returns the per-node region sink and the rounds used.
+func regionWave(t *tree.Tree, links []graph.NodeID) ([]graph.NodeID, int) {
+	n := t.NumNodes()
+	sinkOf := make([]graph.NodeID, n)
+	for v := range sinkOf {
+		sinkOf[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if links[v] == graph.NodeID(v) {
+			sinkOf[v] = graph.NodeID(v)
+		}
+	}
+	rounds := 0
+	for {
+		changed := false
+		for v := 0; v < n; v++ {
+			if sinkOf[v] == -1 && sinkOf[links[v]] != -1 {
+				sinkOf[v] = sinkOf[links[v]]
+				changed = true
+			}
+		}
+		rounds++
+		if !changed {
+			return sinkOf, rounds
+		}
+	}
+}
+
+// mergeToken is a path-reversal token: it walks from a boundary node
+// toward its region's old sink, flipping pointers back toward the
+// boundary, exactly like an arrow queue message.
+type mergeToken struct {
+	at   graph.NodeID // token position (node about to process it)
+	from graph.NodeID // sender (pointer flip target)
+}
+
+// electBoundaryIssuers picks, for every region whose sink ID is not a
+// local minimum, the single boundary node (smallest node ID) adjacent to
+// a smaller-sink-ID region, redirects it across the boundary, and returns
+// the merge token it launches.
+func electBoundaryIssuers(t *tree.Tree, links []graph.NodeID, sinkOf []graph.NodeID) ([]mergeToken, int) {
+	n := t.NumNodes()
+	type candidate struct {
+		node   graph.NodeID
+		across graph.NodeID
+	}
+	best := make(map[graph.NodeID]candidate) // region sink -> boundary issuer
+	for v := 0; v < n; v++ {
+		node := graph.NodeID(v)
+		for _, e := range t.Neighbors(node) {
+			if sinkOf[e.To] < sinkOf[node] {
+				cur, ok := best[sinkOf[node]]
+				if !ok || node < cur.node {
+					best[sinkOf[node]] = candidate{node: node, across: e.To}
+				}
+				break
+			}
+		}
+	}
+	// Deterministic issue order keeps runs reproducible.
+	regions := make([]graph.NodeID, 0, len(best))
+	for r := range best {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	var tokens []mergeToken
+	for _, r := range regions {
+		c := best[r]
+		old := links[c.node]
+		if old == c.node {
+			// The boundary node is its region's sink: redirecting it
+			// merges the region outright, no token needed.
+			links[c.node] = c.across
+			continue
+		}
+		links[c.node] = c.across
+		tokens = append(tokens, mergeToken{at: old, from: c.node})
+	}
+	return tokens, len(regions)
+}
+
+// runMergeTokens advances all tokens one hop per round until each has
+// terminated at a sink (consuming it). Tokens live in disjoint regions,
+// so they cannot interfere.
+func runMergeTokens(t *tree.Tree, links []graph.NodeID, tokens []mergeToken) int {
+	rounds := 0
+	active := tokens
+	for len(active) > 0 {
+		rounds++
+		var next []mergeToken
+		for _, tok := range active {
+			target := links[tok.at]
+			links[tok.at] = tok.from
+			if target == tok.at {
+				continue // consumed a sink: token terminates
+			}
+			next = append(next, mergeToken{at: target, from: tok.at})
+		}
+		active = next
+		if rounds > 4*t.NumNodes() {
+			panic("stabilize: merge token failed to terminate")
+		}
+	}
+	return rounds
+}

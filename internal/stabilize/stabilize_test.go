@@ -1,0 +1,223 @@
+package stabilize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arrow"
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// legalLinks builds the canonical legal state oriented toward root.
+func legalLinks(t *tree.Tree, root graph.NodeID) []graph.NodeID {
+	links := make([]graph.NodeID, t.NumNodes())
+	for v := range links {
+		node := graph.NodeID(v)
+		if node == root {
+			links[v] = node
+		} else {
+			links[v] = t.NextHop(node, root)
+		}
+	}
+	return links
+}
+
+func TestIsLegalAcceptsCanonicalStates(t *testing.T) {
+	tr := tree.BalancedBinary(15)
+	for root := 0; root < 15; root++ {
+		links := legalLinks(tr, graph.NodeID(root))
+		sink, ok := IsLegal(tr, links)
+		if !ok || sink != graph.NodeID(root) {
+			t.Errorf("root %d: legality check failed (sink %d, ok %v)", root, sink, ok)
+		}
+	}
+}
+
+func TestIsLegalRejectsIllegalStates(t *testing.T) {
+	tr := tree.BalancedBinary(7)
+	facing := legalLinks(tr, 0)
+	facing[0] = 1 // 0 -> 1 and 1 -> 0: facing arrows, no sink
+	if _, ok := IsLegal(tr, facing); ok {
+		t.Error("facing arrows accepted")
+	}
+	twoSinks := legalLinks(tr, 0)
+	twoSinks[5] = 5
+	if _, ok := IsLegal(tr, twoSinks); ok {
+		t.Error("two sinks accepted")
+	}
+	nonTree := legalLinks(tr, 0)
+	nonTree[3] = 4 // 3 and 4 are siblings, not tree-adjacent
+	if _, ok := IsLegal(tr, nonTree); ok {
+		t.Error("non-tree pointer accepted")
+	}
+}
+
+func TestCheckLocalFindsFacingArrows(t *testing.T) {
+	tr := tree.PathTree(5)
+	links := []graph.NodeID{1, 0, 1, 2, 3} // facing pair (0,1)
+	viols := CheckLocal(tr, links)
+	if len(viols) != 1 || viols[0].U != 0 || viols[0].V != 1 {
+		t.Errorf("violations = %v, want [(0,1)]", viols)
+	}
+}
+
+func TestRepairPreservesLegalStates(t *testing.T) {
+	tr := tree.BalancedBinary(31)
+	for _, root := range []graph.NodeID{0, 7, 30} {
+		links := legalLinks(tr, root)
+		before := append([]graph.NodeID(nil), links...)
+		res, err := Repair(tr, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range links {
+			if links[v] != before[v] {
+				t.Fatalf("root %d: repair modified a legal state at node %d", root, v)
+			}
+		}
+		if res.Sink != root {
+			t.Errorf("root %d: repair reports sink %d", root, res.Sink)
+		}
+		if res.DecycledEdges != 0 || res.MergedRegions != 0 {
+			t.Errorf("root %d: repair took actions on a legal state: %+v", root, res)
+		}
+	}
+}
+
+func TestRepairFixesTwoSinks(t *testing.T) {
+	tr := tree.PathTree(8)
+	links := legalLinks(tr, 0)
+	links[5] = 5
+	links[6] = 5
+	links[7] = 6
+	res, err := Repair(tr, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := IsLegal(tr, links); !ok {
+		t.Fatal("state still illegal after repair")
+	}
+	if res.MergedRegions < 1 {
+		t.Errorf("expected at least one region merge, got %+v", res)
+	}
+}
+
+func TestRepairFixesFacingArrows(t *testing.T) {
+	tr := tree.PathTree(6)
+	links := []graph.NodeID{1, 0, 1, 2, 3, 4} // facing (0,1): zero sinks
+	_, err := Repair(tr, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink, ok := IsLegal(tr, links); !ok {
+		t.Error("still illegal")
+	} else if sink != 1 {
+		// De-cycling makes the higher endpoint (1) a sink; no merging
+		// needed since the whole tree then points toward it.
+		t.Errorf("sink = %d, want 1", sink)
+	}
+}
+
+func TestRepairArbitraryGarbage(t *testing.T) {
+	tr := tree.BalancedBinary(15)
+	links := make([]graph.NodeID, 15)
+	for v := range links {
+		links[v] = graph.NodeID((v * 7) % 15) // mostly non-neighbour garbage
+	}
+	res, err := Repair(tr, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := IsLegal(tr, links); !ok {
+		t.Error("garbage state not repaired")
+	}
+	if res.Rounds <= 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+// Property: repair converges from any random corruption and the result
+// is legal.
+func TestRepairAlwaysConverges(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(60)
+		g := graph.GNP(n, 0.3, seed)
+		tr, err := tree.BFS(g, 0)
+		if err != nil {
+			return false
+		}
+		links := make([]graph.NodeID, n)
+		for v := range links {
+			switch rng.Intn(3) {
+			case 0:
+				links[v] = graph.NodeID(v) // spurious sink
+			case 1:
+				links[v] = graph.NodeID(rng.Intn(n)) // arbitrary garbage
+			default:
+				nbrs := tr.Neighbors(graph.NodeID(v))
+				links[v] = nbrs[rng.Intn(len(nbrs))].To // random neighbour
+			}
+		}
+		if _, err := Repair(tr, links); err != nil {
+			return false
+		}
+		_, ok := IsLegal(tr, links)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the protocol works correctly after fault injection + repair —
+// the full self-stabilization story.
+func TestProtocolRunsCorrectlyAfterRepair(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(24)
+		tr := tree.BalancedBinary(n)
+		// Corrupt a legal state.
+		links := legalLinks(tr, 0)
+		for k := 0; k < n/3; k++ {
+			v := rng.Intn(n)
+			links[v] = graph.NodeID(rng.Intn(n))
+		}
+		res, err := Repair(tr, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Run the protocol from the repaired configuration: the repaired
+		// sink acts as the root.
+		set := workload.Poisson(n, 0.5, 40, seed)
+		if len(set) == 0 {
+			continue
+		}
+		out, err := arrow.Run(tr, set, arrow.Options{Root: res.Sink})
+		if err != nil {
+			t.Fatalf("seed %d: protocol failed after repair: %v", seed, err)
+		}
+		if !queuing.ValidOrder(out.Order, len(set)) {
+			t.Fatalf("seed %d: invalid order after repair", seed)
+		}
+	}
+}
+
+func TestRepairRejectsSizeMismatch(t *testing.T) {
+	tr := tree.PathTree(4)
+	if _, err := Repair(tr, make([]graph.NodeID, 2)); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}
+
+func TestSinks(t *testing.T) {
+	links := []graph.NodeID{0, 0, 2, 2}
+	s := Sinks(links)
+	if len(s) != 2 || s[0] != 0 || s[1] != 2 {
+		t.Errorf("sinks = %v, want [0 2]", s)
+	}
+}

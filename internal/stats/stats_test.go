@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryKnownSample(t *testing.T) {
+	s := Of([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("std = %f, want sqrt(2)", s.Std)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := Of(nil)
+	if s.Count != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarySingleValue(t *testing.T) {
+	s := Of([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P99 != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestOfIntsMatchesFloats(t *testing.T) {
+	a := OfInts([]int64{3, 1, 4, 1, 5})
+	b := Of([]float64{3, 1, 4, 1, 5})
+	if a != b {
+		t.Errorf("int summary %+v != float summary %+v", a, b)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if p := Percentile(sorted, 50); p != 5 {
+		t.Errorf("p50 of {0,10} = %f, want 5", p)
+	}
+	if p := Percentile(sorted, 0); p != 0 {
+		t.Errorf("p0 = %f", p)
+	}
+	if p := Percentile(sorted, 100); p != 10 {
+		t.Errorf("p100 = %f", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %f", p)
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if m := Mean([]float64{2, 4, 6}); m != 4 {
+		t.Errorf("mean = %f", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("empty mean = %f", m)
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-9 {
+		t.Errorf("geomean = %f, want 2", g)
+	}
+	if g := GeoMean([]float64{1, -1}); g != 0 {
+		t.Errorf("geomean with negatives = %f, want 0", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("empty geomean = %f", g)
+	}
+}
+
+// Property: min <= percentile(p) <= max for sorted samples and monotone
+// percentiles.
+func TestPercentileMonotone(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev || v < xs[0] || v > xs[len(xs)-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBounded(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Of(xs)
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package trace records and renders arrow protocol executions, rebuilding
+// the style of Figures 1–6 of the paper as ASCII: the pointer state of the
+// spanning tree after each protocol step, plus a chronological event log.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// EventKind discriminates recorded protocol steps.
+type EventKind int
+
+const (
+	// EvInit is the initial configuration snapshot.
+	EvInit EventKind = iota
+	// EvRequest is a queuing request initiation.
+	EvRequest
+	// EvSend is a queue-message transmission.
+	EvSend
+	// EvFlip is a link-pointer reversal.
+	EvFlip
+	// EvComplete is a queuing completion (predecessor found).
+	EvComplete
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvInit:
+		return "init"
+	case EvRequest:
+		return "request"
+	case EvSend:
+		return "send"
+	case EvFlip:
+		return "flip"
+	case EvComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one recorded protocol step.
+type Event struct {
+	At    sim.Time
+	Kind  EventKind
+	Node  graph.NodeID // acting node (requester / sender / flipper / sink)
+	Peer  graph.NodeID // message destination or old link target
+	New   graph.NodeID // new link target (flip events)
+	ReqID int
+	Pred  int
+}
+
+// Recorder implements arrow.Tracer, recording events and pointer
+// snapshots.
+type Recorder struct {
+	t      *tree.Tree
+	root   graph.NodeID
+	events []Event
+	links  []graph.NodeID
+	// Snapshots holds the link state after every flip, aligned with the
+	// indices of flip events in Events.
+	snapshots [][]graph.NodeID
+}
+
+// NewRecorder returns an empty Recorder; pass it as arrow.Options.Tracer.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Events returns the recorded event log.
+func (r *Recorder) Events() []Event { return r.events }
+
+// OnInit implements arrow.Tracer.
+func (r *Recorder) OnInit(t *tree.Tree, root graph.NodeID) {
+	r.t = t
+	r.root = root
+	r.links = make([]graph.NodeID, t.NumNodes())
+	for v := range r.links {
+		node := graph.NodeID(v)
+		if node == root {
+			r.links[v] = node
+		} else {
+			r.links[v] = t.NextHop(node, root)
+		}
+	}
+	r.events = append(r.events, Event{Kind: EvInit, Node: root})
+	r.snapshot()
+}
+
+// OnRequest implements arrow.Tracer.
+func (r *Recorder) OnRequest(at sim.Time, req queuing.Request) {
+	r.events = append(r.events, Event{At: at, Kind: EvRequest, Node: req.Node, ReqID: req.ID})
+}
+
+// OnSend implements arrow.Tracer.
+func (r *Recorder) OnSend(at sim.Time, from, to graph.NodeID, reqID int) {
+	r.events = append(r.events, Event{At: at, Kind: EvSend, Node: from, Peer: to, ReqID: reqID})
+}
+
+// OnFlip implements arrow.Tracer.
+func (r *Recorder) OnFlip(at sim.Time, node, oldLink, newLink graph.NodeID) {
+	r.links[node] = newLink
+	r.events = append(r.events, Event{At: at, Kind: EvFlip, Node: node, Peer: oldLink, New: newLink})
+	r.snapshot()
+}
+
+// OnComplete implements arrow.Tracer.
+func (r *Recorder) OnComplete(at sim.Time, reqID, predID int, sink graph.NodeID) {
+	r.events = append(r.events, Event{At: at, Kind: EvComplete, Node: sink, ReqID: reqID, Pred: predID})
+}
+
+func (r *Recorder) snapshot() {
+	r.snapshots = append(r.snapshots, append([]graph.NodeID(nil), r.links...))
+}
+
+// RenderLog formats the chronological event log, one step per line.
+func (r *Recorder) RenderLog() string {
+	var b strings.Builder
+	for _, e := range r.events {
+		switch e.Kind {
+		case EvInit:
+			fmt.Fprintf(&b, "t=%-4d init: all arrows point toward root v%d\n", 0, e.Node)
+		case EvRequest:
+			fmt.Fprintf(&b, "t=%-4d v%d issues request r%d\n", e.At, e.Node, e.ReqID)
+		case EvSend:
+			fmt.Fprintf(&b, "t=%-4d v%d --queue(r%d)--> v%d\n", e.At, e.Node, e.ReqID, e.Peer)
+		case EvFlip:
+			fmt.Fprintf(&b, "t=%-4d v%d flips arrow: v%d -> v%d\n", e.At, e.Node, e.Peer, e.New)
+		case EvComplete:
+			pred := "⊥ (virtual root)"
+			if e.Pred >= 0 {
+				pred = fmt.Sprintf("r%d", e.Pred)
+			}
+			fmt.Fprintf(&b, "t=%-4d r%d queued behind %s at v%d\n", e.At, e.ReqID, pred, e.Node)
+		}
+	}
+	return b.String()
+}
+
+// RenderArrows draws the current pointer configuration: one line per
+// node, "v3 -> v1" or "v3 = sink".
+func RenderArrows(links []graph.NodeID) string {
+	var b strings.Builder
+	for v, l := range links {
+		if graph.NodeID(v) == l {
+			fmt.Fprintf(&b, "  v%-3d = sink\n", v)
+		} else {
+			fmt.Fprintf(&b, "  v%-3d -> v%d\n", v, l)
+		}
+	}
+	return b.String()
+}
+
+// RenderSnapshots renders every intermediate pointer configuration,
+// separated by step headers — the Figures 1–5 sequence.
+func (r *Recorder) RenderSnapshots() string {
+	var b strings.Builder
+	for i, snap := range r.snapshots {
+		fmt.Fprintf(&b, "step %d:\n%s", i, RenderArrows(snap))
+	}
+	return b.String()
+}

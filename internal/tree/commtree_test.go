@@ -1,0 +1,168 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// bruteExpectedPairCost computes E[dT(U,V)] by direct double sum.
+func bruteExpectedPairCost(t *Tree, p []float64) float64 {
+	var total float64
+	for _, v := range p {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	var cost float64
+	for u := 0; u < t.NumNodes(); u++ {
+		for v := 0; v < t.NumNodes(); v++ {
+			cost += (p[u] / total) * (p[v] / total) * float64(t.Dist(graph.NodeID(u), graph.NodeID(v)))
+		}
+	}
+	return cost
+}
+
+func TestExpectedPairCostMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := graph.RandomGeometric(n, 0.5, 4, seed)
+		tr, err := BFS(g, 0)
+		if err != nil {
+			return false
+		}
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		fast := ExpectedPairCost(tr, p)
+		slow := bruteExpectedPairCost(tr, p)
+		diff := fast - slow
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedPairCostUniformOnPath(t *testing.T) {
+	// Uniform distribution on a path of n nodes: E[d(U,V)] = (n²−1)/(3n).
+	n := 9
+	tr := PathTree(n)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1
+	}
+	want := float64(n*n-1) / float64(3*n)
+	got := ExpectedPairCost(tr, p)
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("E[d] = %f, want %f", got, want)
+	}
+}
+
+func TestExpectedPairCostDegenerate(t *testing.T) {
+	tr := PathTree(5)
+	if c := ExpectedPairCost(tr, make([]float64, 5)); c != 0 {
+		t.Errorf("zero distribution cost = %f", c)
+	}
+	point := []float64{0, 0, 1, 0, 0}
+	if c := ExpectedPairCost(tr, point); c != 0 {
+		t.Errorf("point mass cost = %f, want 0", c)
+	}
+}
+
+func TestWeightedMedian(t *testing.T) {
+	g := graph.Path(9)
+	uniform := make([]float64, 9)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	if m := WeightedMedian(g, uniform); m != 4 {
+		t.Errorf("uniform median = %d, want 4", m)
+	}
+	skewed := make([]float64, 9)
+	skewed[8] = 100
+	skewed[0] = 1
+	if m := WeightedMedian(g, skewed); m != 8 {
+		t.Errorf("skewed median = %d, want 8", m)
+	}
+}
+
+func TestCommTreeImprovesOnSkewedDemand(t *testing.T) {
+	// A cycle with all demand on two adjacent nodes at positions 0 and
+	// n-1: the path tree (cut between them) is terrible; CommTree should
+	// put the tree cut elsewhere.
+	n := 16
+	g := graph.Cycle(n)
+	p := make([]float64, n)
+	p[0] = 1
+	p[n-1] = 1
+	ct, err := CommTree(g, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := PathTree(n) // dT(0, n-1) = n-1 on this tree
+	if got, worst := ExpectedPairCost(ct, p), ExpectedPairCost(bad, p); got >= worst {
+		t.Errorf("CommTree cost %f not below path-tree cost %f", got, worst)
+	}
+	// The optimal tree keeps 0 and n-1 adjacent: E[d] = 2·(1/2)·(1/2)·1.
+	if got := ExpectedPairCost(ct, p); got > 0.5+1e-9 {
+		t.Errorf("CommTree cost %f, want 0.5 (nodes kept adjacent)", got)
+	}
+}
+
+func TestCommTreeNeverWorseThanSPT(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(16)
+		g := graph.GNP(n, 0.4, seed)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64() * rng.Float64() // skewed
+		}
+		median := WeightedMedian(g, p)
+		spt, err := ShortestPathTree(g, median)
+		if err != nil {
+			return false
+		}
+		ct, err := CommTree(g, p, 4)
+		if err != nil {
+			return false
+		}
+		return ExpectedPairCost(ct, p) <= ExpectedPairCost(spt, p)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommTreeIsValidSpanningTree(t *testing.T) {
+	g := graph.Grid(4, 4)
+	p := make([]float64, 16)
+	for i := range p {
+		p[i] = float64(i + 1)
+	}
+	ct, err := CommTree(g, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 16; v++ {
+		node := graph.NodeID(v)
+		if node == ct.Root() {
+			continue
+		}
+		if !g.HasEdge(node, ct.Parent(node)) {
+			t.Errorf("tree edge (%d,%d) not in graph", node, ct.Parent(node))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+)
+
+// WriteCSV serializes a request set as CSV with a header row
+// (node,time), one request per line. Together with ReadCSV it makes
+// experiment workloads portable and reproducible across runs and tools.
+func WriteCSV(w io.Writer, set queuing.Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "time"}); err != nil {
+		return fmt.Errorf("workload: writing header: %w", err)
+	}
+	for _, r := range set {
+		rec := []string{
+			strconv.FormatInt(int64(r.Node), 10),
+			strconv.FormatInt(r.Time, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing request %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a request set written by WriteCSV (or by hand). The
+// result is normalized with queuing.NewSet. numNodes bounds the node IDs;
+// pass 0 to skip validation.
+func ReadCSV(r io.Reader, numNodes int) (queuing.Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("workload: empty csv")
+	}
+	if records[0][0] != "node" || records[0][1] != "time" {
+		return nil, fmt.Errorf("workload: missing header row, got %v", records[0])
+	}
+	reqs := make([]queuing.Request, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		node, err := strconv.ParseInt(rec[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad node %q", i+2, rec[0])
+		}
+		t, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad time %q", i+2, rec[1])
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative time %d", i+2, t)
+		}
+		reqs = append(reqs, queuing.Request{Node: graph.NodeID(node), Time: sim.Time(t)})
+	}
+	set := queuing.NewSet(reqs)
+	if numNodes > 0 {
+		if err := set.Validate(numNodes); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}

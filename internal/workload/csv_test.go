@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	set := Poisson(16, 0.5, 100, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(set) {
+		t.Fatalf("round trip size %d != %d", len(got), len(set))
+	}
+	for i := range set {
+		if got[i] != set[i] {
+			t.Fatalf("request %d: %v != %v", i, got[i], set[i])
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		n := 4 + int(seed%12+12)%12
+		set := Bursty(n, 3, 2, 10, seed)
+		var buf bytes.Buffer
+		if WriteCSV(&buf, set) != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf, n)
+		if err != nil || len(got) != len(set) {
+			return false
+		}
+		for i := range set {
+			if got[i] != set[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no-header", "1,2\n"},
+		{"bad-node", "node,time\nx,1\n"},
+		{"bad-time", "node,time\n1,y\n"},
+		{"negative-time", "node,time\n1,-5\n"},
+		{"wrong-fields", "node,time\n1\n"},
+		{"node-out-of-range", "node,time\n99,0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in), 8); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadCSVHandEdited(t *testing.T) {
+	in := "node,time\n3,10\n1,0\n3,5\n"
+	set, err := ReadCSV(strings.NewReader(in), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewSet normalization sorts by time.
+	if set[0].Node != 1 || set[1].Time != 5 || set[2].Time != 10 {
+		t.Errorf("normalization wrong: %v", set)
+	}
+}

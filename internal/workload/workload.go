@@ -1,0 +1,123 @@
+// Package workload generates the request sets driving the experiments:
+// the concurrency regimes discussed in the paper (one-shot simultaneous
+// requests, sequential well-spaced requests, dynamic arrivals) and the
+// adversarial recursive instance of Theorem 4.1.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+)
+
+// OneShot returns k simultaneous requests (all at t = 0) at k distinct
+// random nodes of an n-node network — the setting of the PODC'01
+// precursor paper [10]. k must be at most n.
+func OneShot(n, k int, seed int64) queuing.Set {
+	if k > n {
+		panic("workload: more one-shot requests than nodes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	reqs := make([]queuing.Request, k)
+	for i := 0; i < k; i++ {
+		reqs[i] = queuing.Request{Node: graph.NodeID(perm[i]), Time: 0}
+	}
+	return queuing.NewSet(reqs)
+}
+
+// Sequential returns count requests at random nodes spaced gap time units
+// apart. With gap > 2D no two requests are concurrently active, which is
+// the sequential regime of Demmer–Herlihy: per-operation cost <= D and
+// competitive ratio <= s.
+func Sequential(n, count int, gap sim.Time, seed int64) queuing.Set {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]queuing.Request, count)
+	for i := range reqs {
+		reqs[i] = queuing.Request{
+			Node: graph.NodeID(rng.Intn(n)),
+			Time: sim.Time(i) * gap,
+		}
+	}
+	return queuing.NewSet(reqs)
+}
+
+// Poisson returns requests arriving as a Poisson process of the given
+// rate (expected requests per time unit) over [0, horizon), each at a
+// uniformly random node. The returned set size is random; use the seed to
+// reproduce it.
+func Poisson(n int, rate float64, horizon sim.Time, seed int64) queuing.Set {
+	if rate <= 0 {
+		panic("workload: rate must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var reqs []queuing.Request
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / rate
+		if sim.Time(t) >= horizon {
+			break
+		}
+		reqs = append(reqs, queuing.Request{
+			Node: graph.NodeID(rng.Intn(n)),
+			Time: sim.Time(t),
+		})
+	}
+	return queuing.NewSet(reqs)
+}
+
+// Bursty returns `bursts` bursts of burstSize near-simultaneous requests
+// (random nodes, jitter in [0, burstSize)), with consecutive bursts
+// separated by burstGap. High-contention phases alternating with silence —
+// the regime Lemma 3.11's time-shifting argument addresses.
+func Bursty(n, burstSize, bursts int, burstGap sim.Time, seed int64) queuing.Set {
+	rng := rand.New(rand.NewSource(seed))
+	var reqs []queuing.Request
+	for b := 0; b < bursts; b++ {
+		base := sim.Time(b) * burstGap
+		for i := 0; i < burstSize; i++ {
+			reqs = append(reqs, queuing.Request{
+				Node: graph.NodeID(rng.Intn(n)),
+				Time: base + sim.Time(rng.Intn(burstSize)),
+			})
+		}
+	}
+	return queuing.NewSet(reqs)
+}
+
+// Hotspot returns count requests over [0, horizon) where a fraction
+// hotFrac of requests hit a single hot node and the rest are uniform.
+// Models contended shared objects (e.g. a hot lock).
+func Hotspot(n, count int, hotFrac float64, horizon sim.Time, seed int64) queuing.Set {
+	if hotFrac < 0 || hotFrac > 1 {
+		panic("workload: hotFrac must be in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hot := graph.NodeID(rng.Intn(n))
+	reqs := make([]queuing.Request, count)
+	for i := range reqs {
+		node := hot
+		if rng.Float64() >= hotFrac {
+			node = graph.NodeID(rng.Intn(n))
+		}
+		reqs[i] = queuing.Request{Node: node, Time: sim.Time(rng.Int63n(int64(horizon)))}
+	}
+	return queuing.NewSet(reqs)
+}
+
+// TwoNodePingPong returns count alternating requests from the two
+// endpoints of a diameter path, spaced gap apart. The workload of the
+// Ω(s) part of Theorem 4.1's lower bound.
+func TwoNodePingPong(u, v graph.NodeID, count int, gap sim.Time) queuing.Set {
+	reqs := make([]queuing.Request, count)
+	for i := range reqs {
+		node := u
+		if i%2 == 1 {
+			node = v
+		}
+		reqs[i] = queuing.Request{Node: node, Time: sim.Time(i) * gap}
+	}
+	return queuing.NewSet(reqs)
+}
