@@ -9,15 +9,16 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	gort "runtime"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/arrow"
 	"repro/internal/centralized"
 	"repro/internal/directory"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ivy"
-	"repro/internal/nta"
 	"repro/internal/opt"
 	"repro/internal/queuing"
 	"repro/internal/runtime"
@@ -250,34 +251,77 @@ func BenchmarkAsyncModels(b *testing.B) {
 	}
 }
 
-// BenchmarkBaselines compares the three queuing protocols end to end on
-// an identical workload.
+// BenchmarkBaselines compares the engine's four queuing protocols end to
+// end on an identical workload, each through its engine adapter.
 func BenchmarkBaselines(b *testing.B) {
 	const n = 48
-	g := graph.Complete(n)
-	t := tree.BalancedBinary(n)
-	set := workload.Poisson(n, 1.0, 200, 1)
-	b.Run("arrow", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := arrow.Run(t, set, arrow.Options{Root: 0}); err != nil {
-				b.Fatal(err)
+	inst := engine.Instance{
+		Graph:    graph.Complete(n),
+		Tree:     tree.BalancedBinary(n),
+		Root:     0,
+		Workload: engine.Static(workload.Poisson(n, 1.0, 200, 1)),
+	}
+	for _, p := range []engine.Protocol{
+		engine.Arrow{}, engine.NTA{}, engine.Centralized{}, engine.Ivy{},
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(inst); err != nil {
+					b.Fatal(err)
+				}
 			}
+		})
+	}
+}
+
+// BenchmarkSweepSP2 measures the parallel experiment runner on the
+// Figure 10/11 grid: the same cells at workers=1 (sequential) and
+// workers=GOMAXPROCS. The speedup is the engine.Sweep acceptance metric;
+// results are identical at every worker count (see engine's tests).
+func BenchmarkSweepSP2(b *testing.B) {
+	ns := []int{2, 4, 8, 16, 24, 32, 48, 64}
+	const perNode = 400
+	workerCounts := []int{1}
+	if p := gort.GOMAXPROCS(0); p > 1 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				outs := engine.Sweep(analysis.SP2Grid(ns, perNode, 1), w)
+				if err := engine.FirstError(outs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimSendDispatch measures the simulator's send/dispatch hot
+// path — run with -benchmem: the value-typed event heap and dense
+// per-link FIFO state make a steady-state message send allocation-free.
+func BenchmarkSimSendDispatch(b *testing.B) {
+	t := tree.BalancedBinary(1023)
+	leaves := make([]graph.NodeID, 0, 512)
+	for v := 511; v < 1023; v++ {
+		leaves = append(leaves, graph.NodeID(v))
+	}
+	b.ReportAllocs()
+	s := sim.New(sim.Config{Topology: sim.TreeTopology{T: t}})
+	remaining := b.N
+	s.SetAllHandlers(func(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
+		if remaining > 0 {
+			remaining--
+			ctx.Send(at, from, msg) // ping-pong across the leaf-parent link
 		}
 	})
-	b.Run("nta", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := nta.Run(g, set, nta.Options{Root: 0}); err != nil {
-				b.Fatal(err)
-			}
+	s.ScheduleAt(0, func(ctx *sim.Context) {
+		for _, v := range leaves {
+			ctx.Send(v, t.Parent(v), sim.Message(nil))
 		}
 	})
-	b.Run("centralized", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := centralized.Run(g, set, centralized.Options{Center: 0}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	b.ResetTimer()
+	s.Run()
 }
 
 // BenchmarkTreeDistance measures the LCA-based dT query, the analysis

@@ -14,7 +14,7 @@
 //	arrowbench -exp async        # Section 3.8 asynchronous models
 //	arrowbench -exp stretch      # Theorem 4.2 shortcut gadget
 //	arrowbench -exp nnapprox     # Theorem 3.18 NN-vs-optimal sweep
-//	arrowbench -exp baselines    # arrow vs NTA vs centralized on one workload
+//	arrowbench -exp baselines    # arrow vs NTA vs centralized vs Ivy on one workload
 //	arrowbench -exp oneshot      # PODC'01 one-shot regime: ratio vs s log |R|
 //	arrowbench -exp directory    # arrow directory vs home-based (Herlihy–Warres)
 //	arrowbench -exp commtree     # Peleg–Reshef demand-aware tree selection
@@ -24,7 +24,11 @@
 // The -pernode, -seed and -sizes flags scale the Section 5 experiments;
 // the paper used 100,000 requests per processor on up to 76 processors,
 // which this harness reproduces shape-exactly at smaller default sizes
-// (pass -pernode 100000 for the full run).
+// (pass -pernode 100000 for the full run). The heavyweight sweeps
+// (fig10/fig11, adversarial, ratio, baselines) fan their cells across
+// -workers simulator workers (default GOMAXPROCS); the remaining
+// experiments always use GOMAXPROCS. Results are identical for every
+// worker count.
 package main
 
 import (
@@ -35,14 +39,11 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
-	"repro/internal/centralized"
+	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/nta"
 	"repro/internal/opt"
 	"repro/internal/tree"
 	"repro/internal/workload"
-
-	arrowproto "repro/internal/arrow"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 	perNode := flag.Int("pernode", 2000, "closed-loop requests per node (paper: 100000)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	sizes := flag.String("sizes", "2,4,8,16,24,32,48,64,76", "comma-separated node counts for fig10/fig11")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	ns, err := parseSizes(*sizes)
@@ -57,18 +59,18 @@ func main() {
 		fatal(err)
 	}
 	experiments := map[string]func() error{
-		"fig10":       func() error { return runSP2(ns, *perNode, *seed, true, false) },
-		"fig11":       func() error { return runSP2(ns, *perNode, *seed, false, true) },
+		"fig10":       func() error { return runSP2(ns, *perNode, *seed, *workers, true, false) },
+		"fig11":       func() error { return runSP2(ns, *perNode, *seed, *workers, false, true) },
 		"lowerbound":  func() error { return runLowerBound() },
-		"adversarial": func() error { return runAdversarial(*seed) },
-		"ratio":       func() error { return runRatio(*seed) },
+		"adversarial": func() error { return runAdversarial(*seed, *workers) },
+		"ratio":       func() error { return runRatio(*seed, *workers) },
 		"sequential":  func() error { return runSequential(*seed) },
 		"trees":       func() error { return runTrees(*seed) },
 		"arbitration": func() error { return runArbitration(*seed) },
 		"async":       func() error { return runAsync(*seed) },
 		"stretch":     func() error { return runStretch() },
 		"nnapprox":    func() error { return runNNApprox(*seed) },
-		"baselines":   func() error { return runBaselines(*seed) },
+		"baselines":   func() error { return runBaselines(*seed, *workers) },
 		"oneshot":     func() error { return runOneShot(*seed) },
 		"directory":   func() error { return runDirectory(*seed) },
 		"commtree":    func() error { return runCommTree(*seed) },
@@ -82,7 +84,7 @@ func main() {
 		}
 		for _, name := range order {
 			if name == "fig10" {
-				if err := runSP2(ns, *perNode, *seed, true, true); err != nil {
+				if err := runSP2(ns, *perNode, *seed, *workers, true, true); err != nil {
 					fatal(err)
 				}
 				continue
@@ -122,8 +124,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runSP2(ns []int, perNode int, seed int64, fig10, fig11 bool) error {
-	rows, err := analysis.SP2Experiment(ns, perNode, seed)
+func runSP2(ns []int, perNode int, seed int64, workers int, fig10, fig11 bool) error {
+	rows, err := analysis.SP2ExperimentWorkers(ns, perNode, seed, workers)
 	if err != nil {
 		return err
 	}
@@ -148,28 +150,20 @@ func runLowerBound() error {
 	return nil
 }
 
-func runAdversarial(seed int64) error {
-	var results []analysis.AdversarialResult
-	for _, d := range []int{8, 16, 32, 64, 128} {
-		r, err := analysis.AdversarialSearch(d, 10, 600, seed)
-		if err != nil {
-			return err
-		}
-		results = append(results, r)
+func runAdversarial(seed int64, workers int) error {
+	results, err := analysis.AdversarialSweep([]int{8, 16, 32, 64, 128}, 10, 600, seed, workers)
+	if err != nil {
+		return err
 	}
 	fmt.Print(analysis.AdversarialTable(results).Render())
 	fmt.Println()
 	return nil
 }
 
-func runRatio(seed int64) error {
-	var rows []analysis.RatioRow
-	for _, cfg := range analysis.DefaultRatioConfigs(seed) {
-		row, err := analysis.MeasureRatio(cfg)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, row)
+func runRatio(seed int64, workers int) error {
+	rows, err := analysis.MeasureRatios(analysis.DefaultRatioConfigs(seed), workers)
+	if err != nil {
+		return err
 	}
 	fmt.Print(analysis.RatioTable("Theorem 3.19 — measured competitive ratio vs O(s log D)", rows).Render())
 	fmt.Println()
@@ -263,9 +257,10 @@ func runDirectory(seed int64) error {
 	return nil
 }
 
-// runBaselines compares arrow against NTA and the centralized protocol on
-// one shared dynamic workload over a complete graph.
-func runBaselines(seed int64) error {
+// runBaselines compares every protocol the engine knows — arrow, NTA,
+// centralized and Ivy — on one shared dynamic workload over a complete
+// graph, as a single parallel sweep.
+func runBaselines(seed int64, workers int) error {
 	const n = 48
 	g := graph.Complete(n)
 	t := tree.BalancedBinary(n)
@@ -273,16 +268,18 @@ func runBaselines(seed int64) error {
 	if len(set) == 0 {
 		return fmt.Errorf("empty workload")
 	}
-	ar, err := arrowproto.Run(t, set, arrowproto.Options{Root: 0, Seed: seed})
-	if err != nil {
-		return err
+	inst := engine.Instance{
+		Label:    fmt.Sprintf("complete%d", n),
+		Graph:    g,
+		Tree:     t,
+		Root:     0,
+		Workload: engine.Static(set),
+		Seed:     seed,
 	}
-	nt, err := nta.Run(g, set, nta.Options{Root: 0, Seed: seed})
-	if err != nil {
-		return err
-	}
-	ce, err := centralized.Run(g, set, centralized.Options{Center: 0, Seed: seed})
-	if err != nil {
+	cells := engine.Grid([]engine.Instance{inst},
+		engine.Arrow{}, engine.NTA{}, engine.Centralized{}, engine.Ivy{})
+	outs := engine.Sweep(cells, workers)
+	if err := engine.FirstError(outs); err != nil {
 		return err
 	}
 	bounds := opt.Compute(g, 0, set, opt.DistOfGraph(g))
@@ -294,9 +291,9 @@ func runBaselines(seed int64) error {
 		Title:   fmt.Sprintf("Baselines — complete graph n=%d, |R|=%d Poisson requests", n, len(set)),
 		Headers: []string{"protocol", "total latency", "messages", "makespan", "ratio vs opt bound"},
 	}
-	tbl.AddRow("arrow", ar.TotalLatency, ar.TotalHops, ar.Makespan, opt.Ratio(ar.TotalLatency, den))
-	tbl.AddRow("nta", nt.TotalLatency, nt.TotalHops, nt.Makespan, opt.Ratio(nt.TotalLatency, den))
-	tbl.AddRow("centralized", ce.TotalLatency, ce.TotalHops, ce.Makespan, opt.Ratio(ce.TotalLatency, den))
+	for _, c := range engine.Costs(outs) {
+		tbl.AddRow(c.Protocol, c.TotalLatency, c.QueueHops, c.Makespan, opt.Ratio(c.TotalLatency, den))
+	}
 	fmt.Print(tbl.Render())
 	fmt.Println()
 	return nil

@@ -6,6 +6,6 @@
 // benchmark per paper table/figure plus ablations) and cross-module
 // integration tests; the implementation lives under internal/ and the
 // runnable entry points under cmd/ and examples/. Start with README.md
-// for the architecture overview, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// for the architecture overview and DESIGN.md for the system inventory
+// and per-experiment index.
 package repro

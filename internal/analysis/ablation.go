@@ -3,7 +3,7 @@ package analysis
 import (
 	"fmt"
 
-	"repro/internal/arrow"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/opt"
 	"repro/internal/queuing"
@@ -25,7 +25,7 @@ type TreeChoiceRow struct {
 }
 
 // TreeChoiceExperiment runs the same workload on a complete graph under
-// several spanning trees.
+// several spanning trees; the per-tree cells run as one parallel sweep.
 func TreeChoiceExperiment(n, requests int, seed int64) ([]TreeChoiceRow, error) {
 	g := graph.Complete(n)
 	set := workload.Poisson(n, 0.5, sim.Time(4*requests), seed)
@@ -38,23 +38,37 @@ func TreeChoiceExperiment(n, requests int, seed int64) ([]TreeChoiceRow, error) 
 		den = bounds.Lower
 	}
 	kinds := []TreeKind{TreeBalancedBinary, TreeMST, TreeBFS, TreeStar, TreePath}
-	rows := make([]TreeChoiceRow, 0, len(kinds))
-	for _, kind := range kinds {
+	trees := make([]*tree.Tree, len(kinds))
+	instances := make([]engine.Instance, len(kinds))
+	for i, kind := range kinds {
 		t, err := BuildTree(kind, g)
 		if err != nil {
 			return nil, err
 		}
-		res, err := arrow.Run(t, set, arrow.Options{Root: t.Root(), Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("analysis: tree %v: %w", kind, err)
+		trees[i] = t
+		instances[i] = engine.Instance{
+			Label:    kind.String(),
+			Graph:    g,
+			Tree:     t,
+			Root:     t.Root(),
+			Workload: engine.Static(set),
+			Seed:     seed,
 		}
+	}
+	outs := engine.Sweep(engine.Grid(instances, engine.Arrow{}), 0)
+	if err := engine.FirstError(outs); err != nil {
+		return nil, fmt.Errorf("analysis: tree ablation: %w", err)
+	}
+	rows := make([]TreeChoiceRow, 0, len(kinds))
+	for i, kind := range kinds {
+		cost := outs[i].Cost
 		rows = append(rows, TreeChoiceRow{
 			Tree:      kind.String(),
-			S:         t.EdgeStretch(g),
-			D:         t.Diameter(),
-			CostArrow: res.TotalLatency,
-			AvgHops:   float64(res.TotalHops) / float64(len(set)),
-			Ratio:     opt.Ratio(res.TotalLatency, den),
+			S:         trees[i].EdgeStretch(g),
+			D:         trees[i].Diameter(),
+			CostArrow: cost.TotalLatency,
+			AvgHops:   cost.AvgQueueHops(),
+			Ratio:     opt.Ratio(cost.TotalLatency, den),
 		})
 	}
 	return rows, nil
@@ -100,24 +114,37 @@ func AsyncExperiment(n, requests int, scale int64, seed int64) ([]AsyncRow, erro
 		sim.AsyncUniform(scale),
 		sim.AsyncBimodal(scale, 0.1),
 	}
+	// Scale request times to the model's time base so concurrency
+	// structure is preserved.
+	scaled := make([]queuing.Request, len(set))
+	for i, r := range set {
+		scaled[i] = queuing.Request{Node: r.Node, Time: r.Time * scale}
+	}
+	sset := queuing.NewSet(scaled)
+	instances := make([]engine.Instance, len(models))
+	for i, m := range models {
+		instances[i] = engine.Instance{
+			Label:    m.Name(),
+			Graph:    g,
+			Tree:     t,
+			Root:     0,
+			Workload: engine.Static(sset),
+			Latency:  m,
+			Seed:     seed,
+		}
+	}
+	outs := engine.Sweep(engine.Grid(instances, engine.Arrow{}), 0)
+	if err := engine.FirstError(outs); err != nil {
+		return nil, fmt.Errorf("analysis: async ablation: %w", err)
+	}
 	rows := make([]AsyncRow, 0, len(models))
-	for _, m := range models {
-		// Scale request times to the model's time base so concurrency
-		// structure is preserved.
-		scaled := make([]queuing.Request, len(set))
-		for i, r := range set {
-			scaled[i] = queuing.Request{Node: r.Node, Time: r.Time * scale}
-		}
-		sset := queuing.NewSet(scaled)
-		res, err := arrow.Run(t, sset, arrow.Options{Root: 0, Latency: m, Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("analysis: async model %s: %w", m.Name(), err)
-		}
-		norm := float64(res.TotalLatency) / float64(scale)
+	for i, m := range models {
+		cost := outs[i].Cost
+		norm := float64(cost.TotalLatency) / float64(scale)
 		rows = append(rows, AsyncRow{
 			Model:          m.Name(),
 			Scale:          scale,
-			CostArrow:      res.TotalLatency,
+			CostArrow:      cost.TotalLatency,
 			NormalizedCost: norm,
 			Ratio:          norm / float64(max(den, 1)),
 		})
@@ -147,21 +174,32 @@ type ArbitrationRow struct {
 }
 
 // ArbitrationExperiment runs one high-contention instance under all
-// arbitration policies.
+// arbitration policies, as one parallel sweep.
 func ArbitrationExperiment(n int, seed int64) ([]ArbitrationRow, error) {
 	t := tree.BalancedBinary(n)
 	set := workload.OneShot(n, n/2, seed)
 	arbs := []sim.Arbitration{sim.ArbFIFO, sim.ArbLIFO, sim.ArbRandom}
-	rows := make([]ArbitrationRow, 0, len(arbs))
-	for _, a := range arbs {
-		res, err := arrow.Run(t, set, arrow.Options{Root: 0, Arbitration: a, Seed: seed})
-		if err != nil {
-			return nil, err
+	instances := make([]engine.Instance, len(arbs))
+	for i, a := range arbs {
+		instances[i] = engine.Instance{
+			Label:       a.String(),
+			Tree:        t,
+			Root:        0,
+			Workload:    engine.Static(set),
+			Arbitration: a,
+			Seed:        seed,
 		}
+	}
+	outs := engine.Sweep(engine.Grid(instances, engine.Arrow{}), 0)
+	if err := engine.FirstError(outs); err != nil {
+		return nil, err
+	}
+	rows := make([]ArbitrationRow, 0, len(arbs))
+	for i, a := range arbs {
 		rows = append(rows, ArbitrationRow{
 			Arbitration: a.String(),
-			CostArrow:   res.TotalLatency,
-			TotalHops:   res.TotalHops,
+			CostArrow:   outs[i].Cost.TotalLatency,
+			TotalHops:   outs[i].Cost.QueueHops,
 		})
 	}
 	return rows, nil
@@ -194,36 +232,44 @@ type StretchRow struct {
 // StretchExperiment builds PathWithShortcuts(D, s) for each s, places the
 // Theorem 4.1 instance on the multiples of s (exactly the Theorem 4.2
 // construction), and measures the ratio growth ~ s·log(D/s)/loglog(D/s).
+// Stretches run in parallel.
 func StretchExperiment(logDOverS int, stretches []int) ([]StretchRow, error) {
-	rows := make([]StretchRow, 0, len(stretches))
-	for _, s := range stretches {
+	rows := make([]StretchRow, len(stretches))
+	err := engine.ParallelMapErr(len(stretches), 0, func(i int) error {
+		s := stretches[i]
 		inner := workload.LowerBound(logDOverS, workload.DefaultK(1<<logDOverS))
 		d := inner.D * s
 		g := graph.PathWithShortcuts(d, s)
 		t := tree.PathTree(d + 1)
 		// Map request at path-P' node i to node i*s on the long path.
 		mapped := make([]queuing.Request, len(inner.Set))
-		for i, r := range inner.Set {
-			mapped[i] = queuing.Request{
+		for j, r := range inner.Set {
+			mapped[j] = queuing.Request{
 				Node: graph.NodeID(int(r.Node) * s),
 				Time: r.Time * sim.Time(s),
 			}
 		}
 		set := queuing.NewSet(mapped)
-		res, err := arrow.Run(t, set, arrow.Options{Root: 0})
+		cost, err := engine.Arrow{}.Run(engine.Instance{
+			Graph: g, Tree: t, Root: 0, Workload: engine.Static(set),
+		})
 		if err != nil {
-			return nil, fmt.Errorf("analysis: stretch %d: %w", s, err)
+			return fmt.Errorf("analysis: stretch %d: %w", s, err)
 		}
 		bounds := opt.Compute(g, 0, set, opt.DistOfGraph(g))
-		rows = append(rows, StretchRow{
+		rows[i] = StretchRow{
 			S:         s,
 			D:         d,
 			K:         inner.K,
 			Requests:  len(set),
-			CostArrow: res.TotalLatency,
+			CostArrow: cost.TotalLatency,
 			OptUpper:  bounds.Upper,
-			Ratio:     opt.Ratio(res.TotalLatency, bounds.Upper),
-		})
+			Ratio:     opt.Ratio(cost.TotalLatency, bounds.Upper),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

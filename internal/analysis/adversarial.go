@@ -3,7 +3,7 @@ package analysis
 import (
 	"math/rand"
 
-	"repro/internal/arrow"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/opt"
 	"repro/internal/queuing"
@@ -37,7 +37,9 @@ func AdversarialSearch(d, nReq, iterations int, seed int64) (AdversarialResult, 
 	dg := opt.DistOfGraph(g)
 
 	score := func(set queuing.Set) (float64, error) {
-		res, err := arrow.Run(t, set, arrow.Options{Root: 0})
+		cost, err := engine.Arrow{}.Run(engine.Instance{
+			Graph: g, Tree: t, Root: 0, Workload: engine.Static(set),
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -49,7 +51,7 @@ func AdversarialSearch(d, nReq, iterations int, seed int64) (AdversarialResult, 
 		if den == 0 {
 			return 0, nil
 		}
-		return float64(res.TotalLatency) / float64(den), nil
+		return float64(cost.TotalLatency) / float64(den), nil
 	}
 	randomSet := func() queuing.Set {
 		reqs := make([]queuing.Request, nReq)
@@ -120,6 +122,23 @@ func AdversarialSearch(d, nReq, iterations int, seed int64) (AdversarialResult, 
 	result.BestRatio = bestScore
 	result.BestSet = best
 	return result, nil
+}
+
+// AdversarialSweep runs an independent AdversarialSearch per diameter
+// across a worker pool (0 = GOMAXPROCS). Each diameter's search is seeded
+// from its own derived seed, so results are deterministic and identical
+// for every worker count.
+func AdversarialSweep(ds []int, nReq, iterations int, seed int64, workers int) ([]AdversarialResult, error) {
+	results := make([]AdversarialResult, len(ds))
+	err := engine.ParallelMapErr(len(ds), workers, func(i int) error {
+		var err error
+		results[i], err = AdversarialSearch(ds[i], nReq, iterations, engine.DeriveSeed(seed, i))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // AdversarialTable formats search results across diameters.

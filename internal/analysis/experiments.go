@@ -5,7 +5,7 @@ import (
 	"math"
 
 	"repro/internal/arrow"
-	"repro/internal/centralized"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/opt"
 	"repro/internal/queuing"
@@ -32,29 +32,44 @@ type SP2Row struct {
 	LocalCompletions float64 // fraction of requests finding predecessors locally
 }
 
-// SP2Experiment reproduces Figures 10 and 11: for each n it runs the
-// closed-loop arrow and centralized protocols on a complete graph.
-func SP2Experiment(ns []int, perNode int, seed int64) ([]SP2Row, error) {
-	rows := make([]SP2Row, 0, len(ns))
+// SP2Grid builds the Figure 10/11 experiment cells: for each n, the
+// closed-loop arrow and centralized protocols on a complete graph with a
+// balanced binary spanning tree. Cells are in n-major order (arrow, then
+// centralized, per n).
+func SP2Grid(ns []int, perNode int, seed int64) []engine.Cell {
+	instances := make([]engine.Instance, 0, len(ns))
 	for _, n := range ns {
-		g := graph.Complete(n)
-		t := tree.BalancedBinary(n)
-		ar, err := arrow.RunClosedLoop(t, arrow.LoopConfig{
-			Root:    0,
-			PerNode: perNode,
-			Seed:    seed,
+		instances = append(instances, engine.Instance{
+			Label:    fmt.Sprintf("n=%d", n),
+			Graph:    graph.Complete(n),
+			Tree:     tree.BalancedBinary(n),
+			Root:     0,
+			Workload: engine.ClosedLoop(perNode, 0),
+			Seed:     seed,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("analysis: arrow closed loop n=%d: %w", n, err)
-		}
-		ce, err := centralized.RunClosedLoop(g, centralized.LoopConfig{
-			Center:  0,
-			PerNode: perNode,
-			Seed:    seed,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("analysis: centralized closed loop n=%d: %w", n, err)
-		}
+	}
+	return engine.Grid(instances, engine.Arrow{}, engine.Centralized{})
+}
+
+// SP2Experiment reproduces Figures 10 and 11: for each n it runs the
+// closed-loop arrow and centralized protocols on a complete graph. Cells
+// run in parallel across GOMAXPROCS workers; results are identical to a
+// sequential run.
+func SP2Experiment(ns []int, perNode int, seed int64) ([]SP2Row, error) {
+	return SP2ExperimentWorkers(ns, perNode, seed, 0)
+}
+
+// SP2ExperimentWorkers is SP2Experiment with an explicit worker count
+// (0 = GOMAXPROCS, 1 = sequential) — exposed so benchmarks can measure
+// the sweep speedup.
+func SP2ExperimentWorkers(ns []int, perNode int, seed int64, workers int) ([]SP2Row, error) {
+	outs := engine.Sweep(SP2Grid(ns, perNode, seed), workers)
+	if err := engine.FirstError(outs); err != nil {
+		return nil, fmt.Errorf("analysis: SP2 sweep: %w", err)
+	}
+	rows := make([]SP2Row, 0, len(ns))
+	for i, n := range ns {
+		ar, ce := outs[2*i].Cost, outs[2*i+1].Cost
 		rows = append(rows, SP2Row{
 			N:                n,
 			PerNode:          perNode,
@@ -113,28 +128,36 @@ type LowerBoundRow struct {
 }
 
 // LowerBoundSweep runs the Theorem 4.1 instance for each diameter
-// exponent, measuring how the arrow/optimal gap grows with D.
+// exponent, measuring how the arrow/optimal gap grows with D. The
+// diameters run in parallel.
 func LowerBoundSweep(logDs []int) ([]LowerBoundRow, error) {
-	rows := make([]LowerBoundRow, 0, len(logDs))
-	for _, logD := range logDs {
+	rows := make([]LowerBoundRow, len(logDs))
+	err := engine.ParallelMapErr(len(logDs), 0, func(i int) error {
+		logD := logDs[i]
 		inst := workload.LowerBound(logD, workload.DefaultK(1<<logD))
 		g := graph.Path(inst.D + 1)
 		t := tree.PathTree(inst.D + 1)
-		res, err := arrow.Run(t, inst.Set, arrow.Options{Root: inst.Root})
+		cost, err := engine.Arrow{}.Run(engine.Instance{
+			Graph: g, Tree: t, Root: inst.Root, Workload: engine.Static(inst.Set),
+		})
 		if err != nil {
-			return nil, fmt.Errorf("analysis: lower bound logD=%d: %w", logD, err)
+			return fmt.Errorf("analysis: lower bound logD=%d: %w", logD, err)
 		}
 		bounds := opt.Compute(g, inst.Root, inst.Set, opt.DistOfGraph(g))
-		rows = append(rows, LowerBoundRow{
+		rows[i] = LowerBoundRow{
 			LogD:      logD,
 			D:         inst.D,
 			K:         inst.K,
 			Requests:  len(inst.Set),
-			CostArrow: res.TotalLatency,
+			CostArrow: cost.TotalLatency,
 			OptUpper:  bounds.Upper,
 			OptLower:  bounds.Lower,
-			Ratio:     opt.Ratio(res.TotalLatency, bounds.Upper),
-		})
+			Ratio:     opt.Ratio(cost.TotalLatency, bounds.Upper),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -191,7 +214,14 @@ func MeasureRatio(cfg RatioConfig) (RatioRow, error) {
 	if err != nil {
 		return RatioRow{}, err
 	}
-	res, err := arrow.Run(t, cfg.Set, arrow.Options{Root: t.Root(), Seed: cfg.Seed})
+	cost, err := engine.Arrow{}.Run(engine.Instance{
+		Label:    cfg.Name,
+		Graph:    cfg.Graph,
+		Tree:     t,
+		Root:     t.Root(),
+		Workload: engine.Static(cfg.Set),
+		Seed:     cfg.Seed,
+	})
 	if err != nil {
 		return RatioRow{}, err
 	}
@@ -206,18 +236,33 @@ func MeasureRatio(cfg RatioConfig) (RatioRow, error) {
 		Requests:  len(cfg.Set),
 		S:         s,
 		D:         d,
-		CostArrow: res.TotalLatency,
+		CostArrow: cost.TotalLatency,
 		OptLower:  bounds.Lower,
 		OptUpper:  bounds.Upper,
 		Exact:     bounds.Exact,
 		Bound:     s * math.Log2(3*float64(max(d, 2))),
 	}
 	if bounds.Exact {
-		row.Ratio = opt.Ratio(res.TotalLatency, bounds.Lower)
+		row.Ratio = opt.Ratio(cost.TotalLatency, bounds.Lower)
 	} else {
-		row.Ratio = opt.Ratio(res.TotalLatency, bounds.Upper)
+		row.Ratio = opt.Ratio(cost.TotalLatency, bounds.Upper)
 	}
 	return row, nil
+}
+
+// MeasureRatios runs MeasureRatio for every configuration across a
+// worker pool (0 = GOMAXPROCS), returning rows in configuration order.
+func MeasureRatios(cfgs []RatioConfig, workers int) ([]RatioRow, error) {
+	rows := make([]RatioRow, len(cfgs))
+	err := engine.ParallelMapErr(len(cfgs), workers, func(i int) error {
+		var err error
+		rows[i], err = MeasureRatio(cfgs[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // RatioTable formats competitive-ratio measurements.
@@ -277,34 +322,41 @@ type SequentialRow struct {
 }
 
 // SequentialExperiment validates the sequential-case bounds on complete
-// graphs with balanced binary trees.
+// graphs with balanced binary trees. Node counts run in parallel.
 func SequentialExperiment(ns []int, requests int, seed int64) ([]SequentialRow, error) {
-	rows := make([]SequentialRow, 0, len(ns))
-	for _, n := range ns {
+	rows := make([]SequentialRow, len(ns))
+	err := engine.ParallelMapErr(len(ns), 0, func(i int) error {
+		n := ns[i]
 		g := graph.Complete(n)
 		t := tree.BalancedBinary(n)
 		d := t.Diameter()
 		set := workload.Sequential(n, requests, sim.Time(3*d+3), seed)
-		res, err := arrow.Run(t, set, arrow.Options{Root: 0})
+		cost, err := engine.Arrow{}.Run(engine.Instance{
+			Graph: g, Tree: t, Root: 0, Workload: engine.Static(set),
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// In the sequential regime every algorithm queues in time order;
 		// compare arrow's cost to the optimal cost of that order over G.
 		dg := opt.DistOfGraph(g)
 		timeOrder := make(queuing.Order, len(set))
-		for i := range timeOrder {
-			timeOrder[i] = i
+		for j := range timeOrder {
+			timeOrder[j] = j
 		}
 		optCost := queuing.OrderCost(set, 0, timeOrder, queuing.CO(dg))
-		rows = append(rows, SequentialRow{
+		rows[i] = SequentialRow{
 			N:        n,
 			D:        d,
 			S:        t.EdgeStretch(g),
 			Requests: len(set),
-			MaxHops:  res.MaxHops,
-			Ratio:    opt.Ratio(res.TotalLatency, optCost),
-		})
+			MaxHops:  cost.MaxHops,
+			Ratio:    opt.Ratio(cost.TotalLatency, optCost),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -3,8 +3,8 @@ package analysis
 import (
 	"math"
 
-	"repro/internal/arrow"
 	"repro/internal/directory"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/opt"
 	"repro/internal/tree"
@@ -29,37 +29,45 @@ type OneShotRow struct {
 }
 
 // OneShotExperiment sweeps request-set sizes on a complete graph with the
-// balanced binary tree, measuring the ratio against s·log|R|.
+// balanced binary tree, measuring the ratio against s·log|R|. Set sizes
+// run in parallel (the exact optimum dominates each cell's cost).
 func OneShotExperiment(n int, rs []int, seed int64) ([]OneShotRow, error) {
 	g := graph.Complete(n)
 	t := tree.BalancedBinary(n)
 	s := t.EdgeStretch(g)
 	d := t.Diameter()
 	dg := opt.DistOfGraph(g)
-	rows := make([]OneShotRow, 0, len(rs))
-	for _, r := range rs {
+	rows := make([]OneShotRow, len(rs))
+	err := engine.ParallelMapErr(len(rs), 0, func(i int) error {
+		r := rs[i]
 		set := workload.OneShot(n, r, seed+int64(r))
-		res, err := arrow.Run(t, set, arrow.Options{Root: 0})
+		cost, err := engine.Arrow{}.Run(engine.Instance{
+			Graph: g, Tree: t, Root: 0, Workload: engine.Static(set),
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bounds := opt.Compute(g, 0, set, dg)
 		den := bounds.Upper
 		if bounds.Exact {
 			den = bounds.Lower
 		}
-		rows = append(rows, OneShotRow{
+		rows[i] = OneShotRow{
 			N:        n,
 			R:        r,
 			S:        s,
 			D:        d,
-			Cost:     res.TotalLatency,
+			Cost:     cost.TotalLatency,
 			OptLower: bounds.Lower,
 			OptUpper: bounds.Upper,
 			Exact:    bounds.Exact,
-			Ratio:    opt.Ratio(res.TotalLatency, den),
+			Ratio:    opt.Ratio(cost.TotalLatency, den),
 			Bound:    s * math.Log2(float64(max(r, 2))),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

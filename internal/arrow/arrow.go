@@ -113,6 +113,10 @@ type state struct {
 	lastReq []int // id(v): last request issued by v; -1 = never (⊥)
 	hops    []int // per-request hop counter
 
+	// msgs holds one pre-boxed queue message per request: forwarding sends
+	// the same *queueMsg at every hop, so no per-send interface boxing.
+	msgs []queueMsg
+
 	completions []Completion
 	completed   int
 }
@@ -142,7 +146,11 @@ func Run(t *tree.Tree, set queuing.Set, opts Options) (*Result, error) {
 		link:        initialLinks(t, opts.Root),
 		lastReq:     make([]int, t.NumNodes()),
 		hops:        make([]int, len(set)),
+		msgs:        make([]queueMsg, len(set)),
 		completions: make([]Completion, len(set)),
+	}
+	for i := range st.msgs {
+		st.msgs[i].reqID = i
 	}
 	for i := range st.lastReq {
 		st.lastReq[i] = -1
@@ -237,13 +245,13 @@ func (st *state) initiate(ctx *sim.Context, req queuing.Request) {
 		tr.OnSend(ctx.Now(), v, target, req.ID)
 	}
 	st.hops[req.ID]++
-	ctx.Send(v, target, queueMsg{reqID: req.ID})
+	ctx.Send(v, target, &st.msgs[req.ID])
 }
 
 // handleMessage performs the atomic path-reversal step at a node
 // receiving queue(a).
 func (st *state) handleMessage(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
-	qm, ok := msg.(queueMsg)
+	qm, ok := msg.(*queueMsg)
 	if !ok {
 		panic(fmt.Sprintf("arrow: unexpected message %T", msg))
 	}
@@ -257,7 +265,7 @@ func (st *state) handleMessage(ctx *sim.Context, at, from graph.NodeID, msg sim.
 			tr.OnSend(ctx.Now(), at, next, qm.reqID)
 		}
 		st.hops[qm.reqID]++
-		ctx.Send(at, next, queueMsg{reqID: qm.reqID})
+		ctx.Send(at, next, qm)
 		return
 	}
 	// at was the sink: queue(a) found its predecessor id(at).

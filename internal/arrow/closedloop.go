@@ -88,6 +88,11 @@ type loopState struct {
 	origin    []graph.NodeID
 	hops      []int
 
+	// Pre-boxed messages, one per request: queue and reply forwarding pass
+	// the same pointer at every hop, avoiding per-send interface boxing.
+	msgs    []queueMsg
+	replies []loopReply
+
 	remaining []int
 	res       *LoopResult
 }
@@ -121,6 +126,11 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 	st.issueTime = make([]sim.Time, 0, total)
 	st.origin = make([]graph.NodeID, 0, total)
 	st.hops = make([]int, 0, total)
+	st.msgs = make([]queueMsg, total)
+	st.replies = make([]loopReply, total)
+	for i := range st.msgs {
+		st.msgs[i].reqID = i
+	}
 
 	s := sim.New(sim.Config{
 		Topology:    sim.TreeTopology{T: t},
@@ -166,21 +176,21 @@ func (st *loopState) issue(ctx *sim.Context, v graph.NodeID) {
 	st.lastReq[v] = reqID
 	st.link[v] = v
 	st.hops[reqID]++
-	ctx.Send(v, target, queueMsg{reqID: reqID})
+	ctx.Send(v, target, &st.msgs[reqID])
 }
 
 func (st *loopState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
 	switch m := msg.(type) {
-	case queueMsg:
+	case *queueMsg:
 		next := st.link[at]
 		st.link[at] = from
 		if next != at {
 			st.hops[m.reqID]++
-			ctx.Send(at, next, queueMsg{reqID: m.reqID})
+			ctx.Send(at, next, m)
 			return
 		}
 		st.completeAt(ctx, m.reqID, st.lastReq[at], at)
-	case loopReply:
+	case *loopReply:
 		if at == m.origin {
 			st.scheduleNext(ctx, at)
 			return
@@ -209,7 +219,8 @@ func (st *loopState) completeAt(ctx *sim.Context, reqID, predID int, sink graph.
 		return
 	}
 	st.res.ReplyHops++
-	ctx.Send(sink, st.t.NextHop(sink, origin), loopReply{origin: origin, reqID: reqID})
+	st.replies[reqID] = loopReply{origin: origin, reqID: reqID}
+	ctx.Send(sink, st.t.NextHop(sink, origin), &st.replies[reqID])
 }
 
 func (st *loopState) scheduleNext(ctx *sim.Context, v graph.NodeID) {

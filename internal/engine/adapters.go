@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/arrow"
+	"repro/internal/centralized"
+	"repro/internal/ivy"
+	"repro/internal/nta"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+)
+
+// tallyHops aggregates a completion slice into the shared Cost fields:
+// requests that completed locally (zero hops) and the worst per-request
+// hop count.
+func tallyHops[T any](cs []T, hops func(T) int) (local int64, maxHops int) {
+	for _, c := range cs {
+		h := hops(c)
+		if h == 0 {
+			local++
+		}
+		if h > maxHops {
+			maxHops = h
+		}
+	}
+	return local, maxHops
+}
+
+// Arrow runs the arrow protocol on the instance's spanning tree. It
+// supports both static-set and closed-loop workloads.
+type Arrow struct{}
+
+// Name implements Protocol.
+func (Arrow) Name() string { return "arrow" }
+
+// Run implements Protocol.
+func (p Arrow) Run(inst Instance) (Cost, error) {
+	if inst.Tree == nil {
+		return Cost{}, fmt.Errorf("engine: arrow requires Instance.Tree")
+	}
+	if inst.Workload.Closed() {
+		res, err := arrow.RunClosedLoop(inst.Tree, arrow.LoopConfig{
+			Root:        inst.Root,
+			PerNode:     inst.Workload.PerNode,
+			ThinkTime:   inst.Workload.ThinkTime,
+			Latency:     inst.Latency,
+			Arbitration: inst.Arbitration,
+			Seed:        inst.Seed,
+		})
+		if err != nil {
+			return Cost{}, err
+		}
+		return Cost{
+			Protocol:         p.Name(),
+			Label:            inst.Label,
+			N:                res.N,
+			Requests:         res.Requests,
+			TotalLatency:     res.TotalLatency,
+			QueueHops:        res.QueueHops,
+			ReplyHops:        res.ReplyHops,
+			MaxHops:          res.MaxQueueHops,
+			LocalCompletions: res.LocalCompletions,
+			Makespan:         res.Makespan,
+		}, nil
+	}
+	res, err := arrow.Run(inst.Tree, inst.Workload.Set, arrow.Options{
+		Root:        inst.Root,
+		Latency:     inst.Latency,
+		Arbitration: inst.Arbitration,
+		Seed:        inst.Seed,
+	})
+	if err != nil {
+		return Cost{}, err
+	}
+	local, _ := tallyHops(res.Completions, func(c arrow.Completion) int { return c.Hops })
+	return Cost{
+		Protocol:         p.Name(),
+		Label:            inst.Label,
+		N:                inst.Tree.NumNodes(),
+		Requests:         int64(len(res.Completions)),
+		TotalLatency:     res.TotalLatency,
+		QueueHops:        res.TotalHops,
+		MaxHops:          res.MaxHops,
+		LocalCompletions: local,
+		Makespan:         res.Makespan,
+		Order:            res.Order,
+	}, nil
+}
+
+// Centralized runs the central-coordinator baseline over the instance's
+// graph metric, with Instance.Root as the central node. It supports both
+// static-set and closed-loop workloads.
+type Centralized struct {
+	// ServiceTime is the central node's per-request serialization cost
+	// (0 = one time unit).
+	ServiceTime sim.Time
+}
+
+// Name implements Protocol.
+func (Centralized) Name() string { return "centralized" }
+
+// Run implements Protocol.
+func (p Centralized) Run(inst Instance) (Cost, error) {
+	if inst.Graph == nil {
+		return Cost{}, fmt.Errorf("engine: centralized requires Instance.Graph")
+	}
+	if inst.Workload.Closed() {
+		res, err := centralized.RunClosedLoop(inst.Graph, centralized.LoopConfig{
+			Center:      inst.Root,
+			PerNode:     inst.Workload.PerNode,
+			ThinkTime:   inst.Workload.ThinkTime,
+			ServiceTime: p.ServiceTime,
+			Latency:     inst.Latency,
+			Arbitration: inst.Arbitration,
+			Seed:        inst.Seed,
+		})
+		if err != nil {
+			return Cost{}, err
+		}
+		return Cost{
+			Protocol:     p.Name(),
+			Label:        inst.Label,
+			N:            res.N,
+			Requests:     res.Requests,
+			TotalLatency: res.TotalLatency,
+			QueueHops:    res.Hops,
+			Makespan:     res.Makespan,
+		}, nil
+	}
+	res, err := centralized.Run(inst.Graph, inst.Workload.Set, centralized.Options{
+		Center:      inst.Root,
+		ServiceTime: p.ServiceTime,
+		Latency:     inst.Latency,
+		Arbitration: inst.Arbitration,
+		Seed:        inst.Seed,
+	})
+	if err != nil {
+		return Cost{}, err
+	}
+	local, maxHops := tallyHops(res.Completions, func(c centralized.Completion) int { return c.Hops })
+	return Cost{
+		Protocol:         p.Name(),
+		Label:            inst.Label,
+		N:                inst.Graph.NumNodes(),
+		Requests:         int64(len(res.Completions)),
+		TotalLatency:     res.TotalLatency,
+		QueueHops:        res.TotalHops,
+		MaxHops:          maxHops,
+		LocalCompletions: local,
+		Makespan:         res.Makespan,
+		Order:            res.Order,
+	}, nil
+}
+
+// NTA runs the Naimi–Trehel–Arnold path-reversal protocol over the
+// instance's graph metric. Static-set workloads only.
+type NTA struct{}
+
+// Name implements Protocol.
+func (NTA) Name() string { return "nta" }
+
+// Run implements Protocol.
+func (p NTA) Run(inst Instance) (Cost, error) {
+	if inst.Graph == nil {
+		return Cost{}, fmt.Errorf("engine: nta requires Instance.Graph")
+	}
+	if inst.Workload.Closed() {
+		return Cost{}, errUnsupported(p.Name(), "closed-loop workloads")
+	}
+	res, err := nta.Run(inst.Graph, inst.Workload.Set, nta.Options{
+		Root:        inst.Root,
+		Latency:     inst.Latency,
+		Arbitration: inst.Arbitration,
+		Seed:        inst.Seed,
+	})
+	if err != nil {
+		return Cost{}, err
+	}
+	local, _ := tallyHops(res.Completions, func(c nta.Completion) int { return c.Hops })
+	return Cost{
+		Protocol:         p.Name(),
+		Label:            inst.Label,
+		N:                inst.Graph.NumNodes(),
+		Requests:         int64(len(res.Completions)),
+		TotalLatency:     res.TotalLatency,
+		QueueHops:        res.TotalHops,
+		MaxHops:          res.MaxHops,
+		LocalCompletions: local,
+		Makespan:         res.Makespan,
+		Order:            res.Order,
+	}, nil
+}
+
+// Ivy replays the Li–Hudak probable-owner directory on the instance's
+// request set. The directory serializes finds at the owner, so requests
+// are processed in issue order; per-request cost is the pointer chain the
+// find traverses, charged at the graph metric's distances (QueueHops
+// counts forwarding messages, TotalLatency their metric cost). Static-set
+// workloads only.
+type Ivy struct{}
+
+// Name implements Protocol.
+func (Ivy) Name() string { return "ivy" }
+
+// Run implements Protocol.
+func (p Ivy) Run(inst Instance) (Cost, error) {
+	if inst.Graph == nil {
+		return Cost{}, fmt.Errorf("engine: ivy requires Instance.Graph")
+	}
+	if inst.Workload.Closed() {
+		return Cost{}, errUnsupported(p.Name(), "closed-loop workloads")
+	}
+	set := inst.Workload.Set
+	if err := set.Validate(inst.Graph.NumNodes()); err != nil {
+		return Cost{}, err
+	}
+	dist := inst.Graph.AllPairs()
+	dir := ivy.NewDirectory(inst.Graph.NumNodes(), inst.Root)
+	cost := Cost{
+		Protocol: p.Name(),
+		Label:    inst.Label,
+		N:        inst.Graph.NumNodes(),
+		Requests: int64(len(set)),
+		Order:    make(queuing.Order, 0, len(set)),
+	}
+	// The directory serializes requests; the clock advances to each
+	// request's issue time, then by the chain's metric cost.
+	var clock sim.Time
+	for _, r := range set {
+		if r.Time > clock {
+			clock = r.Time
+		}
+		chain := dir.FindChain(r.Node)
+		hops := len(chain) - 1
+		var d int64
+		for i := 0; i+1 < len(chain); i++ {
+			d += dist[chain[i]][chain[i+1]]
+		}
+		clock += sim.Time(d)
+		cost.QueueHops += int64(hops)
+		cost.TotalLatency += int64(clock - r.Time)
+		if hops > cost.MaxHops {
+			cost.MaxHops = hops
+		}
+		if hops == 0 {
+			cost.LocalCompletions++
+		}
+		cost.Order = append(cost.Order, r.ID)
+	}
+	cost.Makespan = clock
+	return cost, nil
+}

@@ -1,0 +1,134 @@
+// Package engine is the reusable experiment layer above the protocol
+// packages: a single Protocol interface with a standard Cost result, one
+// adapter per queuing protocol (arrow, centralized, NTA, Ivy), and a
+// sharded parallel runner (Sweep) that fans independent experiment cells
+// across a worker pool while returning results in deterministic cell
+// order — byte-identical to a sequential run.
+//
+// Experiment code above this layer (internal/analysis, cmd/arrowbench,
+// the root benchmarks) composes cells instead of hand-wiring each
+// protocol pair, so adding a protocol or a topology automatically extends
+// every sweep.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Workload selects what traffic an instance carries: a static request
+// set (the paper's analytic setting) or a closed-loop load where every
+// node keeps PerNode requests in flight one at a time (the Section 5
+// experimental setting).
+type Workload struct {
+	// Set is the static request set; leave nil for a closed-loop run.
+	Set queuing.Set
+	// PerNode is the number of closed-loop requests each node issues;
+	// ignored when Set is non-nil.
+	PerNode int
+	// ThinkTime is the closed-loop delay between learning completion and
+	// issuing the next request (0 = one local step).
+	ThinkTime sim.Time
+}
+
+// Closed reports whether the workload is closed-loop.
+func (w Workload) Closed() bool { return w.Set == nil }
+
+// Static returns a static-set workload.
+func Static(set queuing.Set) Workload { return Workload{Set: set} }
+
+// ClosedLoop returns a closed-loop workload.
+func ClosedLoop(perNode int, think sim.Time) Workload {
+	return Workload{PerNode: perNode, ThinkTime: think}
+}
+
+// Instance is one fully specified experiment cell input: topology,
+// workload and simulation options. Graph is required by the completely
+// connected protocols (centralized, NTA, Ivy); Tree by arrow. Either may
+// be nil when no cell protocol needs it.
+type Instance struct {
+	// Label names the cell in experiment output (e.g. "n=32").
+	Label string
+	// Graph is the network G.
+	Graph *graph.Graph
+	// Tree is the spanning tree T arrow runs on.
+	Tree *tree.Tree
+	// Root is the initial sink (arrow), central node (centralized) or
+	// initial owner (NTA, Ivy).
+	Root graph.NodeID
+	// Workload is the traffic.
+	Workload Workload
+	// Latency is the delay model (nil = synchronous unit latency).
+	Latency sim.LatencyModel
+	// Arbitration orders simultaneous messages.
+	Arbitration sim.Arbitration
+	// Seed drives random latency/arbitration, per cell.
+	Seed int64
+}
+
+// Cost is the standard result of one protocol run: the cost metrics the
+// paper analyzes, in one shape for every protocol.
+type Cost struct {
+	// Protocol and Label identify the cell that produced the cost.
+	Protocol string
+	Label    string
+	// N is the node count, Requests the completed request count.
+	N        int
+	Requests int64
+	// TotalLatency is Σ per-request queuing latencies (Definition 3.2 /
+	// the closed-loop round-trip for loop runs).
+	TotalLatency int64
+	// QueueHops counts queue/find-message link traversals; QueueHops /
+	// Requests is Figure 11's metric.
+	QueueHops int64
+	// ReplyHops counts completion-notification traversals (closed-loop
+	// arrow only; the paper does not charge these to the protocol).
+	ReplyHops int64
+	// MaxHops is the worst single-request hop count.
+	MaxHops int
+	// LocalCompletions counts requests that found their predecessor
+	// locally (zero messages).
+	LocalCompletions int64
+	// Makespan is the simulated time at quiescence.
+	Makespan sim.Time
+	// Order is the induced total order (static-set runs; nil otherwise).
+	Order queuing.Order
+}
+
+// AvgLatency returns mean per-request latency.
+func (c Cost) AvgLatency() float64 {
+	if c.Requests == 0 {
+		return 0
+	}
+	return float64(c.TotalLatency) / float64(c.Requests)
+}
+
+// AvgQueueHops returns queue-message hops per operation.
+func (c Cost) AvgQueueHops() float64 {
+	if c.Requests == 0 {
+		return 0
+	}
+	return float64(c.QueueHops) / float64(c.Requests)
+}
+
+// Protocol is a queuing protocol the engine can run on an Instance.
+// Implementations must be stateless values: the same Protocol is invoked
+// concurrently from multiple sweep workers.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// Run executes the protocol on the instance and returns its cost.
+	// Runs are deterministic for a fixed instance.
+	Run(inst Instance) (Cost, error)
+}
+
+// errUnsupported builds the standard error for adapter/workload
+// mismatches (e.g. a closed-loop workload on a protocol without a
+// closed-loop implementation).
+func errUnsupported(proto, what string) error {
+	return fmt.Errorf("engine: protocol %s does not support %s", proto, what)
+}

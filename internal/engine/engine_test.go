@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// determinismGrid builds a cell grid covering every arbitration policy,
+// several latency models (including random ones) and every protocol
+// adapter in both workload modes it supports.
+func determinismGrid(seed int64) []Cell {
+	const n = 24
+	g := graph.Complete(n)
+	t := tree.BalancedBinary(n)
+	set := workload.Poisson(n, 0.5, 80, seed)
+	if len(set) == 0 {
+		set = workload.OneShot(n, n/2, seed)
+	}
+	var cells []Cell
+	arbs := []sim.Arbitration{sim.ArbFIFO, sim.ArbLIFO, sim.ArbRandom}
+	models := []sim.LatencyModel{nil, sim.AsyncUniform(7), sim.AsyncBimodal(5, 0.2)}
+	i := 0
+	for _, arb := range arbs {
+		for _, m := range models {
+			inst := Instance{
+				Label:       fmt.Sprintf("arb=%v/model=%d", arb, i),
+				Graph:       g,
+				Tree:        t,
+				Root:        0,
+				Workload:    Static(set),
+				Latency:     m,
+				Arbitration: arb,
+				Seed:        DeriveSeed(seed, i),
+			}
+			loopInst := inst
+			loopInst.Workload = ClosedLoop(8, 0)
+			cells = append(cells,
+				Cell{Protocol: Arrow{}, Instance: inst},
+				Cell{Protocol: NTA{}, Instance: inst},
+				Cell{Protocol: Centralized{}, Instance: inst},
+				Cell{Protocol: Ivy{}, Instance: inst},
+				Cell{Protocol: Arrow{}, Instance: loopInst},
+				Cell{Protocol: Centralized{}, Instance: loopInst},
+			)
+			i++
+		}
+	}
+	return cells
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the runner's core
+// guarantee: the outcome slice of a parallel sweep is byte-identical to
+// the sequential workers=1 run, across arbitration policies and
+// random-latency models.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		cells := determinismGrid(seed)
+		want := Sweep(cells, 1)
+		if err := FirstError(want); err != nil {
+			t.Fatalf("seed %d: sequential sweep failed: %v", seed, err)
+		}
+		wantBytes := make([]string, len(want))
+		for i, o := range want {
+			wantBytes[i] = fmt.Sprintf("%#v", o.Cost)
+		}
+		for _, workers := range []int{2, 4, 8, 0} {
+			got := Sweep(cells, workers)
+			for i := range got {
+				if got[i].Err != nil {
+					t.Fatalf("seed %d workers %d cell %d: %v", seed, workers, i, got[i].Err)
+				}
+				if g := fmt.Sprintf("%#v", got[i].Cost); g != wantBytes[i] {
+					t.Errorf("seed %d workers %d cell %d (%s/%s): parallel result diverged\n got: %s\nwant: %s",
+						seed, workers, i, cells[i].Protocol.Name(), cells[i].Instance.Label, g, wantBytes[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSweepRepeatable re-runs the same sweep twice at full parallelism;
+// both passes must agree (no hidden shared state across cells).
+func TestSweepRepeatable(t *testing.T) {
+	cells := determinismGrid(7)
+	a := Sweep(cells, 8)
+	b := Sweep(cells, 8)
+	for i := range a {
+		if fmt.Sprintf("%#v", a[i]) != fmt.Sprintf("%#v", b[i]) {
+			t.Fatalf("cell %d: sweep is not repeatable", i)
+		}
+	}
+}
+
+func sequentialInstance(n, requests int) Instance {
+	return Instance{
+		Graph:    graph.Complete(n),
+		Tree:     tree.BalancedBinary(n),
+		Root:     0,
+		Workload: Static(workload.Sequential(n, requests, 50, 9)),
+	}
+}
+
+// TestAdaptersAgreeOnSequentialOrder: with requests spaced far apart
+// every protocol must queue in issue order.
+func TestAdaptersAgreeOnSequentialOrder(t *testing.T) {
+	inst := sequentialInstance(16, 12)
+	for _, p := range []Protocol{Arrow{}, NTA{}, Centralized{}, Ivy{}} {
+		cost, err := p.Run(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if cost.Requests != 12 {
+			t.Errorf("%s: completed %d of 12", p.Name(), cost.Requests)
+		}
+		if !queuing.ValidOrder(cost.Order, 12) {
+			t.Fatalf("%s: invalid order %v", p.Name(), cost.Order)
+		}
+		for i, id := range cost.Order {
+			if id != i {
+				t.Errorf("%s: position %d queued request %d, want %d", p.Name(), i, id, i)
+			}
+		}
+	}
+}
+
+// TestClosedLoopAdapters: the loop adapters complete PerNode*n requests
+// and report the figure metrics.
+func TestClosedLoopAdapters(t *testing.T) {
+	const n, perNode = 15, 20
+	inst := Instance{
+		Graph:    graph.Complete(n),
+		Tree:     tree.BalancedBinary(n),
+		Root:     0,
+		Workload: ClosedLoop(perNode, 0),
+	}
+	for _, p := range []Protocol{Arrow{}, Centralized{}} {
+		cost, err := p.Run(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if cost.Requests != n*perNode {
+			t.Errorf("%s: completed %d of %d", p.Name(), cost.Requests, n*perNode)
+		}
+		if cost.Makespan <= 0 || cost.AvgLatency() <= 0 {
+			t.Errorf("%s: degenerate cost %+v", p.Name(), cost)
+		}
+	}
+}
+
+// TestUnsupportedWorkloads: protocols without closed-loop support fail
+// with a descriptive error rather than wrong numbers.
+func TestUnsupportedWorkloads(t *testing.T) {
+	inst := Instance{
+		Graph:    graph.Complete(8),
+		Root:     0,
+		Workload: ClosedLoop(5, 0),
+	}
+	for _, p := range []Protocol{NTA{}, Ivy{}} {
+		if _, err := p.Run(inst); err == nil {
+			t.Errorf("%s: expected error for closed-loop workload", p.Name())
+		}
+	}
+	if _, err := (Arrow{}).Run(Instance{Workload: ClosedLoop(5, 0)}); err == nil {
+		t.Error("arrow: expected error for nil tree")
+	}
+	if _, err := (Centralized{}).Run(Instance{Workload: ClosedLoop(5, 0)}); err == nil {
+		t.Error("centralized: expected error for nil graph")
+	}
+}
+
+// TestSweepErrorPropagation: a failing cell surfaces through FirstError
+// without disturbing sibling cells.
+func TestSweepErrorPropagation(t *testing.T) {
+	good := sequentialInstance(8, 4)
+	bad := Instance{Graph: graph.Complete(8), Workload: ClosedLoop(2, 0)}
+	outs := Sweep([]Cell{
+		{Protocol: Arrow{}, Instance: good},
+		{Protocol: NTA{}, Instance: bad},
+		{Protocol: Arrow{}, Instance: good},
+	}, 2)
+	if err := FirstError(outs); err == nil {
+		t.Fatal("expected sweep error")
+	}
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Error("healthy cells must not fail")
+	}
+	if outs[1].Err == nil {
+		t.Error("failing cell lost its error")
+	}
+}
+
+// TestGridOrder: Grid is instance-major and deterministic.
+func TestGridOrder(t *testing.T) {
+	a := sequentialInstance(8, 4)
+	a.Label = "a"
+	b := sequentialInstance(8, 4)
+	b.Label = "b"
+	cells := Grid([]Instance{a, b}, Arrow{}, NTA{})
+	want := []struct{ label, proto string }{
+		{"a", "arrow"}, {"a", "nta"}, {"b", "arrow"}, {"b", "nta"},
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(want))
+	}
+	for i, w := range want {
+		if cells[i].Instance.Label != w.label || cells[i].Protocol.Name() != w.proto {
+			t.Errorf("cell %d = %s/%s, want %s/%s",
+				i, cells[i].Instance.Label, cells[i].Protocol.Name(), w.label, w.proto)
+		}
+	}
+}
+
+// TestParallelMap: every index is visited exactly once, for pool sizes
+// below, at, and above the item count.
+func TestParallelMap(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 100
+		var visits [n]atomic.Int32
+		ParallelMap(n, workers, func(i int) { visits[i].Add(1) })
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers %d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+	ParallelMap(0, 4, func(i int) { t.Error("fn called for n=0") })
+}
+
+// TestDeriveSeed: adjacent cells get decorrelated seeds.
+func TestDeriveSeed(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(1, i)
+		if seen[s] {
+			t.Fatalf("duplicate derived seed at cell %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("base seed must influence derived seeds")
+	}
+}
+
+// TestIvyAdapterCost: a request at the owner completes locally, and the
+// serialized clock charges metric distance along pointer chains.
+func TestIvyAdapterCost(t *testing.T) {
+	g := graph.Complete(4)
+	set := queuing.NewSet([]queuing.Request{
+		{Node: 0, Time: 0},  // at the initial owner: local
+		{Node: 2, Time: 10}, // one chain hop to 0
+		{Node: 2, Time: 30}, // local again (2 owns it now)
+	})
+	cost, err := Ivy{}.Run(Instance{Graph: g, Root: 0, Workload: Static(set)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.LocalCompletions != 2 {
+		t.Errorf("local completions = %d, want 2", cost.LocalCompletions)
+	}
+	if cost.QueueHops != 1 {
+		t.Errorf("queue hops = %d, want 1", cost.QueueHops)
+	}
+	if cost.MaxHops != 1 {
+		t.Errorf("max hops = %d, want 1", cost.MaxHops)
+	}
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Cell is one independent experiment: a protocol applied to an instance.
+type Cell struct {
+	Protocol Protocol
+	Instance Instance
+}
+
+// Outcome is the result slot of one cell.
+type Outcome struct {
+	Cost Cost
+	Err  error
+}
+
+// Sweep runs every cell and returns outcomes in cell order. Cells are
+// fanned across a worker pool of the given size (0 or negative =
+// GOMAXPROCS); each cell is an isolated simulation seeded from its own
+// Instance.Seed, so the outcome slice is byte-identical for every worker
+// count, including the sequential workers=1 run.
+func Sweep(cells []Cell, workers int) []Outcome {
+	out := make([]Outcome, len(cells))
+	ParallelMap(len(cells), workers, func(i int) {
+		cost, err := cells[i].Protocol.Run(cells[i].Instance)
+		out[i] = Outcome{Cost: cost, Err: err}
+	})
+	return out
+}
+
+// FirstError returns the first cell error in cell order, or nil.
+func FirstError(outs []Outcome) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}
+
+// Costs projects the outcome slice to costs; call after FirstError.
+func Costs(outs []Outcome) []Cost {
+	cs := make([]Cost, len(outs))
+	for i, o := range outs {
+		cs[i] = o.Cost
+	}
+	return cs
+}
+
+// Grid builds the cross product of instances and protocols in
+// deterministic instance-major order: all protocols of instance 0, then
+// all of instance 1, and so on.
+func Grid(instances []Instance, protocols ...Protocol) []Cell {
+	cells := make([]Cell, 0, len(instances)*len(protocols))
+	for _, inst := range instances {
+		for _, p := range protocols {
+			cells = append(cells, Cell{Protocol: p, Instance: inst})
+		}
+	}
+	return cells
+}
+
+// ParallelMap invokes fn(i) for every i in [0, n) across a pool of
+// workers (0 or negative = GOMAXPROCS) and returns once all calls
+// finished. Calls are claimed dynamically, so uneven cell costs balance
+// across workers; fn must write its result into its own index of a
+// pre-sized slice (no two calls share an index, so no locking is needed).
+func ParallelMap(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ParallelMapErr is ParallelMap for fallible work: it collects every
+// call's error and returns the first one in index order (nil when all
+// succeeded).
+func ParallelMapErr(n, workers int, fn func(i int) error) error {
+	errs := make([]error, n)
+	ParallelMap(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeriveSeed decorrelates per-cell seeds from a base seed: cells seeded
+// DeriveSeed(base, 0), DeriveSeed(base, 1), ... draw unrelated random
+// streams even though the cell indices are adjacent. It is the same
+// splitmix64 mixer the simulator uses for its internal streams.
+func DeriveSeed(base int64, cell int) int64 { return sim.DeriveSeed(base, cell) }

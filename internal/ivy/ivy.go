@@ -45,30 +45,46 @@ func NewDirectory(n int, root graph.NodeID) *Directory {
 // the previous owner) afterwards points directly at v. It returns the
 // chain length (number of forwarding messages).
 func (d *Directory) Find(v graph.NodeID) int {
-	var chain []graph.NodeID
+	if d.owner[v] == v {
+		// Local hit: no chain to record, and no allocation.
+		d.trueOwn = v
+		d.requests++
+		return 0
+	}
+	chain := d.FindChain(v)
+	return len(chain) - 1
+}
+
+// FindChain is Find exposing the visited pointer chain: the returned
+// slice lists the nodes the request traversed, starting at v and ending
+// at the previous owner, so callers can charge network distances per
+// forwarding message (chain[i] -> chain[i+1]). Its length is the chain
+// length plus one; a local hit returns just [v].
+func (d *Directory) FindChain(v graph.NodeID) []graph.NodeID {
+	chain := []graph.NodeID{v}
 	cur := v
 	for d.owner[cur] != cur {
 		next := d.owner[cur]
-		chain = append(chain, cur)
 		cur = next
-		if len(chain) > len(d.owner) {
+		chain = append(chain, cur)
+		if len(chain) > len(d.owner)+1 {
 			panic("ivy: probable-owner cycle")
 		}
 	}
-	// cur is the actual owner (owner[cur] == cur).
+	// cur is the actual owner (owner[cur] == cur); redirect every visited
+	// pointer (and the owner) straight at the requester.
 	for _, x := range chain {
 		d.owner[x] = v
 	}
-	d.owner[cur] = v
 	d.owner[v] = v
 	d.trueOwn = v
-	hops := len(chain)
+	hops := len(chain) - 1
 	d.requests++
 	d.chainSum += int64(hops)
 	if hops > d.chainMax {
 		d.chainMax = hops
 	}
-	return hops
+	return chain
 }
 
 // Owner returns the current actual owner.

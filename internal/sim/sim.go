@@ -18,7 +18,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -80,6 +79,19 @@ type Topology interface {
 	NumNodes() int
 }
 
+// LinkIndexer is an optional Topology extension: a topology that can
+// enumerate its directed links as a dense index range lets the simulator
+// keep per-link FIFO state in a flat slice instead of a map — the hot
+// path of every send.
+type LinkIndexer interface {
+	// NumLinks returns the number of directed-link slots; LinkIndex
+	// results are in [0, NumLinks).
+	NumLinks() int
+	// LinkIndex returns the dense index of the directed link u -> v. It is
+	// only called for pairs Latency reported as connected.
+	LinkIndex(u, v graph.NodeID) int
+}
+
 // Config configures a Simulator.
 type Config struct {
 	Topology Topology
@@ -101,15 +113,39 @@ type Simulator struct {
 	events   eventHeap
 	seq      uint64
 	handlers []Handler
-	lastArr  map[linkKey]Time
-	rng      *rand.Rand
 
-	processed Time // number of events processed (int64)
+	// Per-directed-link FIFO state: the dense slice is used when the
+	// topology implements LinkIndexer, the map otherwise.
+	linkIdx  LinkIndexer
+	linkFIFO []Time
+	lastArr  map[linkKey]Time
+
+	// Independent seeded streams: rng is the protocol-visible stream
+	// (Context.Rand), latRNG drives the latency model and arbRNG random
+	// arbitration. Separate streams mean enabling random latency does not
+	// perturb arbitration draws and vice versa.
+	rng    *rand.Rand
+	latRNG *rand.Rand
+	arbRNG *rand.Rand
+
+	processed int64 // number of events processed
 	messages  int64
 	hops      int64
 }
 
 type linkKey struct{ u, v graph.NodeID }
+
+// DeriveSeed derives an independent stream seed from a base seed via a
+// splitmix64 step, so streams are decorrelated even for adjacent base
+// seeds or stream indices. The simulator uses it for its internal
+// latency/arbitration streams; the engine layer reuses it for per-cell
+// experiment seeds.
+func DeriveSeed(seed int64, stream int) int64 {
+	z := uint64(seed) + (uint64(stream)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
 
 // New creates a simulator from cfg. Node handlers default to a no-op and
 // are installed with SetHandler / SetAllHandlers.
@@ -120,12 +156,20 @@ func New(cfg Config) *Simulator {
 	if cfg.Latency == nil {
 		cfg.Latency = Synchronous()
 	}
-	return &Simulator{
+	s := &Simulator{
 		cfg:      cfg,
 		handlers: make([]Handler, cfg.Topology.NumNodes()),
-		lastArr:  make(map[linkKey]Time),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		latRNG:   rand.New(rand.NewSource(DeriveSeed(cfg.Seed, 1))),
+		arbRNG:   rand.New(rand.NewSource(DeriveSeed(cfg.Seed, 2))),
 	}
+	if li, ok := cfg.Topology.(LinkIndexer); ok {
+		s.linkIdx = li
+		s.linkFIFO = make([]Time, li.NumLinks())
+	} else {
+		s.lastArr = make(map[linkKey]Time)
+	}
+	return s
 }
 
 // SetHandler installs the message handler for one node.
@@ -150,7 +194,7 @@ func (s *Simulator) Messages() int64 { return s.messages }
 func (s *Simulator) Hops() int64 { return s.hops }
 
 // EventsProcessed returns the number of events the run has consumed.
-func (s *Simulator) EventsProcessed() int64 { return int64(s.processed) }
+func (s *Simulator) EventsProcessed() int64 { return s.processed }
 
 // Context is handed to handlers and timers; it exposes the simulator
 // operations that are legal during event processing.
@@ -174,19 +218,29 @@ func (s *Simulator) send(u, v graph.NodeID, msg Message) {
 	if !ok {
 		panic(fmt.Sprintf("sim: illegal send %d -> %d (not connected in topology)", u, v))
 	}
-	delay := s.cfg.Latency.Delay(w, s.rng)
+	delay := s.cfg.Latency.Delay(w, s.latRNG)
 	if delay < 1 {
 		delay = 1
 	}
 	arrive := s.now + delay
-	key := linkKey{u, v}
-	if last, ok := s.lastArr[key]; ok && arrive < last {
-		arrive = last // FIFO: never overtake an earlier message on this link
+	// FIFO: never overtake an earlier message on this link. Arrivals are
+	// always >= 1, so a zero slot means "no prior message".
+	if s.linkFIFO != nil {
+		idx := s.linkIdx.LinkIndex(u, v)
+		if last := s.linkFIFO[idx]; arrive < last {
+			arrive = last
+		}
+		s.linkFIFO[idx] = arrive
+	} else {
+		key := linkKey{u, v}
+		if last, ok := s.lastArr[key]; ok && arrive < last {
+			arrive = last
+		}
+		s.lastArr[key] = arrive
 	}
-	s.lastArr[key] = arrive
 	s.messages++
 	s.hops += int64(s.cfg.Topology.Hops(u, v))
-	s.push(&event{at: arrive, kind: evMessage, to: v, from: u, msg: msg})
+	s.push(event{at: arrive, kind: evMessage, to: v, from: u, msg: msg})
 }
 
 // ScheduleAt schedules fn at absolute time t (>= current time). It is the
@@ -199,10 +253,10 @@ func (s *Simulator) ScheduleAt(t Time, fn TimerFunc) {
 }
 
 func (s *Simulator) scheduleTimer(t Time, fn TimerFunc) {
-	s.push(&event{at: t, kind: evTimer, fn: fn})
+	s.push(event{at: t, kind: evTimer, fn: fn})
 }
 
-func (s *Simulator) push(e *event) {
+func (s *Simulator) push(e event) {
 	s.seq++
 	e.seq = s.seq
 	switch s.cfg.Arbitration {
@@ -211,23 +265,23 @@ func (s *Simulator) push(e *event) {
 	case ArbLIFO:
 		e.pri = -int64(e.seq)
 	case ArbRandom:
-		e.pri = s.rng.Int63()
+		e.pri = s.arbRNG.Int63()
 	}
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }
 
 // Run processes events until the queue is empty and returns the final
 // simulated time (the makespan).
 func (s *Simulator) Run() Time {
 	ctx := &Context{s: s}
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*event)
+	for len(s.events) > 0 {
+		e := s.events.pop()
 		if e.at < s.now {
 			panic("sim: time went backwards")
 		}
 		s.now = e.at
 		s.processed++
-		if s.cfg.MaxEvents > 0 && int64(s.processed) > s.cfg.MaxEvents {
+		if s.cfg.MaxEvents > 0 && s.processed > s.cfg.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d — protocol likely diverged", s.cfg.MaxEvents))
 		}
 		switch e.kind {
@@ -262,10 +316,12 @@ type event struct {
 	fn   TimerFunc
 }
 
-type eventHeap []*event
+// eventHeap is a hand-rolled min-heap of event values: events live inline
+// in the backing array, so pushing a message costs zero heap allocations
+// (container/heap would box every event through its any-typed interface).
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
@@ -274,13 +330,44 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	a := *h
+	n := len(a) - 1
+	top := a[0]
+	a[0] = a[n]
+	a[n] = event{} // release msg/fn references
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
 }

@@ -284,3 +284,91 @@ func TestDeterministicMakespan(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSplitRNGStreams: latency draws and arbitration draws come from
+// independent streams, so enabling random arbitration must not perturb
+// message delays. With strictly increasing send times there are no ties
+// to arbitrate, so arrivals under ArbFIFO and ArbRandom must coincide.
+func TestSplitRNGStreams(t *testing.T) {
+	run := func(arb Arbitration) []Time {
+		s := New(Config{
+			Topology:    lineTopology(2),
+			Latency:     AsyncUniform(40),
+			Arbitration: arb,
+			Seed:        3,
+		})
+		var arrivals []Time
+		s.SetAllHandlers(func(ctx *Context, at, from graph.NodeID, msg Message) {
+			arrivals = append(arrivals, ctx.Now())
+		})
+		for i := 0; i < 30; i++ {
+			// Distinct send times spaced beyond the max delay: no ties.
+			at := Time(i * 100)
+			s.ScheduleAt(at, func(ctx *Context) { ctx.Send(0, 1, struct{}{}) })
+		}
+		s.Run()
+		return arrivals
+	}
+	fifo := run(ArbFIFO)
+	random := run(ArbRandom)
+	if len(fifo) != len(random) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(fifo), len(random))
+	}
+	for i := range fifo {
+		if fifo[i] != random[i] {
+			t.Fatalf("arrival %d differs: fifo=%d random=%d — arbitration leaked into latency stream",
+				i, fifo[i], random[i])
+		}
+	}
+}
+
+// TestFIFOLinkOrderOnMetricTopology exercises the dense LinkIndexer path
+// of MetricTopology: per-link FIFO order must survive random delays.
+func TestFIFOLinkOrderOnMetricTopology(t *testing.T) {
+	g := graph.Grid(3, 3)
+	topo := NewMetricTopology(g)
+	if _, ok := Topology(topo).(LinkIndexer); !ok {
+		t.Fatal("MetricTopology must implement LinkIndexer")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		s := New(Config{Topology: topo, Latency: AsyncUniform(30), Seed: seed})
+		var got []int
+		s.SetAllHandlers(func(ctx *Context, at, from graph.NodeID, msg Message) {
+			got = append(got, msg.(int))
+		})
+		s.ScheduleAt(0, func(ctx *Context) {
+			for i := 0; i < 15; i++ {
+				ctx.Send(0, 8, i) // corner to corner, a multi-hop metric link
+			}
+		})
+		s.Run()
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("seed %d: metric-link FIFO violated: %v", seed, got)
+			}
+		}
+	}
+}
+
+// TestTreeTopologyLinkIndexDense: link indices are unique per directed
+// tree edge and within [0, NumLinks).
+func TestTreeTopologyLinkIndexDense(t *testing.T) {
+	tr := tree.BalancedBinary(15)
+	topo := TreeTopology{T: tr}
+	seen := map[int]bool{}
+	for v := 0; v < tr.NumNodes(); v++ {
+		for _, e := range tr.Neighbors(graph.NodeID(v)) {
+			idx := topo.LinkIndex(graph.NodeID(v), e.To)
+			if idx < 0 || idx >= topo.NumLinks() {
+				t.Fatalf("link (%d,%d): index %d out of range", v, e.To, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("link (%d,%d): duplicate index %d", v, e.To, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if want := 2 * (tr.NumNodes() - 1); len(seen) != want {
+		t.Fatalf("indexed %d directed links, want %d", len(seen), want)
+	}
+}

@@ -26,6 +26,20 @@ func (t TreeTopology) Hops(u, v graph.NodeID) int { return 1 }
 // NumNodes implements Topology.
 func (t TreeTopology) NumNodes() int { return t.T.NumNodes() }
 
+// NumLinks implements LinkIndexer: every node owns two slots, one per
+// direction of its parent edge (the root's slots stay unused).
+func (t TreeTopology) NumLinks() int { return 2 * t.T.NumNodes() }
+
+// LinkIndex implements LinkIndexer. A legal tree link connects a child
+// with its parent: the child->parent direction is slot 2*child, the
+// parent->child direction slot 2*child+1.
+func (t TreeTopology) LinkIndex(u, v graph.NodeID) int {
+	if t.T.Parent(u) == v {
+		return 2 * int(u)
+	}
+	return 2*int(v) + 1
+}
+
 // DirectTopology allows communication along graph edges only.
 type DirectTopology struct{ G *graph.Graph }
 
@@ -100,6 +114,16 @@ func (m *MetricTopology) Hops(u, v graph.NodeID) int { return int(m.hops[u][v]) 
 
 // NumNodes implements Topology.
 func (m *MetricTopology) NumNodes() int { return len(m.dist) }
+
+// NumLinks implements LinkIndexer: the metric allows any ordered pair, so
+// links are indexed u*n + v. The O(n²) slot array matches the topology's
+// own O(n²) distance matrix.
+func (m *MetricTopology) NumLinks() int { return len(m.dist) * len(m.dist) }
+
+// LinkIndex implements LinkIndexer.
+func (m *MetricTopology) LinkIndex(u, v graph.NodeID) int {
+	return int(u)*len(m.dist) + int(v)
+}
 
 // Dist exposes the precomputed distance matrix (shared with analysis
 // code to avoid recomputing all-pairs shortest paths).
