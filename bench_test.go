@@ -274,6 +274,35 @@ func BenchmarkBaselines(b *testing.B) {
 	}
 }
 
+// BenchmarkBaselinesClosedLoop compares the four protocols under the
+// paper's closed-loop regime (the workload the headline figures plot) —
+// now that every adapter supports it. Reported hops/op is Figure 11's
+// metric per protocol.
+func BenchmarkBaselinesClosedLoop(b *testing.B) {
+	const n, perNode = 48, 200
+	inst := engine.Instance{
+		Graph:    graph.Complete(n),
+		Tree:     tree.BalancedBinary(n),
+		Root:     0,
+		Workload: engine.ClosedLoop(perNode, 0),
+	}
+	for _, p := range []engine.Protocol{
+		engine.Arrow{}, engine.NTA{}, engine.Centralized{}, engine.Ivy{},
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			var hops float64
+			for i := 0; i < b.N; i++ {
+				cost, err := p.Run(inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hops = cost.AvgQueueHops()
+			}
+			b.ReportMetric(hops, "hops/op")
+		})
+	}
+}
+
 // BenchmarkSweepSP2 measures the parallel experiment runner on the
 // Figure 10/11 grid: the same cells at workers=1 (sequential) and
 // workers=GOMAXPROCS. The speedup is the engine.Sweep acceptance metric;
@@ -300,28 +329,47 @@ func BenchmarkSweepSP2(b *testing.B) {
 // BenchmarkSimSendDispatch measures the simulator's send/dispatch hot
 // path — run with -benchmem: the value-typed event heap and dense
 // per-link FIFO state make a steady-state message send allocation-free.
+// The star case pins the O(1) tree-edge lookup: half the sends originate
+// at the degree-n center, where a neighbor-list scan would cost O(n) per
+// message.
 func BenchmarkSimSendDispatch(b *testing.B) {
-	t := tree.BalancedBinary(1023)
-	leaves := make([]graph.NodeID, 0, 512)
-	for v := 511; v < 1023; v++ {
-		leaves = append(leaves, graph.NodeID(v))
+	leafRange := func(lo, hi int) []graph.NodeID {
+		leaves := make([]graph.NodeID, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			leaves = append(leaves, graph.NodeID(v))
+		}
+		return leaves
 	}
-	b.ReportAllocs()
-	s := sim.New(sim.Config{Topology: sim.TreeTopology{T: t}})
-	remaining := b.N
-	s.SetAllHandlers(func(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
-		if remaining > 0 {
-			remaining--
-			ctx.Send(at, from, msg) // ping-pong across the leaf-parent link
-		}
-	})
-	s.ScheduleAt(0, func(ctx *sim.Context) {
-		for _, v := range leaves {
-			ctx.Send(v, t.Parent(v), sim.Message(nil))
-		}
-	})
-	b.ResetTimer()
-	s.Run()
+	cases := []struct {
+		name   string
+		t      *tree.Tree
+		leaves []graph.NodeID
+	}{
+		{"binary", tree.BalancedBinary(1023), leafRange(511, 1023)},
+		{"star", tree.StarTree(1024), leafRange(512, 1024)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			s := sim.New(sim.Config{Topology: sim.TreeTopology{T: c.t}})
+			remaining := b.N
+			s.SetAllHandlers(func(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
+				if remaining > 0 {
+					remaining--
+					ctx.Send(at, from, msg) // ping-pong across the leaf-parent link
+				}
+			})
+			tr := c.t
+			leaves := c.leaves
+			s.ScheduleAt(0, func(ctx *sim.Context) {
+				for _, v := range leaves {
+					ctx.Send(v, tr.Parent(v), sim.Message(nil))
+				}
+			})
+			b.ResetTimer()
+			s.Run()
+		})
+	}
 }
 
 // BenchmarkTreeDistance measures the LCA-based dT query, the analysis

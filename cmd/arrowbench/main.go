@@ -14,7 +14,7 @@
 //	arrowbench -exp async        # Section 3.8 asynchronous models
 //	arrowbench -exp stretch      # Theorem 4.2 shortcut gadget
 //	arrowbench -exp nnapprox     # Theorem 3.18 NN-vs-optimal sweep
-//	arrowbench -exp baselines    # arrow vs NTA vs centralized vs Ivy on one workload
+//	arrowbench -exp baselines    # arrow vs NTA vs centralized vs Ivy, closed loop + static
 //	arrowbench -exp oneshot      # PODC'01 one-shot regime: ratio vs s log |R|
 //	arrowbench -exp directory    # arrow directory vs home-based (Herlihy–Warres)
 //	arrowbench -exp commtree     # Peleg–Reshef demand-aware tree selection
@@ -28,7 +28,9 @@
 // (fig10/fig11, adversarial, ratio, baselines) fan their cells across
 // -workers simulator workers (default GOMAXPROCS); the remaining
 // experiments always use GOMAXPROCS. Results are identical for every
-// worker count.
+// worker count. Pass -json to emit every table as a machine-readable
+// JSON document (one per table) instead of aligned text, so CI can
+// track the numbers across commits.
 package main
 
 import (
@@ -46,13 +48,28 @@ import (
 	"repro/internal/workload"
 )
 
+// jsonOut switches table output to machine-readable JSON (-json).
+var jsonOut bool
+
+// emit prints a result table in the selected output format.
+func emit(t *analysis.Table) {
+	if jsonOut {
+		fmt.Print(t.RenderJSON())
+		return
+	}
+	fmt.Print(t.Render())
+	fmt.Println()
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see command doc)")
 	perNode := flag.Int("pernode", 2000, "closed-loop requests per node (paper: 100000)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
-	sizes := flag.String("sizes", "2,4,8,16,24,32,48,64,76", "comma-separated node counts for fig10/fig11")
+	sizes := flag.String("sizes", "2,4,8,16,24,32,48,64,76", "comma-separated node counts for fig10/fig11 and baselines")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON tables")
 	flag.Parse()
+	jsonOut = *jsonFlag
 
 	ns, err := parseSizes(*sizes)
 	if err != nil {
@@ -70,7 +87,7 @@ func main() {
 		"async":       func() error { return runAsync(*seed) },
 		"stretch":     func() error { return runStretch() },
 		"nnapprox":    func() error { return runNNApprox(*seed) },
-		"baselines":   func() error { return runBaselines(*seed, *workers) },
+		"baselines":   func() error { return runBaselines(ns, *perNode, *seed, *workers) },
 		"oneshot":     func() error { return runOneShot(*seed) },
 		"directory":   func() error { return runDirectory(*seed) },
 		"commtree":    func() error { return runCommTree(*seed) },
@@ -130,12 +147,10 @@ func runSP2(ns []int, perNode int, seed int64, workers int, fig10, fig11 bool) e
 		return err
 	}
 	if fig10 {
-		fmt.Print(analysis.Fig10Table(rows).Render())
-		fmt.Println()
+		emit(analysis.Fig10Table(rows))
 	}
 	if fig11 {
-		fmt.Print(analysis.Fig11Table(rows).Render())
-		fmt.Println()
+		emit(analysis.Fig11Table(rows))
 	}
 	return nil
 }
@@ -145,8 +160,7 @@ func runLowerBound() error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.LowerBoundTable(rows).Render())
-	fmt.Println()
+	emit(analysis.LowerBoundTable(rows))
 	return nil
 }
 
@@ -155,8 +169,7 @@ func runAdversarial(seed int64, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.AdversarialTable(results).Render())
-	fmt.Println()
+	emit(analysis.AdversarialTable(results))
 	return nil
 }
 
@@ -165,8 +178,7 @@ func runRatio(seed int64, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.RatioTable("Theorem 3.19 — measured competitive ratio vs O(s log D)", rows).Render())
-	fmt.Println()
+	emit(analysis.RatioTable("Theorem 3.19 — measured competitive ratio vs O(s log D)", rows))
 	return nil
 }
 
@@ -175,8 +187,7 @@ func runSequential(seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.SequentialTable(rows).Render())
-	fmt.Println()
+	emit(analysis.SequentialTable(rows))
 	return nil
 }
 
@@ -185,8 +196,7 @@ func runTrees(seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.TreeChoiceTable(rows).Render())
-	fmt.Println()
+	emit(analysis.TreeChoiceTable(rows))
 	return nil
 }
 
@@ -195,8 +205,7 @@ func runArbitration(seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.ArbitrationTable(rows).Render())
-	fmt.Println()
+	emit(analysis.ArbitrationTable(rows))
 	return nil
 }
 
@@ -205,8 +214,7 @@ func runAsync(seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.AsyncTable(rows).Render())
-	fmt.Println()
+	emit(analysis.AsyncTable(rows))
 	return nil
 }
 
@@ -215,8 +223,7 @@ func runStretch() error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.StretchTable(rows).Render())
-	fmt.Println()
+	emit(analysis.StretchTable(rows))
 	return nil
 }
 
@@ -232,8 +239,7 @@ func runNNApprox(seed int64) error {
 	for _, r := range rows {
 		t.AddRow(r.Points, r.NNCost, r.Opt, r.Ratio, r.Bound)
 	}
-	fmt.Print(t.Render())
-	fmt.Println()
+	emit(t)
 	return nil
 }
 
@@ -242,8 +248,7 @@ func runOneShot(seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.OneShotTable(rows).Render())
-	fmt.Println()
+	emit(analysis.OneShotTable(rows))
 	return nil
 }
 
@@ -252,15 +257,22 @@ func runDirectory(seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.DirectoryTable(rows).Render())
-	fmt.Println()
+	emit(analysis.DirectoryTable(rows))
 	return nil
 }
 
 // runBaselines compares every protocol the engine knows — arrow, NTA,
-// centralized and Ivy — on one shared dynamic workload over a complete
-// graph, as a single parallel sweep.
-func runBaselines(seed int64, workers int) error {
+// centralized and Ivy — first on the paper's closed-loop regime across
+// the -sizes node counts (split queue/reply hop columns), then on one
+// shared static Poisson workload with the optimal-cost bound. Both are
+// single parallel sweeps.
+func runBaselines(ns []int, perNode int, seed int64, workers int) error {
+	rows, err := analysis.BaselinesClosedLoop(ns, perNode, seed, workers)
+	if err != nil {
+		return err
+	}
+	emit(analysis.BaselinesClosedLoopTable(rows))
+
 	const n = 48
 	g := graph.Complete(n)
 	t := tree.BalancedBinary(n)
@@ -288,14 +300,13 @@ func runBaselines(seed int64, workers int) error {
 		den = bounds.Lower
 	}
 	tbl := &analysis.Table{
-		Title:   fmt.Sprintf("Baselines — complete graph n=%d, |R|=%d Poisson requests", n, len(set)),
+		Title:   fmt.Sprintf("Baselines — complete graph n=%d, |R|=%d Poisson requests (static)", n, len(set)),
 		Headers: []string{"protocol", "total latency", "messages", "makespan", "ratio vs opt bound"},
 	}
 	for _, c := range engine.Costs(outs) {
 		tbl.AddRow(c.Protocol, c.TotalLatency, c.QueueHops, c.Makespan, opt.Ratio(c.TotalLatency, den))
 	}
-	fmt.Print(tbl.Render())
-	fmt.Println()
+	emit(tbl)
 	return nil
 }
 
@@ -304,8 +315,7 @@ func runCommTree(seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.CommTreeTable(rows).Render())
-	fmt.Println()
+	emit(analysis.CommTreeTable(rows))
 	return nil
 }
 
@@ -314,7 +324,6 @@ func runStabilize(seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.StabilizeTable(rows).Render())
-	fmt.Println()
+	emit(analysis.StabilizeTable(rows))
 	return nil
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -322,5 +323,74 @@ func TestNNApproximationSweepWithinBound(t *testing.T) {
 		if r.Ratio > 2*r.Bound+2 {
 			t.Errorf("NN ratio %.2f far exceeds theorem bound %.2f", r.Ratio, r.Bound)
 		}
+	}
+}
+
+// TestBaselinesClosedLoop: the four-protocol closed-loop grid completes
+// every cell, splits queue from reply traffic, and reproduces the
+// Section 5 contrast (centralized serialization vs the distributed
+// protocols' flat makespan).
+func TestBaselinesClosedLoop(t *testing.T) {
+	ns := []int{2, 8, 24}
+	const perNode = 150
+	rows, err := BaselinesClosedLoop(ns, perNode, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ns)*4 {
+		t.Fatalf("%d rows, want %d", len(rows), len(ns)*4)
+	}
+	byProto := map[string][]BaselineRow{}
+	for _, r := range rows {
+		if r.Requests != int64(r.N*perNode) {
+			t.Errorf("%s n=%d: completed %d of %d", r.Protocol, r.N, r.Requests, r.N*perNode)
+		}
+		if r.AvgReplyHops <= 0 {
+			t.Errorf("%s n=%d: missing reply traffic split", r.Protocol, r.N)
+		}
+		byProto[r.Protocol] = append(byProto[r.Protocol], r)
+	}
+	for _, p := range []string{"arrow", "nta", "centralized", "ivy"} {
+		if len(byProto[p]) != len(ns) {
+			t.Fatalf("protocol %s has %d rows, want %d", p, len(byProto[p]), len(ns))
+		}
+	}
+	// Centralized's makespan must grow ~linearly with n; the distributed
+	// protocols stay far flatter (the Figure 10 contrast).
+	cGrowth := float64(byProto["centralized"][2].Makespan) / float64(byProto["centralized"][0].Makespan)
+	for _, p := range []string{"arrow", "nta", "ivy"} {
+		g := float64(byProto[p][2].Makespan) / float64(byProto[p][0].Makespan)
+		if g > cGrowth/2 {
+			t.Errorf("%s growth %.1fx not well below centralized %.1fx", p, g, cGrowth)
+		}
+	}
+	if out := BaselinesClosedLoopTable(rows).Render(); !strings.Contains(out, "reply hops/op") {
+		t.Error("baselines table missing reply hop column")
+	}
+}
+
+// TestTableRenderJSON: the JSON rendering round-trips title, headers and
+// header-aligned row arrays without losing cells — even cells beyond the
+// header count, which a header-keyed encoding would silently drop.
+func TestTableRenderJSON(t *testing.T) {
+	tbl := &Table{Title: "T", Headers: []string{"a", "b"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", "y", "overflow")
+	var doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(tbl.RenderJSON()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Title != "T" || len(doc.Headers) != 2 || len(doc.Rows) != 2 {
+		t.Fatalf("document shape wrong: %+v", doc)
+	}
+	if doc.Rows[0][0] != "1" || doc.Rows[0][1] != "2.500" {
+		t.Errorf("row cells wrong: %+v", doc.Rows[0])
+	}
+	if len(doc.Rows[1]) != 3 || doc.Rows[1][2] != "overflow" {
+		t.Errorf("overflow cell lost: %+v", doc.Rows[1])
 	}
 }

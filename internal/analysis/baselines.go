@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// baselineProtocols is the fixed protocol set of the baselines grid, in
+// table order.
+func baselineProtocols() []engine.Protocol {
+	return []engine.Protocol{
+		engine.Arrow{}, engine.NTA{}, engine.Centralized{}, engine.Ivy{},
+	}
+}
+
+// BaselineRow is one protocol × size cell of the closed-loop baselines
+// experiment: all four queuing protocols under the paper's Section 5
+// regime (every node keeps one request in flight), on a complete graph
+// with a balanced binary spanning tree for arrow. Queue and reply
+// traffic are reported in separate columns: the paper charges only queue
+// messages to the protocol, and folding the reply leg into one protocol
+// but not another would skew the comparison. The nta and ivy rows are
+// identical by construction, not by measurement: both protocols chase
+// and reverse pointers with the same step rule under this cost model
+// (see nta's reversalStepper and TestClosedLoopMatchesIvy).
+type BaselineRow struct {
+	Protocol     string
+	N            int
+	PerNode      int
+	Requests     int64
+	Makespan     sim.Time
+	AvgLatency   float64
+	AvgQueueHops float64
+	AvgReplyHops float64
+	// LocalFrac is the fraction of requests that found their predecessor
+	// locally (zero queue messages).
+	LocalFrac float64
+}
+
+// BaselinesClosedLoopGrid builds the experiment cells: for each n, every
+// baseline protocol on an identical closed-loop instance. Cells are in
+// n-major order, protocols in baselineProtocols order per n.
+func BaselinesClosedLoopGrid(ns []int, perNode int, seed int64) []engine.Cell {
+	instances := make([]engine.Instance, 0, len(ns))
+	for i, n := range ns {
+		instances = append(instances, engine.Instance{
+			Label:    fmt.Sprintf("n=%d", n),
+			Graph:    graph.Complete(n),
+			Tree:     tree.BalancedBinary(n),
+			Root:     0,
+			Workload: engine.ClosedLoop(perNode, 0),
+			Seed:     engine.DeriveSeed(seed, i),
+		})
+	}
+	return engine.Grid(instances, baselineProtocols()...)
+}
+
+// BaselinesClosedLoop runs the closed-loop baselines grid as one
+// parallel sweep (workers 0 = GOMAXPROCS; results are identical for
+// every worker count) and flattens the outcomes to rows.
+func BaselinesClosedLoop(ns []int, perNode int, seed int64, workers int) ([]BaselineRow, error) {
+	outs := engine.Sweep(BaselinesClosedLoopGrid(ns, perNode, seed), workers)
+	if err := engine.FirstError(outs); err != nil {
+		return nil, fmt.Errorf("analysis: baselines sweep: %w", err)
+	}
+	rows := make([]BaselineRow, 0, len(outs))
+	for _, c := range engine.Costs(outs) {
+		row := BaselineRow{
+			Protocol:     c.Protocol,
+			N:            c.N,
+			PerNode:      perNode,
+			Requests:     c.Requests,
+			Makespan:     c.Makespan,
+			AvgLatency:   c.AvgLatency(),
+			AvgQueueHops: c.AvgQueueHops(),
+		}
+		if c.Requests > 0 {
+			row.AvgReplyHops = float64(c.ReplyHops) / float64(c.Requests)
+			row.LocalFrac = float64(c.LocalCompletions) / float64(c.Requests)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BaselinesClosedLoopTable formats the closed-loop baselines comparison.
+func BaselinesClosedLoopTable(rows []BaselineRow) *Table {
+	t := &Table{
+		Title: "Baselines — closed loop (Section 5 regime), all protocols",
+		Headers: []string{"protocol", "n", "reqs/node", "makespan", "avg latency",
+			"queue hops/op", "reply hops/op", "local frac"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Protocol, r.N, r.PerNode, r.Makespan, r.AvgLatency,
+			r.AvgQueueHops, r.AvgReplyHops, r.LocalFrac)
+	}
+	return t
+}

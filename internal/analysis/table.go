@@ -5,6 +5,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -68,4 +69,29 @@ func (t *Table) Render() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// RenderJSON returns the table as a machine-readable JSON document —
+// the title, the header list, and one cell array per row aligned with
+// the headers (cell values keep Render's string formatting) — so CI can
+// track experiment output across commits without scraping aligned text.
+// Rows stay arrays rather than header-keyed objects: an object would
+// silently drop cells beyond the header count or under duplicate header
+// names, truncating exactly the artifact CI relies on.
+func (t *Table) RenderJSON() string {
+	type doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	b, err := json.MarshalIndent(doc{Title: t.Title, Headers: t.Headers, Rows: rows}, "", "  ")
+	if err != nil {
+		// Impossible: the document is strings all the way down.
+		panic(fmt.Sprintf("analysis: table JSON: %v", err))
+	}
+	return string(b) + "\n"
 }

@@ -74,23 +74,30 @@ func (r *LoopResult) AvgLatency() float64 {
 
 type loopReply struct {
 	origin graph.NodeID
-	reqID  int
 }
 
+type loopFind struct {
+	origin graph.NodeID
+}
+
+// loopState is O(n), not O(PerNode·n): a node's next request issues only
+// after the completion notification for its previous one, so at most one
+// request per node is in flight and all per-request bookkeeping can be
+// keyed by the issuing node — at the paper's scale (100k requests per
+// node) per-request arrays would cost hundreds of MB per sweep cell.
 type loopState struct {
 	t   *tree.Tree
 	cfg LoopConfig
 
-	link    []graph.NodeID
-	lastReq []int
+	link []graph.NodeID
 
 	issueTime []sim.Time
-	origin    []graph.NodeID
 	hops      []int
 
-	// Pre-boxed messages, one per request: queue and reply forwarding pass
-	// the same pointer at every hop, avoiding per-send interface boxing.
-	msgs    []queueMsg
+	// Pre-boxed messages, one per node: queue and reply forwarding pass
+	// the same pointer at every hop, avoiding per-send interface boxing,
+	// and a node's successive requests reuse its slot.
+	msgs    []loopFind
 	replies []loopReply
 
 	remaining []int
@@ -115,21 +122,17 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 		t:         t,
 		cfg:       cfg,
 		link:      initialLinks(t, cfg.Root),
-		lastReq:   make([]int, n),
+		issueTime: make([]sim.Time, n),
+		hops:      make([]int, n),
+		msgs:      make([]loopFind, n),
+		replies:   make([]loopReply, n),
 		remaining: make([]int, n),
 		res:       &LoopResult{N: n},
 	}
-	for i := range st.lastReq {
-		st.lastReq[i] = -1
-		st.remaining[i] = cfg.PerNode
-	}
-	st.issueTime = make([]sim.Time, 0, total)
-	st.origin = make([]graph.NodeID, 0, total)
-	st.hops = make([]int, 0, total)
-	st.msgs = make([]queueMsg, total)
-	st.replies = make([]loopReply, total)
-	for i := range st.msgs {
-		st.msgs[i].reqID = i
+	for v := range st.remaining {
+		st.remaining[v] = cfg.PerNode
+		st.msgs[v].origin = graph.NodeID(v)
+		st.replies[v].origin = graph.NodeID(v)
 	}
 
 	s := sim.New(sim.Config{
@@ -161,35 +164,32 @@ func (st *loopState) issue(ctx *sim.Context, v graph.NodeID) {
 		return
 	}
 	st.remaining[v]--
-	reqID := len(st.issueTime)
-	st.issueTime = append(st.issueTime, ctx.Now())
-	st.origin = append(st.origin, v)
-	st.hops = append(st.hops, 0)
+	st.issueTime[v] = ctx.Now()
+	st.hops[v] = 0
 
 	if st.link[v] == v {
-		pred := st.lastReq[v]
-		st.lastReq[v] = reqID
-		st.completeAt(ctx, reqID, pred, v)
+		// The total order itself is not retained in closed-loop runs, so
+		// queuing behind the node's previous request is purely local.
+		st.completeAt(ctx, v, v)
 		return
 	}
 	target := st.link[v]
-	st.lastReq[v] = reqID
 	st.link[v] = v
-	st.hops[reqID]++
-	ctx.Send(v, target, &st.msgs[reqID])
+	st.hops[v]++
+	ctx.Send(v, target, &st.msgs[v])
 }
 
 func (st *loopState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
 	switch m := msg.(type) {
-	case *queueMsg:
+	case *loopFind:
 		next := st.link[at]
 		st.link[at] = from
 		if next != at {
-			st.hops[m.reqID]++
+			st.hops[m.origin]++
 			ctx.Send(at, next, m)
 			return
 		}
-		st.completeAt(ctx, m.reqID, st.lastReq[at], at)
+		st.completeAt(ctx, m.origin, at)
 	case *loopReply:
 		if at == m.origin {
 			st.scheduleNext(ctx, at)
@@ -202,25 +202,22 @@ func (st *loopState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Mes
 	}
 }
 
-// completeAt records the queuing of reqID behind predID at the sink and
-// notifies the requester so it can issue its next request.
-func (st *loopState) completeAt(ctx *sim.Context, reqID, predID int, sink graph.NodeID) {
-	_ = predID // the total order itself is not retained in closed-loop runs
+// completeAt records the queuing of origin's current request at the sink
+// and notifies the requester so it can issue its next request.
+func (st *loopState) completeAt(ctx *sim.Context, origin, sink graph.NodeID) {
 	st.res.Requests++
-	st.res.TotalLatency += int64(ctx.Now() - st.issueTime[reqID])
-	st.res.QueueHops += int64(st.hops[reqID])
-	if st.hops[reqID] > st.res.MaxQueueHops {
-		st.res.MaxQueueHops = st.hops[reqID]
+	st.res.TotalLatency += int64(ctx.Now() - st.issueTime[origin])
+	st.res.QueueHops += int64(st.hops[origin])
+	if st.hops[origin] > st.res.MaxQueueHops {
+		st.res.MaxQueueHops = st.hops[origin]
 	}
-	origin := st.origin[reqID]
 	if origin == sink {
 		st.res.LocalCompletions++
 		st.scheduleNext(ctx, origin)
 		return
 	}
 	st.res.ReplyHops++
-	st.replies[reqID] = loopReply{origin: origin, reqID: reqID}
-	ctx.Send(sink, st.t.NextHop(sink, origin), &st.replies[reqID])
+	ctx.Send(sink, st.t.NextHop(sink, origin), &st.replies[origin])
 }
 
 func (st *loopState) scheduleNext(ctx *sim.Context, v graph.NodeID) {

@@ -20,16 +20,34 @@ type LoopConfig struct {
 	Seed        int64
 }
 
-// LoopResult aggregates a closed-loop centralized run.
+// LoopResult aggregates a closed-loop centralized run. Request traffic
+// (node -> center) and reply traffic (center -> node) are counted
+// separately so comparisons against arrow charge the same sides of the
+// round trip: QueueHops matches arrow's queue messages, ReplyHops its
+// completion notifications.
 type LoopResult struct {
-	N            int
-	Requests     int64
-	Makespan     sim.Time
-	Hops         int64
-	TotalLatency int64 // issue -> reply arrival, summed
+	N        int
+	Requests int64
+	Makespan sim.Time
+	// QueueHops counts physical link traversals of request messages.
+	QueueHops int64
+	// ReplyHops counts physical link traversals of reply messages.
+	ReplyHops int64
+	// LocalCompletions counts requests issued at the center itself
+	// (zero messages), mirroring the other protocols' local counters.
+	LocalCompletions int64
+	// TotalLatency sums issue -> queued-at-center latencies (arrival
+	// plus the serialization wait) — the same endpoint the other
+	// protocols' loop results measure; the reply leg is notification
+	// traffic, charged to ReplyHops only.
+	TotalLatency int64
+	// MaxQueueHops is the worst single-request queue-side hop count.
+	// The field set and order deliberately match loop.Result, so the
+	// engine adapter maps every protocol through one conversion.
+	MaxQueueHops int
 }
 
-// AvgLatency returns mean round-trip latency per request.
+// AvgLatency returns mean queuing latency per request.
 func (r *LoopResult) AvgLatency() float64 {
 	if r.Requests == 0 {
 		return 0
@@ -37,12 +55,13 @@ func (r *LoopResult) AvgLatency() float64 {
 	return float64(r.TotalLatency) / float64(r.Requests)
 }
 
-// AvgHops returns mean physical link traversals per request.
+// AvgHops returns mean physical link traversals per request, both
+// directions of the round trip combined.
 func (r *LoopResult) AvgHops() float64 {
 	if r.Requests == 0 {
 		return 0
 	}
-	return float64(r.Hops) / float64(r.Requests)
+	return float64(r.QueueHops+r.ReplyHops) / float64(r.Requests)
 }
 
 type loopReq struct {
@@ -50,9 +69,7 @@ type loopReq struct {
 	issued sim.Time
 }
 
-type loopReply struct {
-	issued sim.Time
-}
+type loopReply struct{}
 
 // RunClosedLoop executes the closed-loop centralized experiment on g.
 func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
@@ -88,14 +105,27 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 	}
 
 	var issue func(ctx *sim.Context, v graph.NodeID)
-	complete := func(ctx *sim.Context, v graph.NodeID, issued sim.Time) {
-		res.Requests++
-		res.TotalLatency += int64(ctx.Now() - issued)
-		if v != eng.center {
-			res.Hops += int64(topo.Hops(v, eng.center) + topo.Hops(eng.center, v))
-		}
+	scheduleNext := func(ctx *sim.Context, v graph.NodeID) {
 		if remaining[v] > 0 {
 			ctx.After(think, func(ctx *sim.Context) { issue(ctx, v) })
+		}
+	}
+	// queued records the request joining the total order at the center
+	// (after its serialization wait) — the latency endpoint every
+	// protocol's loop result measures, so the baselines column compares
+	// like with like. The reply only tells the requester to re-issue.
+	queued := func(ctx *sim.Context, v graph.NodeID, issued sim.Time) {
+		res.Requests++
+		res.TotalLatency += int64(ctx.Now() - issued)
+		if v == eng.center {
+			res.LocalCompletions++
+			return
+		}
+		h := topo.Hops(v, eng.center)
+		res.QueueHops += int64(h)
+		res.ReplyHops += int64(topo.Hops(eng.center, v))
+		if h > res.MaxQueueHops {
+			res.MaxQueueHops = h
 		}
 	}
 	issue = func(ctx *sim.Context, v graph.NodeID) {
@@ -105,7 +135,10 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		remaining[v]--
 		issued := ctx.Now()
 		if v == eng.center {
-			eng.serve(ctx, func(ctx *sim.Context, _ int) { complete(ctx, v, issued) })
+			eng.serve(ctx, func(ctx *sim.Context, _ int) {
+				queued(ctx, v, issued)
+				scheduleNext(ctx, v)
+			})
 			return
 		}
 		ctx.Send(v, eng.center, loopReq{origin: v, issued: issued})
@@ -118,10 +151,11 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 				panic("centralized: request at non-center node")
 			}
 			eng.serve(ctx, func(ctx *sim.Context, _ int) {
-				ctx.Send(eng.center, m.origin, loopReply{issued: m.issued})
+				queued(ctx, m.origin, m.issued)
+				ctx.Send(eng.center, m.origin, loopReply{})
 			})
 		case loopReply:
-			complete(ctx, at, m.issued)
+			scheduleNext(ctx, at)
 		default:
 			panic(fmt.Sprintf("centralized: unexpected message %T", msg))
 		}

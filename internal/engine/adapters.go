@@ -7,9 +7,40 @@ import (
 	"repro/internal/centralized"
 	"repro/internal/ivy"
 	"repro/internal/nta"
-	"repro/internal/queuing"
 	"repro/internal/sim"
 )
+
+// loopCounters is the closed-loop counter shape shared field for field
+// by arrow.LoopResult, loop.Result (NTA, Ivy) and
+// centralized.LoopResult; the adapters convert each protocol's result
+// into it so the Cost mapping lives in one place (the conversion stops
+// compiling if a result struct drifts).
+type loopCounters struct {
+	N                int
+	Requests         int64
+	Makespan         sim.Time
+	QueueHops        int64
+	ReplyHops        int64
+	LocalCompletions int64
+	TotalLatency     int64
+	MaxQueueHops     int
+}
+
+// loopCost maps a closed-loop run's counters to the standard Cost.
+func loopCost(proto, label string, r loopCounters) Cost {
+	return Cost{
+		Protocol:         proto,
+		Label:            label,
+		N:                r.N,
+		Requests:         r.Requests,
+		TotalLatency:     r.TotalLatency,
+		QueueHops:        r.QueueHops,
+		ReplyHops:        r.ReplyHops,
+		MaxHops:          r.MaxQueueHops,
+		LocalCompletions: r.LocalCompletions,
+		Makespan:         r.Makespan,
+	}
+}
 
 // tallyHops aggregates a completion slice into the shared Cost fields:
 // requests that completed locally (zero hops) and the worst per-request
@@ -36,6 +67,9 @@ func (Arrow) Name() string { return "arrow" }
 
 // Run implements Protocol.
 func (p Arrow) Run(inst Instance) (Cost, error) {
+	if err := inst.Workload.validate(); err != nil {
+		return Cost{}, err
+	}
 	if inst.Tree == nil {
 		return Cost{}, fmt.Errorf("engine: arrow requires Instance.Tree")
 	}
@@ -51,18 +85,7 @@ func (p Arrow) Run(inst Instance) (Cost, error) {
 		if err != nil {
 			return Cost{}, err
 		}
-		return Cost{
-			Protocol:         p.Name(),
-			Label:            inst.Label,
-			N:                res.N,
-			Requests:         res.Requests,
-			TotalLatency:     res.TotalLatency,
-			QueueHops:        res.QueueHops,
-			ReplyHops:        res.ReplyHops,
-			MaxHops:          res.MaxQueueHops,
-			LocalCompletions: res.LocalCompletions,
-			Makespan:         res.Makespan,
-		}, nil
+		return loopCost(p.Name(), inst.Label, loopCounters(*res)), nil
 	}
 	res, err := arrow.Run(inst.Tree, inst.Workload.Set, arrow.Options{
 		Root:        inst.Root,
@@ -102,6 +125,9 @@ func (Centralized) Name() string { return "centralized" }
 
 // Run implements Protocol.
 func (p Centralized) Run(inst Instance) (Cost, error) {
+	if err := inst.Workload.validate(); err != nil {
+		return Cost{}, err
+	}
 	if inst.Graph == nil {
 		return Cost{}, fmt.Errorf("engine: centralized requires Instance.Graph")
 	}
@@ -118,15 +144,7 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 		if err != nil {
 			return Cost{}, err
 		}
-		return Cost{
-			Protocol:     p.Name(),
-			Label:        inst.Label,
-			N:            res.N,
-			Requests:     res.Requests,
-			TotalLatency: res.TotalLatency,
-			QueueHops:    res.Hops,
-			Makespan:     res.Makespan,
-		}, nil
+		return loopCost(p.Name(), inst.Label, loopCounters(*res)), nil
 	}
 	res, err := centralized.Run(inst.Graph, inst.Workload.Set, centralized.Options{
 		Center:      inst.Root,
@@ -154,7 +172,8 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 }
 
 // NTA runs the Naimi–Trehel–Arnold path-reversal protocol over the
-// instance's graph metric. Static-set workloads only.
+// instance's graph metric. It supports both static-set and closed-loop
+// workloads.
 type NTA struct{}
 
 // Name implements Protocol.
@@ -162,11 +181,25 @@ func (NTA) Name() string { return "nta" }
 
 // Run implements Protocol.
 func (p NTA) Run(inst Instance) (Cost, error) {
+	if err := inst.Workload.validate(); err != nil {
+		return Cost{}, err
+	}
 	if inst.Graph == nil {
 		return Cost{}, fmt.Errorf("engine: nta requires Instance.Graph")
 	}
 	if inst.Workload.Closed() {
-		return Cost{}, errUnsupported(p.Name(), "closed-loop workloads")
+		res, err := nta.RunClosedLoop(inst.Graph, nta.LoopConfig{
+			Root:        inst.Root,
+			PerNode:     inst.Workload.PerNode,
+			ThinkTime:   inst.Workload.ThinkTime,
+			Latency:     inst.Latency,
+			Arbitration: inst.Arbitration,
+			Seed:        inst.Seed,
+		})
+		if err != nil {
+			return Cost{}, err
+		}
+		return loopCost(p.Name(), inst.Label, loopCounters(*res)), nil
 	}
 	res, err := nta.Run(inst.Graph, inst.Workload.Set, nta.Options{
 		Root:        inst.Root,
@@ -192,12 +225,12 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 	}, nil
 }
 
-// Ivy replays the Li–Hudak probable-owner directory on the instance's
-// request set. The directory serializes finds at the owner, so requests
-// are processed in issue order; per-request cost is the pointer chain the
-// find traverses, charged at the graph metric's distances (QueueHops
-// counts forwarding messages, TotalLatency their metric cost). Static-set
-// workloads only.
+// Ivy runs the Li–Hudak probable-owner directory on the discrete-event
+// simulator: find messages follow probable-owner chains as real messages
+// over the graph metric, with ivy.Directory as the pointer-combinatorics
+// core (QueueHops counts forwarding messages — the amortized-Θ(log n)
+// quantity — and TotalLatency their simulated cost). It supports both
+// static-set and closed-loop workloads.
 type Ivy struct{}
 
 // Name implements Protocol.
@@ -205,49 +238,46 @@ func (Ivy) Name() string { return "ivy" }
 
 // Run implements Protocol.
 func (p Ivy) Run(inst Instance) (Cost, error) {
+	if err := inst.Workload.validate(); err != nil {
+		return Cost{}, err
+	}
 	if inst.Graph == nil {
 		return Cost{}, fmt.Errorf("engine: ivy requires Instance.Graph")
 	}
 	if inst.Workload.Closed() {
-		return Cost{}, errUnsupported(p.Name(), "closed-loop workloads")
+		res, err := ivy.RunClosedLoop(inst.Graph, ivy.LoopConfig{
+			Root:        inst.Root,
+			PerNode:     inst.Workload.PerNode,
+			ThinkTime:   inst.Workload.ThinkTime,
+			Latency:     inst.Latency,
+			Arbitration: inst.Arbitration,
+			Seed:        inst.Seed,
+		})
+		if err != nil {
+			return Cost{}, err
+		}
+		return loopCost(p.Name(), inst.Label, loopCounters(*res)), nil
 	}
-	set := inst.Workload.Set
-	if err := set.Validate(inst.Graph.NumNodes()); err != nil {
+	res, err := ivy.Run(inst.Graph, inst.Workload.Set, ivy.Options{
+		Root:        inst.Root,
+		Latency:     inst.Latency,
+		Arbitration: inst.Arbitration,
+		Seed:        inst.Seed,
+	})
+	if err != nil {
 		return Cost{}, err
 	}
-	dist := inst.Graph.AllPairs()
-	dir := ivy.NewDirectory(inst.Graph.NumNodes(), inst.Root)
-	cost := Cost{
-		Protocol: p.Name(),
-		Label:    inst.Label,
-		N:        inst.Graph.NumNodes(),
-		Requests: int64(len(set)),
-		Order:    make(queuing.Order, 0, len(set)),
-	}
-	// The directory serializes requests; the clock advances to each
-	// request's issue time, then by the chain's metric cost.
-	var clock sim.Time
-	for _, r := range set {
-		if r.Time > clock {
-			clock = r.Time
-		}
-		chain := dir.FindChain(r.Node)
-		hops := len(chain) - 1
-		var d int64
-		for i := 0; i+1 < len(chain); i++ {
-			d += dist[chain[i]][chain[i+1]]
-		}
-		clock += sim.Time(d)
-		cost.QueueHops += int64(hops)
-		cost.TotalLatency += int64(clock - r.Time)
-		if hops > cost.MaxHops {
-			cost.MaxHops = hops
-		}
-		if hops == 0 {
-			cost.LocalCompletions++
-		}
-		cost.Order = append(cost.Order, r.ID)
-	}
-	cost.Makespan = clock
-	return cost, nil
+	local, _ := tallyHops(res.Completions, func(c ivy.Completion) int { return c.Hops })
+	return Cost{
+		Protocol:         p.Name(),
+		Label:            inst.Label,
+		N:                inst.Graph.NumNodes(),
+		Requests:         int64(len(res.Completions)),
+		TotalLatency:     res.TotalLatency,
+		QueueHops:        res.TotalHops,
+		MaxHops:          res.MaxHops,
+		LocalCompletions: local,
+		Makespan:         res.Makespan,
+		Order:            res.Order,
+	}, nil
 }

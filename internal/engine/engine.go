@@ -25,7 +25,8 @@ import (
 // node keeps PerNode requests in flight one at a time (the Section 5
 // experimental setting).
 type Workload struct {
-	// Set is the static request set; leave nil for a closed-loop run.
+	// Set is the static request set; leave nil (with a positive
+	// PerNode) for a closed-loop run.
 	Set queuing.Set
 	// PerNode is the number of closed-loop requests each node issues;
 	// ignored when Set is non-nil.
@@ -35,11 +36,31 @@ type Workload struct {
 	ThinkTime sim.Time
 }
 
-// Closed reports whether the workload is closed-loop.
-func (w Workload) Closed() bool { return w.Set == nil }
+// Closed reports whether the workload is closed-loop: no static set and
+// a positive PerNode. A generator that legitimately produced no requests
+// is not reclassified as a closed-loop run (Static normalizes nil), and
+// the ambiguous combination — nil set with PerNode < 1, e.g. a
+// closed-loop experiment invoked with PerNode 0 — is rejected by every
+// adapter via validate instead of silently running an empty static set.
+func (w Workload) Closed() bool { return w.Set == nil && w.PerNode > 0 }
 
-// Static returns a static-set workload.
-func Static(set queuing.Set) Workload { return Workload{Set: set} }
+// validate rejects the ambiguous workload that is neither a static set
+// nor a well-formed closed loop.
+func (w Workload) validate() error {
+	if w.Set == nil && w.PerNode < 1 {
+		return fmt.Errorf("engine: workload has neither a static request set nor a positive closed-loop PerNode")
+	}
+	return nil
+}
+
+// Static returns a static-set workload. A nil set is normalized to an
+// empty one, so empty generator output stays in static mode.
+func Static(set queuing.Set) Workload {
+	if set == nil {
+		set = queuing.Set{}
+	}
+	return Workload{Set: set}
+}
 
 // ClosedLoop returns a closed-loop workload.
 func ClosedLoop(perNode int, think sim.Time) Workload {
@@ -79,14 +100,16 @@ type Cost struct {
 	// N is the node count, Requests the completed request count.
 	N        int
 	Requests int64
-	// TotalLatency is Σ per-request queuing latencies (Definition 3.2 /
-	// the closed-loop round-trip for loop runs).
+	// TotalLatency is Σ per-request queuing latencies (Definition 3.2):
+	// issue until the request is queued behind its predecessor, in both
+	// workload modes and for every protocol.
 	TotalLatency int64
 	// QueueHops counts queue/find-message link traversals; QueueHops /
 	// Requests is Figure 11's metric.
 	QueueHops int64
 	// ReplyHops counts completion-notification traversals (closed-loop
-	// arrow only; the paper does not charge these to the protocol).
+	// runs; the paper does not charge these to the queuing protocol, so
+	// every adapter reports them separately from QueueHops).
 	ReplyHops int64
 	// MaxHops is the worst single-request hop count.
 	MaxHops int
@@ -117,18 +140,13 @@ func (c Cost) AvgQueueHops() float64 {
 
 // Protocol is a queuing protocol the engine can run on an Instance.
 // Implementations must be stateless values: the same Protocol is invoked
-// concurrently from multiple sweep workers.
+// concurrently from multiple sweep workers. Every built-in adapter
+// (Arrow, Centralized, NTA, Ivy) supports both static-set and
+// closed-loop workloads.
 type Protocol interface {
 	// Name identifies the protocol in experiment output.
 	Name() string
 	// Run executes the protocol on the instance and returns its cost.
 	// Runs are deterministic for a fixed instance.
 	Run(inst Instance) (Cost, error)
-}
-
-// errUnsupported builds the standard error for adapter/workload
-// mismatches (e.g. a closed-loop workload on a protocol without a
-// closed-loop implementation).
-func errUnsupported(proto, what string) error {
-	return fmt.Errorf("engine: protocol %s does not support %s", proto, what)
 }

@@ -48,6 +48,8 @@ func determinismGrid(seed int64) []Cell {
 				Cell{Protocol: Ivy{}, Instance: inst},
 				Cell{Protocol: Arrow{}, Instance: loopInst},
 				Cell{Protocol: Centralized{}, Instance: loopInst},
+				Cell{Protocol: NTA{}, Instance: loopInst},
+				Cell{Protocol: Ivy{}, Instance: loopInst},
 			)
 			i++
 		}
@@ -130,8 +132,9 @@ func TestAdaptersAgreeOnSequentialOrder(t *testing.T) {
 	}
 }
 
-// TestClosedLoopAdapters: the loop adapters complete PerNode*n requests
-// and report the figure metrics.
+// TestClosedLoopAdapters: every protocol's loop adapter completes
+// PerNode*n requests and reports the figure metrics, with reply traffic
+// split from queue traffic.
 func TestClosedLoopAdapters(t *testing.T) {
 	const n, perNode = 15, 20
 	inst := Instance{
@@ -140,7 +143,7 @@ func TestClosedLoopAdapters(t *testing.T) {
 		Root:     0,
 		Workload: ClosedLoop(perNode, 0),
 	}
-	for _, p := range []Protocol{Arrow{}, Centralized{}} {
+	for _, p := range []Protocol{Arrow{}, Centralized{}, NTA{}, Ivy{}} {
 		cost, err := p.Run(inst)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
@@ -151,27 +154,65 @@ func TestClosedLoopAdapters(t *testing.T) {
 		if cost.Makespan <= 0 || cost.AvgLatency() <= 0 {
 			t.Errorf("%s: degenerate cost %+v", p.Name(), cost)
 		}
+		if cost.ReplyHops <= 0 {
+			t.Errorf("%s: closed-loop run reported no reply traffic: %+v", p.Name(), cost)
+		}
+		if cost.QueueHops <= 0 {
+			t.Errorf("%s: closed-loop run reported no queue traffic: %+v", p.Name(), cost)
+		}
 	}
 }
 
-// TestUnsupportedWorkloads: protocols without closed-loop support fail
-// with a descriptive error rather than wrong numbers.
-func TestUnsupportedWorkloads(t *testing.T) {
-	inst := Instance{
-		Graph:    graph.Complete(8),
-		Root:     0,
-		Workload: ClosedLoop(5, 0),
+// TestEmptyStaticWorkloadStaysStatic: a generator that produced no
+// requests must run as an empty static set, not be reclassified as a
+// closed-loop workload (the nil-slice footgun), and a zero Workload is
+// not closed either.
+func TestEmptyStaticWorkloadStaysStatic(t *testing.T) {
+	if Static(nil).Closed() || (Workload{}).Closed() {
+		t.Fatal("empty workloads must not be closed-loop")
 	}
-	for _, p := range []Protocol{NTA{}, Ivy{}} {
-		if _, err := p.Run(inst); err == nil {
-			t.Errorf("%s: expected error for closed-loop workload", p.Name())
+	if !ClosedLoop(1, 0).Closed() {
+		t.Fatal("ClosedLoop(1, 0) must be closed-loop")
+	}
+	inst := Instance{
+		Graph:    graph.Complete(6),
+		Tree:     tree.BalancedBinary(6),
+		Root:     0,
+		Workload: Static(nil),
+	}
+	for _, p := range []Protocol{Arrow{}, NTA{}, Centralized{}, Ivy{}} {
+		cost, err := p.Run(inst)
+		if err != nil {
+			t.Fatalf("%s: empty static set errored: %v", p.Name(), err)
+		}
+		if cost.Requests != 0 || cost.QueueHops != 0 {
+			t.Errorf("%s: empty set produced traffic: %+v", p.Name(), cost)
+		}
+		// The ambiguous workload — no set, no positive PerNode (e.g. a
+		// closed-loop experiment invoked with PerNode 0) — must error,
+		// not run as an accidental empty static set.
+		for _, w := range []Workload{{}, ClosedLoop(0, 0)} {
+			bad := inst
+			bad.Workload = w
+			if _, err := p.Run(bad); err == nil {
+				t.Errorf("%s: ambiguous workload %+v did not error", p.Name(), w)
+			}
 		}
 	}
-	if _, err := (Arrow{}).Run(Instance{Workload: ClosedLoop(5, 0)}); err == nil {
-		t.Error("arrow: expected error for nil tree")
-	}
-	if _, err := (Centralized{}).Run(Instance{Workload: ClosedLoop(5, 0)}); err == nil {
-		t.Error("centralized: expected error for nil graph")
+}
+
+// TestAdapterTopologyErrors: missing topology inputs fail with a
+// descriptive error rather than wrong numbers, in both workload modes.
+func TestAdapterTopologyErrors(t *testing.T) {
+	for _, w := range []Workload{ClosedLoop(5, 0), Static(workload.OneShot(8, 2, 1))} {
+		for _, p := range []Protocol{NTA{}, Ivy{}, Centralized{}} {
+			if _, err := p.Run(Instance{Workload: w}); err == nil {
+				t.Errorf("%s: expected error for nil graph (closed=%v)", p.Name(), w.Closed())
+			}
+		}
+		if _, err := (Arrow{}).Run(Instance{Workload: w}); err == nil {
+			t.Errorf("arrow: expected error for nil tree (closed=%v)", w.Closed())
+		}
 	}
 }
 
@@ -179,7 +220,7 @@ func TestUnsupportedWorkloads(t *testing.T) {
 // without disturbing sibling cells.
 func TestSweepErrorPropagation(t *testing.T) {
 	good := sequentialInstance(8, 4)
-	bad := Instance{Graph: graph.Complete(8), Workload: ClosedLoop(2, 0)}
+	bad := Instance{Workload: ClosedLoop(2, 0)} // nil graph: NTA must error
 	outs := Sweep([]Cell{
 		{Protocol: Arrow{}, Instance: good},
 		{Protocol: NTA{}, Instance: bad},

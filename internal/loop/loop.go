@@ -1,0 +1,224 @@
+// Package loop is the shared closed-loop driver for pointer-forwarding
+// queuing protocols over a graph metric (NTA, Ivy): every node issues
+// PerNode requests, each request chases the protocol's pointer
+// discipline hop by hop as real simulator messages, the node where the
+// chase ends notifies the requester directly, and the requester re-issues
+// after ThinkTime. The pointer discipline itself is supplied as a
+// Stepper, so the counters, message pre-boxing, think-time handling and
+// divergence guard exist exactly once and cannot drift between
+// protocols. (Arrow's closed loop lives in package arrow: its replies
+// route hop-by-hop over the spanning tree and its drained-link invariant
+// is tree-specific, so it shares the counter shape but not the driver.)
+package loop
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Stepper is a protocol's pointer discipline — the only part that
+// differs between the forwarding protocols. Both methods mutate the
+// protocol's pointer state.
+type Stepper interface {
+	// StartFind begins a request at v. If v already holds the object /
+	// tail, local is true and no message is sent; otherwise the request
+	// is forwarded to target.
+	StartFind(v graph.NodeID) (target graph.NodeID, local bool)
+	// ForwardFind processes a request for origin arriving at node at
+	// with hops forwarding messages consumed so far. done reports the
+	// chase ended at at; otherwise the request forwards to next.
+	ForwardFind(at, origin graph.NodeID, hops int) (next graph.NodeID, done bool)
+}
+
+// Config drives a closed-loop run (the Section 5 regime).
+type Config struct {
+	// PerNode is the number of requests each node issues.
+	PerNode int
+	// ThinkTime is the delay between learning completion and issuing the
+	// next request; 0 defaults to 1 (one local processing step).
+	ThinkTime sim.Time
+	// Latency is the delay model (nil = synchronous).
+	Latency sim.LatencyModel
+	// Arbitration orders simultaneous messages.
+	Arbitration sim.Arbitration
+	// Seed drives random latency/arbitration.
+	Seed int64
+}
+
+// Result aggregates a closed-loop run with the same counters as
+// arrow.LoopResult, so the engine layer reports one Cost shape for every
+// protocol. QueueHops and ReplyHops count logical messages (each is a
+// direct metric send): the quantity the protocols' amortized analyses
+// are about, and identical to physical link traversals on complete
+// graphs (the paper's SP2 setting).
+type Result struct {
+	// N is the node count, Requests the total completed requests.
+	N        int
+	Requests int64
+	// Makespan is the total simulated time to drain all requests.
+	Makespan sim.Time
+	// QueueHops counts request-forwarding messages.
+	QueueHops int64
+	// ReplyHops counts completion-notification messages (reported
+	// separately; the paper does not charge these to the protocol).
+	ReplyHops int64
+	// LocalCompletions counts requests whose issuer already held the
+	// object / tail (zero messages).
+	LocalCompletions int64
+	// TotalLatency sums per-request queuing latencies (issue to queued).
+	TotalLatency int64
+	// MaxQueueHops is the worst single-request forwarding count.
+	MaxQueueHops int
+}
+
+// AvgQueueHops returns forwarding messages per queuing operation.
+func (r *Result) AvgQueueHops() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.QueueHops) / float64(r.Requests)
+}
+
+// AvgLatency returns mean per-request queuing latency.
+func (r *Result) AvgLatency() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.TotalLatency) / float64(r.Requests)
+}
+
+type find struct{ origin graph.NodeID }
+
+type reply struct{}
+
+// state is O(n), not O(PerNode·n): every node has at most one request in
+// flight (the next one issues only after the completion notification),
+// so per-request bookkeeping can be keyed by the issuing node and the
+// pre-boxed message reused across a node's successive requests — at the
+// paper's scale (100k requests per node) per-request arrays would cost
+// hundreds of MB per sweep cell.
+type state struct {
+	cfg   Config
+	step  Stepper
+	proto string
+
+	issueTime []sim.Time
+	hops      []int
+
+	// Pre-boxed messages, one per node: forwarding passes the same
+	// pointer at every hop, avoiding per-send interface boxing.
+	msgs []find
+	rep  reply
+
+	remaining []int
+	res       *Result
+}
+
+// Run executes the closed-loop experiment for the given pointer
+// discipline over graph g's metric. proto prefixes error messages.
+func Run(g *graph.Graph, step Stepper, proto string, cfg Config) (*Result, error) {
+	n := g.NumNodes()
+	if cfg.PerNode < 1 {
+		return nil, fmt.Errorf("%s: PerNode must be >= 1", proto)
+	}
+	total := int64(cfg.PerNode) * int64(n)
+	st := &state{
+		cfg:       cfg,
+		step:      step,
+		proto:     proto,
+		issueTime: make([]sim.Time, n),
+		hops:      make([]int, n),
+		msgs:      make([]find, n),
+		remaining: make([]int, n),
+		res:       &Result{N: n},
+	}
+	for v := range st.remaining {
+		st.remaining[v] = cfg.PerNode
+		st.msgs[v].origin = graph.NodeID(v)
+	}
+
+	s := sim.New(sim.Config{
+		Topology:    sim.NewMetricTopology(g),
+		Latency:     cfg.Latency,
+		Arbitration: cfg.Arbitration,
+		Seed:        cfg.Seed,
+		// Divergence guard: each request costs at most n forwarding
+		// messages plus a reply and a timer.
+		MaxEvents: total*int64(2*n+8) + 1024,
+	})
+	s.SetAllHandlers(st.handle)
+	for v := 0; v < n; v++ {
+		node := graph.NodeID(v)
+		s.ScheduleAt(0, func(ctx *sim.Context) { st.issue(ctx, node) })
+	}
+	st.res.Makespan = s.Run()
+	if st.res.Requests != total {
+		return nil, fmt.Errorf("%s: closed loop completed %d of %d requests", proto, st.res.Requests, total)
+	}
+	return st.res, nil
+}
+
+func (st *state) issue(ctx *sim.Context, v graph.NodeID) {
+	if st.remaining[v] == 0 {
+		return
+	}
+	st.remaining[v]--
+	st.issueTime[v] = ctx.Now()
+
+	target, local := st.step.StartFind(v)
+	if local {
+		st.hops[v] = 0
+		st.completeAt(ctx, v, v)
+		return
+	}
+	st.hops[v] = 1
+	ctx.Send(v, target, &st.msgs[v])
+}
+
+func (st *state) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
+	switch m := msg.(type) {
+	case *find:
+		next, done := st.step.ForwardFind(at, m.origin, st.hops[m.origin])
+		if done {
+			st.completeAt(ctx, m.origin, at)
+			return
+		}
+		st.hops[m.origin]++
+		ctx.Send(at, next, m)
+	case *reply:
+		st.scheduleNext(ctx, at)
+	default:
+		panic(fmt.Sprintf("%s: unexpected message %T", st.proto, msg))
+	}
+}
+
+// completeAt records the queuing of origin's current request at sink and
+// notifies the requester so it can issue its next request.
+func (st *state) completeAt(ctx *sim.Context, origin, sink graph.NodeID) {
+	st.res.Requests++
+	st.res.TotalLatency += int64(ctx.Now() - st.issueTime[origin])
+	st.res.QueueHops += int64(st.hops[origin])
+	if st.hops[origin] > st.res.MaxQueueHops {
+		st.res.MaxQueueHops = st.hops[origin]
+	}
+	if origin == sink {
+		st.res.LocalCompletions++
+		st.scheduleNext(ctx, origin)
+		return
+	}
+	st.res.ReplyHops++
+	ctx.Send(sink, origin, &st.rep)
+}
+
+func (st *state) scheduleNext(ctx *sim.Context, v graph.NodeID) {
+	if st.remaining[v] == 0 {
+		return
+	}
+	think := st.cfg.ThinkTime
+	if think <= 0 {
+		think = 1
+	}
+	ctx.After(think, func(ctx *sim.Context) { st.issue(ctx, v) })
+}

@@ -1,0 +1,91 @@
+package nta
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/loop"
+	"repro/internal/sim"
+)
+
+// LoopConfig drives the closed-loop workload of the paper's experiments
+// (Section 5) for NTA, mirroring arrow.LoopConfig: every node issues
+// PerNode queuing requests, each issued ThinkTime units after learning the
+// previous one completed. A request that queues remotely is acknowledged
+// by a reply message from the predecessor's node back to the requester,
+// sent directly over the metric.
+type LoopConfig struct {
+	// Root is the initial tail holder; all last pointers start there.
+	Root graph.NodeID
+	// PerNode is the number of requests each node issues.
+	PerNode int
+	// ThinkTime is the delay between learning completion and issuing the
+	// next request; 0 defaults to 1 (one local processing step).
+	ThinkTime sim.Time
+	// Latency is the delay model (nil = synchronous).
+	Latency sim.LatencyModel
+	// Arbitration orders simultaneous messages.
+	Arbitration sim.Arbitration
+	// Seed drives random latency/arbitration.
+	Seed int64
+}
+
+// LoopResult aggregates a closed-loop NTA run — the shared closed-loop
+// counter shape (see loop.Result).
+type LoopResult = loop.Result
+
+// reversalStepper is NTA's pointer discipline as a loop.Stepper: every
+// visited node redirects its last pointer to the requester, and the
+// chase ends at the node whose pointer is self (the tail holder) —
+// exactly the pointer operations of the static Run.
+//
+// Note that these are step-for-step the same pointer updates as Ivy's
+// probable-owner chase with forward path shortening (ivy.Directory):
+// the two protocols differ in what the pointers mean (mutex queue tail
+// vs object ownership) and in their surrounding machinery, not in the
+// message traffic this cost model charges. Closed-loop NTA and Ivy rows
+// in the baselines experiment are therefore identical by construction —
+// TestClosedLoopMatchesIvy pins that identity so it reads as the
+// theorem it is rather than an empirical coincidence.
+type reversalStepper struct{ last []graph.NodeID }
+
+func (s *reversalStepper) StartFind(v graph.NodeID) (graph.NodeID, bool) {
+	if s.last[v] == v {
+		return v, true
+	}
+	target := s.last[v]
+	s.last[v] = v
+	return target, false
+}
+
+func (s *reversalStepper) ForwardFind(at, origin graph.NodeID, hops int) (graph.NodeID, bool) {
+	next := s.last[at]
+	s.last[at] = origin
+	if next == at {
+		return origin, true
+	}
+	return next, false
+}
+
+// RunClosedLoop executes the closed-loop NTA experiment over graph g's
+// metric: requests follow last pointers as real simulator messages, each
+// visited node redirects its pointer to the requester, and the node
+// holding the tail notifies the requester directly.
+func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
+	n := g.NumNodes()
+	if int(cfg.Root) < 0 || int(cfg.Root) >= n {
+		return nil, fmt.Errorf("nta: root %d out of range", cfg.Root)
+	}
+	st := &reversalStepper{last: make([]graph.NodeID, n)}
+	for v := range st.last {
+		st.last[v] = cfg.Root
+	}
+	st.last[cfg.Root] = cfg.Root
+	return loop.Run(g, st, "nta", loop.Config{
+		PerNode:     cfg.PerNode,
+		ThinkTime:   cfg.ThinkTime,
+		Latency:     cfg.Latency,
+		Arbitration: cfg.Arbitration,
+		Seed:        cfg.Seed,
+	})
+}

@@ -52,9 +52,17 @@ type Network struct {
 	collectorWg sync.WaitGroup
 	nextReq     atomic.Int64
 	inflight    sync.WaitGroup
-	running     atomic.Bool
-	stopped     chan struct{}
-	wg          sync.WaitGroup
+	// mu orders request admission against shutdown: Request holds the
+	// read side while it checks running and enqueues, Stop holds the
+	// write side while it flips running. Without it a Request racing
+	// Stop could pass the running check, then enqueue into a node whose
+	// loop already exited — the mailbox would never drain and Stop would
+	// deadlock in wg.Wait().
+	mu      sync.RWMutex
+	started atomic.Bool
+	running atomic.Bool
+	stopped chan struct{}
+	wg      sync.WaitGroup
 }
 
 type message any
@@ -117,9 +125,18 @@ func New(t *tree.Tree, root graph.NodeID, opts Options) *Network {
 
 // Start launches the node goroutines. It must be called exactly once.
 func (net *Network) Start() {
-	if !net.running.CompareAndSwap(false, true) {
+	// The whole launch — flag flips AND every wg.Add/goroutine spawn —
+	// happens under mu, so a Stop that observes started==true inside
+	// its own locked section also observes running==true (no phantom
+	// winner to wait for) and a fully populated WaitGroup (its Wait
+	// cannot interleave with these Adds, which would be WaitGroup
+	// misuse and let Stop return before the nodes even exist).
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if !net.started.CompareAndSwap(false, true) {
 		panic("runtime: Start called twice")
 	}
+	net.running.Store(true)
 	for _, nd := range net.nodes {
 		net.wg.Add(2)
 		go nd.mailbox()
@@ -164,43 +181,86 @@ func (net *Network) Completions() <-chan Completion { return net.completions }
 
 // Request asynchronously issues a queuing request at node v and returns
 // its request ID. The completion eventually appears on Completions.
+// Requests racing Stop either get fully serviced (Stop waits for them)
+// or fail fast with TryRequest's rejection panic — they are never
+// silently dropped into a stopped node.
 func (net *Network) Request(v graph.NodeID) int64 {
-	if !net.running.Load() {
+	id, ok := net.TryRequest(v)
+	if !ok {
 		panic("runtime: Request before Start or after Stop")
 	}
-	id := net.nextReq.Add(1) - 1
-	net.inflight.Add(1)
-	net.nodes[v].in <- issueMsg{reqID: id}
 	return id
+}
+
+// TryRequest is Request that reports rejection instead of panicking:
+// ok is false when the network is not running (before Start, after Stop,
+// or once a concurrent Stop has begun shutting down). A request accepted
+// here is guaranteed to complete before Stop returns.
+func (net *Network) TryRequest(v graph.NodeID) (id int64, ok bool) {
+	id, _, ok = net.admit(v, false)
+	return id, ok
 }
 
 // RequestSync issues a request at v and waits until v's protocol
 // initiation step has executed (not until queuing completes). Useful for
 // tests that need a deterministic issue order.
 func (net *Network) RequestSync(v graph.NodeID) int64 {
-	if !net.running.Load() {
+	id, done, ok := net.admit(v, true)
+	if !ok {
 		panic("runtime: Request before Start or after Stop")
 	}
-	id := net.nextReq.Add(1) - 1
-	net.inflight.Add(1)
-	done := make(chan struct{})
-	net.nodes[v].in <- issueMsg{reqID: id, done: done}
 	<-done
 	return id
+}
+
+// admit atomically checks that the network is running and enqueues the
+// issue message. Holding mu's read side across check+enqueue closes the
+// Request/Stop race: once Stop's writer section flips running, no new
+// issue can reach a mailbox, and every issue that won the race is
+// covered by Stop's quiescence wait.
+func (net *Network) admit(v graph.NodeID, sync bool) (id int64, done chan struct{}, ok bool) {
+	net.mu.RLock()
+	defer net.mu.RUnlock()
+	if !net.running.Load() {
+		return 0, nil, false
+	}
+	id = net.nextReq.Add(1) - 1
+	net.inflight.Add(1)
+	if sync {
+		done = make(chan struct{})
+	}
+	net.nodes[v].in <- issueMsg{reqID: id, done: done}
+	return id, done, true
 }
 
 // Wait blocks until every issued request has completed (quiescence).
 func (net *Network) Wait() { net.inflight.Wait() }
 
-// Stop waits for quiescence, terminates all goroutines, and closes the
-// completions channel (after all buffered completions are delivered).
-// A consumer must be draining Completions, otherwise Stop blocks until
-// the remaining completions are read. The network cannot be restarted.
+// Stop rejects further requests, waits for quiescence of the accepted
+// ones, terminates all goroutines, and closes the completions channel
+// (after all buffered completions are delivered). A consumer must be
+// draining Completions, otherwise Stop blocks until the remaining
+// completions are read. Concurrent Stop calls all return only once the
+// shutdown has fully finished; Stop before Start is a no-op. The
+// network cannot be restarted.
 func (net *Network) Stop() {
-	net.Wait()
-	if !net.running.CompareAndSwap(true, false) {
+	// Flip running before waiting: a Request serialized after this
+	// point is rejected, one serialized before is counted in inflight,
+	// so the Wait below observes a monotonically draining system.
+	net.mu.Lock()
+	started := net.started.Load()
+	stopping := started && net.running.CompareAndSwap(true, false)
+	net.mu.Unlock()
+	if !started {
 		return
 	}
+	if !stopping {
+		// Another Stop won the race (or already finished): hold every
+		// caller to Stop's contract by waiting for that shutdown.
+		<-net.stopped
+		return
+	}
+	net.Wait()
 	for _, nd := range net.nodes {
 		nd.in <- stopMsg{}
 	}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -198,6 +199,104 @@ func TestStopIdempotentAndGuards(t *testing.T) {
 		}
 	}()
 	net.Request(1)
+}
+
+// TestRequestStopRace hammers Request against Stop (run with -race):
+// every accepted request must complete before Stop returns, rejected
+// ones must fail fast via TryRequest, and nothing may deadlock — the
+// regression this pins down is an issue racing past the running check
+// into a node whose loop already exited, wedging Stop in wg.Wait().
+func TestRequestStopRace(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		const n = 15
+		tr := tree.BalancedBinary(n)
+		net := New(tr, 0, Options{})
+		net.Start()
+		var accepted, completed int64
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range net.Completions() {
+				completed++
+			}
+		}()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					if _, ok := net.TryRequest(graph.NodeID((w*50 + i) % n)); !ok {
+						return // network stopped underneath us
+					}
+					atomic.AddInt64(&accepted, 1)
+				}
+			}(w)
+		}
+		close(start)
+		net.Stop() // races the issuers
+		wg.Wait()
+		<-drained
+		if completed != atomic.LoadInt64(&accepted) {
+			t.Fatalf("trial %d: accepted %d requests but %d completed",
+				trial, atomic.LoadInt64(&accepted), completed)
+		}
+		if _, ok := net.TryRequest(3); ok {
+			t.Fatalf("trial %d: TryRequest accepted after Stop", trial)
+		}
+	}
+}
+
+// TestConcurrentStops: every Stop caller — including losers of the
+// shutdown race — returns only after the network is fully stopped, and
+// Stop before Start is a no-op.
+func TestConcurrentStops(t *testing.T) {
+	idle := New(tree.PathTree(3), 0, Options{})
+	idle.Stop() // before Start: must return immediately
+
+	// Stop racing Start (run with -race): Stop either no-ops (it beat
+	// Start's locked section) or performs a full shutdown of an entirely
+	// launched network — never a partial one.
+	for i := 0; i < 50; i++ {
+		net := New(tree.PathTree(4), 0, Options{})
+		go func() {
+			for range net.Completions() {
+			}
+		}()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			net.Stop()
+		}()
+		net.Start()
+		<-done
+		net.Stop() // idempotent regardless of which side won
+	}
+
+	tr := tree.BalancedBinary(7)
+	net := New(tr, 0, Options{})
+	net.Start()
+	go func() {
+		for range net.Completions() {
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		net.Request(graph.NodeID(i % 7))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			net.Stop()
+			// Stop returned, so the network must be fully stopped:
+			// Links panics otherwise.
+			net.Links()
+		}()
+	}
+	wg.Wait()
 }
 
 func TestLinksBeforeStopPanics(t *testing.T) {

@@ -10,12 +10,20 @@ import (
 // in the spanning tree").
 type TreeTopology struct{ T *tree.Tree }
 
-// Latency implements Topology: only tree edges are legal.
+// Latency implements Topology: only tree edges are legal. The check uses
+// the parent relation — O(1) per send, exactly as LinkIndex does —
+// instead of scanning the neighbor list, which is O(degree) and O(n) at
+// the center of a star tree (this is the simulator's hot path: it runs
+// on every message).
 func (t TreeTopology) Latency(u, v graph.NodeID) (graph.Weight, bool) {
-	for _, e := range t.T.Neighbors(u) {
-		if e.To == v {
-			return e.W, true
-		}
+	if u == v {
+		return 0, false
+	}
+	if t.T.Parent(u) == v {
+		return t.T.ParentWeight(u), true
+	}
+	if t.T.Parent(v) == u {
+		return t.T.ParentWeight(v), true
 	}
 	return 0, false
 }

@@ -132,6 +132,9 @@ func (t *Tree) Root() graph.NodeID { return t.root }
 // Parent returns v's parent (the root is its own parent).
 func (t *Tree) Parent(v graph.NodeID) graph.NodeID { return t.parent[v] }
 
+// ParentWeight returns the weight of v's parent edge (0 for the root).
+func (t *Tree) ParentWeight(v graph.NodeID) graph.Weight { return t.pw[v] }
+
 // Neighbors returns v's tree-adjacent nodes with edge weights. The slice
 // is owned by the tree and must not be modified.
 func (t *Tree) Neighbors(v graph.NodeID) []graph.Edge { return t.adj[v] }

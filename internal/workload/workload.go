@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -12,13 +13,23 @@ import (
 	"repro/internal/sim"
 )
 
+// require panics with a descriptive workload error unless cond holds.
+// The generators validate their inputs eagerly so a bad parameter fails
+// with a named constraint instead of surfacing later as an opaque rand
+// panic (e.g. rand.Int63n(0)) or a silently empty request set.
+func require(cond bool, constraint string) {
+	if !cond {
+		panic(fmt.Sprintf("workload: %s", constraint))
+	}
+}
+
 // OneShot returns k simultaneous requests (all at t = 0) at k distinct
 // random nodes of an n-node network — the setting of the PODC'01
 // precursor paper [10]. k must be at most n.
 func OneShot(n, k int, seed int64) queuing.Set {
-	if k > n {
-		panic("workload: more one-shot requests than nodes")
-	}
+	require(n >= 1, "OneShot needs n >= 1")
+	require(k >= 0, "OneShot needs k >= 0")
+	require(k <= n, "OneShot needs k <= n (distinct nodes)")
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)
 	reqs := make([]queuing.Request, k)
@@ -33,6 +44,9 @@ func OneShot(n, k int, seed int64) queuing.Set {
 // the sequential regime of Demmer–Herlihy: per-operation cost <= D and
 // competitive ratio <= s.
 func Sequential(n, count int, gap sim.Time, seed int64) queuing.Set {
+	require(n >= 1, "Sequential needs n >= 1")
+	require(count >= 0, "Sequential needs count >= 0")
+	require(gap >= 0, "Sequential needs gap >= 0")
 	rng := rand.New(rand.NewSource(seed))
 	reqs := make([]queuing.Request, count)
 	for i := range reqs {
@@ -49,9 +63,9 @@ func Sequential(n, count int, gap sim.Time, seed int64) queuing.Set {
 // uniformly random node. The returned set size is random; use the seed to
 // reproduce it.
 func Poisson(n int, rate float64, horizon sim.Time, seed int64) queuing.Set {
-	if rate <= 0 {
-		panic("workload: rate must be positive")
-	}
+	require(n >= 1, "Poisson needs n >= 1")
+	require(rate > 0, "Poisson needs rate > 0")
+	require(horizon >= 0, "Poisson needs horizon >= 0")
 	rng := rand.New(rand.NewSource(seed))
 	var reqs []queuing.Request
 	t := 0.0
@@ -73,6 +87,10 @@ func Poisson(n int, rate float64, horizon sim.Time, seed int64) queuing.Set {
 // separated by burstGap. High-contention phases alternating with silence —
 // the regime Lemma 3.11's time-shifting argument addresses.
 func Bursty(n, burstSize, bursts int, burstGap sim.Time, seed int64) queuing.Set {
+	require(n >= 1, "Bursty needs n >= 1")
+	require(burstSize >= 1, "Bursty needs burstSize >= 1")
+	require(bursts >= 0, "Bursty needs bursts >= 0")
+	require(burstGap >= 0, "Bursty needs burstGap >= 0")
 	rng := rand.New(rand.NewSource(seed))
 	var reqs []queuing.Request
 	for b := 0; b < bursts; b++ {
@@ -91,9 +109,12 @@ func Bursty(n, burstSize, bursts int, burstGap sim.Time, seed int64) queuing.Set
 // hotFrac of requests hit a single hot node and the rest are uniform.
 // Models contended shared objects (e.g. a hot lock).
 func Hotspot(n, count int, hotFrac float64, horizon sim.Time, seed int64) queuing.Set {
-	if hotFrac < 0 || hotFrac > 1 {
-		panic("workload: hotFrac must be in [0,1]")
-	}
+	require(n >= 1, "Hotspot needs n >= 1")
+	require(count >= 0, "Hotspot needs count >= 0")
+	require(hotFrac >= 0 && hotFrac <= 1, "Hotspot needs hotFrac in [0,1]")
+	// horizon bounds the rand.Int63n draw below; 0 or negative would
+	// panic inside the RNG with no hint at which parameter was wrong.
+	require(horizon >= 1, "Hotspot needs horizon >= 1")
 	rng := rand.New(rand.NewSource(seed))
 	hot := graph.NodeID(rng.Intn(n))
 	reqs := make([]queuing.Request, count)
@@ -111,6 +132,9 @@ func Hotspot(n, count int, hotFrac float64, horizon sim.Time, seed int64) queuin
 // endpoints of a diameter path, spaced gap apart. The workload of the
 // Ω(s) part of Theorem 4.1's lower bound.
 func TwoNodePingPong(u, v graph.NodeID, count int, gap sim.Time) queuing.Set {
+	require(u >= 0 && v >= 0, "TwoNodePingPong needs non-negative nodes")
+	require(count >= 0, "TwoNodePingPong needs count >= 0")
+	require(gap >= 0, "TwoNodePingPong needs gap >= 0")
 	reqs := make([]queuing.Request, count)
 	for i := range reqs {
 		node := u

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -124,6 +125,80 @@ func TestHotspotValidatesFraction(t *testing.T) {
 		}
 	}()
 	Hotspot(5, 10, 1.5, 10, 1)
+}
+
+// TestConstructorInputValidation: every generator rejects degenerate
+// parameters with a descriptive workload panic instead of an opaque
+// failure deep inside the RNG (the original bug: Hotspot with
+// horizon <= 0 reached rand.Int63n(0)) or a silently empty set.
+func TestConstructorInputValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"OneShot/n=0", func() { OneShot(0, 0, 1) }},
+		{"OneShot/k<0", func() { OneShot(5, -1, 1) }},
+		{"OneShot/k>n", func() { OneShot(3, 5, 1) }},
+		{"Sequential/n=0", func() { Sequential(0, 4, 10, 1) }},
+		{"Sequential/count<0", func() { Sequential(5, -1, 10, 1) }},
+		{"Sequential/gap<0", func() { Sequential(5, 4, -1, 1) }},
+		{"Poisson/n=0", func() { Poisson(0, 1, 10, 1) }},
+		{"Poisson/rate=0", func() { Poisson(5, 0, 10, 1) }},
+		{"Poisson/rate<0", func() { Poisson(5, -0.5, 10, 1) }},
+		{"Poisson/horizon<0", func() { Poisson(5, 1, -1, 1) }},
+		{"Bursty/n=0", func() { Bursty(0, 2, 2, 10, 1) }},
+		{"Bursty/burstSize=0", func() { Bursty(5, 0, 2, 10, 1) }},
+		{"Bursty/bursts<0", func() { Bursty(5, 2, -1, 10, 1) }},
+		{"Bursty/burstGap<0", func() { Bursty(5, 2, 2, -1, 1) }},
+		{"Hotspot/n=0", func() { Hotspot(0, 4, 0.5, 10, 1) }},
+		{"Hotspot/count<0", func() { Hotspot(5, -1, 0.5, 10, 1) }},
+		{"Hotspot/hotFrac<0", func() { Hotspot(5, 4, -0.1, 10, 1) }},
+		{"Hotspot/hotFrac>1", func() { Hotspot(5, 4, 1.5, 10, 1) }},
+		{"Hotspot/horizon=0", func() { Hotspot(5, 4, 0.5, 0, 1) }},
+		{"Hotspot/horizon<0", func() { Hotspot(5, 4, 0.5, -3, 1) }},
+		{"TwoNodePingPong/count<0", func() { TwoNodePingPong(0, 1, -1, 10) }},
+		{"TwoNodePingPong/gap<0", func() { TwoNodePingPong(0, 1, 4, -1) }},
+		{"TwoNodePingPong/node<0", func() { TwoNodePingPong(-1, 1, 4, 10) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected a validation panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.HasPrefix(msg, "workload: ") {
+					t.Fatalf("panic %v is not a descriptive workload error", r)
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestConstructorBoundaryInputs: the smallest legal parameters build
+// without panicking (empty sets are fine, opaque failures are not).
+func TestConstructorBoundaryInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() int
+	}{
+		{"OneShot/k=0", func() int { return len(OneShot(1, 0, 1)) }},
+		{"OneShot/k=n", func() int { return len(OneShot(4, 4, 1)) }},
+		{"Sequential/count=0", func() int { return len(Sequential(1, 0, 0, 1)) }},
+		{"Poisson/horizon=0", func() int { return len(Poisson(1, 1, 0, 1)) }},
+		{"Bursty/bursts=0", func() int { return len(Bursty(1, 1, 0, 0, 1)) }},
+		{"Hotspot/count=0", func() int { return len(Hotspot(1, 0, 0, 1, 1)) }},
+		{"Hotspot/horizon=1", func() int { return len(Hotspot(3, 7, 1, 1, 1)) }},
+		{"TwoNodePingPong/count=0", func() int { return len(TwoNodePingPong(0, 1, 0, 0)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.call(); got < 0 {
+				t.Fatalf("impossible size %d", got)
+			}
+		})
+	}
 }
 
 func TestTwoNodePingPong(t *testing.T) {
