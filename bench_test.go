@@ -24,6 +24,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/stabilize"
+	"repro/internal/stats"
 	"repro/internal/tree"
 	"repro/internal/tsp"
 	"repro/internal/workload"
@@ -368,6 +369,47 @@ func BenchmarkSimSendDispatch(b *testing.B) {
 			})
 			b.ResetTimer()
 			s.Run()
+		})
+	}
+}
+
+// BenchmarkHistogramRecord measures the streaming histogram's record
+// hot path — run with -benchmem: after the one-time bucket allocation,
+// records are allocation-free, which is what lets every closed-loop
+// completion feed it.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h stats.Histogram
+	h.Record(0) // allocate the fixed bucket array up front
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) & 0xFFFFF)
+	}
+}
+
+// BenchmarkClosedLoopObserved measures the per-request observability
+// overhead on the arrow closed loop: no recorder (the allocation-free
+// baseline) vs a DistRecorder capturing full latency/hop distributions.
+func BenchmarkClosedLoopObserved(b *testing.B) {
+	t := tree.BalancedBinary(63)
+	const perNode = 16
+	cases := []struct {
+		name string
+		rec  stats.Recorder
+	}{
+		{"none", nil},
+		{"dist", stats.NewDistRecorder()},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := arrow.RunClosedLoop(t, arrow.LoopConfig{
+					Root: 0, PerNode: perNode, Recorder: c.rec,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(63*perNode)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 		})
 	}
 }

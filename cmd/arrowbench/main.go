@@ -15,6 +15,7 @@
 //	arrowbench -exp stretch      # Theorem 4.2 shortcut gadget
 //	arrowbench -exp nnapprox     # Theorem 3.18 NN-vs-optimal sweep
 //	arrowbench -exp baselines    # arrow vs NTA vs centralized vs Ivy, closed loop + static
+//	arrowbench -exp perf         # per-request latency/hop distributions (p50..p999), all protocols
 //	arrowbench -exp oneshot      # PODC'01 one-shot regime: ratio vs s log |R|
 //	arrowbench -exp directory    # arrow directory vs home-based (Herlihy–Warres)
 //	arrowbench -exp commtree     # Peleg–Reshef demand-aware tree selection
@@ -30,10 +31,14 @@
 // experiments always use GOMAXPROCS. Results are identical for every
 // worker count. Pass -json to emit every table as a machine-readable
 // JSON document (one per table) instead of aligned text, so CI can
-// track the numbers across commits.
+// track the numbers across commits. For -exp perf, -json emits the
+// versioned arrowbench/perf document instead of generic tables; CI
+// captures it as BENCH_perf.json and gates regressions with
+// cmd/benchcheck.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -88,6 +93,7 @@ func main() {
 		"stretch":     func() error { return runStretch() },
 		"nnapprox":    func() error { return runNNApprox(*seed) },
 		"baselines":   func() error { return runBaselines(ns, *perNode, *seed, *workers) },
+		"perf":        func() error { return runPerf(ns, *perNode, *seed, *workers) },
 		"oneshot":     func() error { return runOneShot(*seed) },
 		"directory":   func() error { return runDirectory(*seed) },
 		"commtree":    func() error { return runCommTree(*seed) },
@@ -97,7 +103,7 @@ func main() {
 		order := []string{
 			"fig10", "fig11", "lowerbound", "adversarial", "ratio", "sequential",
 			"trees", "arbitration", "async", "stretch", "nnapprox", "baselines",
-			"oneshot", "directory", "commtree", "stabilize",
+			"perf", "oneshot", "directory", "commtree", "stabilize",
 		}
 		for _, name := range order {
 			if name == "fig10" {
@@ -307,6 +313,32 @@ func runBaselines(ns []int, perNode int, seed int64, workers int) error {
 		tbl.AddRow(c.Protocol, c.TotalLatency, c.QueueHops, c.Makespan, opt.Ratio(c.TotalLatency, den))
 	}
 	emit(tbl)
+	return nil
+}
+
+// runPerf runs the per-request observability experiment: latency and
+// hop distributions for every protocol over the size × workload grid.
+// With -json it emits the versioned arrowbench/perf document (the
+// BENCH_perf.json schema) instead of generic tables, so CI can gate on
+// the deterministic simulated metrics.
+func runPerf(ns []int, perNode int, seed int64, workers int) error {
+	rows, err := analysis.PerfExperiment(ns, perNode, seed, workers)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		doc := analysis.PerfDocument(analysis.PerfConfig{
+			Sizes: ns, PerNode: perNode, Seed: seed,
+		}, rows)
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	emit(analysis.PerfLatencyTable(rows))
+	emit(analysis.PerfHopsTable(rows))
 	return nil
 }
 

@@ -1,0 +1,264 @@
+// Command benchcheck is the CI benchmark-regression gate. It performs
+// two independent checks and exits non-zero if either fails:
+//
+//   - -bench FILE: parse `go test -bench` output and require that every
+//     BenchmarkSimSendDispatch sub-benchmark reports 0 allocs/op — the
+//     simulator's zero-alloc send/dispatch invariant (run the benchmarks
+//     with -benchmem, or no allocs/op column is emitted and the check
+//     fails as "not found").
+//
+//   - -baseline FILE -current FILE: compare two arrowbench/perf
+//     documents (`arrowbench -exp perf -json`, the BENCH_perf.json
+//     schema) row by row and fail when a pinned metric regresses more
+//     than -tol (default 20%). The pinned metrics — makespan and the
+//     latency/hop distribution quantiles — are simulated quantities,
+//     deterministic for a fixed config, so unlike wall-clock ns/op they
+//     gate reliably on shared CI runners; the tolerance only leaves room
+//     for deliberate small semantic changes. Config or schema mismatch
+//     between the documents fails immediately: a delta between runs with
+//     different parameters is noise.
+//
+// Usage (what CI runs):
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | tee bench.txt
+//	go test -run '^$' -bench BenchmarkSimSendDispatch -benchtime 200000x -benchmem . | tee -a bench.txt
+//	arrowbench -exp perf -json -sizes 64,76 -pernode 500 -seed 1 > BENCH_perf.ci.json
+//	benchcheck -bench bench.txt -baseline BENCH_perf.json -current BENCH_perf.ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// allocBenchmark is the benchmark whose allocs/op must stay zero.
+const allocBenchmark = "BenchmarkSimSendDispatch"
+
+func main() {
+	benchPath := flag.String("bench", "", "go test -bench output to check for the zero-alloc invariant")
+	basePath := flag.String("baseline", "", "committed arrowbench/perf baseline document")
+	curPath := flag.String("current", "", "freshly generated arrowbench/perf document")
+	tol := flag.Float64("tol", 0.20, "allowed relative regression of pinned metrics")
+	flag.Parse()
+
+	if *benchPath == "" && (*basePath == "" || *curPath == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: nothing to do; pass -bench and/or -baseline with -current")
+		os.Exit(2)
+	}
+	failed := false
+	if *benchPath != "" {
+		if err := checkBenchFile(*benchPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("benchcheck: %s allocs/op is zero\n", allocBenchmark)
+		}
+	}
+	if *basePath != "" || *curPath != "" {
+		if *basePath == "" || *curPath == "" {
+			fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -current must be given together")
+			os.Exit(2)
+		}
+		base, err := loadPerfDoc(*basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadPerfDoc(*curPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		regressions := comparePerf(base, cur, *tol)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			failed = true
+		} else {
+			fmt.Printf("benchcheck: %d perf rows within %.0f%% of baseline\n",
+				len(base.Rows), *tol*100)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkBenchFile enforces the zero-alloc invariant on a go test -bench
+// output file.
+func checkBenchFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return checkBenchOutput(f)
+}
+
+// benchMeasure is one parsed benchmark result line.
+type benchMeasure struct {
+	iters  int64
+	allocs float64
+}
+
+// checkBenchOutput scans go test -bench output for allocBenchmark
+// sub-benchmarks and fails if any reports non-zero allocs/op at steady
+// state, or if no steady-state measurement is found (the invariant
+// cannot be confirmed). Zero allocs/op is a steady-state property —
+// one-shot heap growth and setup amortize away over iterations — so
+// when the same sub-benchmark appears several times (CI appends a
+// high-iteration run to the 1x smoke sweep), only the measurement with
+// the most iterations counts, and a lone b.N=1 measurement is rejected.
+func checkBenchOutput(r io.Reader) error {
+	best := map[string]benchMeasure{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Match the exact benchmark (its name continues with the
+		// sub-benchmark separator '/' or the GOMAXPROCS suffix '-'), not
+		// any benchmark sharing the prefix.
+		rest, ok := strings.CutPrefix(line, allocBenchmark)
+		if !ok || (rest != "" && rest[0] != '/' && rest[0] != '-' && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if f != "allocs/op" || i == 0 {
+				continue
+			}
+			allocs, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return fmt.Errorf("%s: cannot parse allocs/op in %q: %v", fields[0], line, err)
+			}
+			iters := int64(1)
+			if len(fields) > 1 {
+				if v, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					iters = v
+				}
+			}
+			if m, ok := best[fields[0]]; !ok || iters > m.iters {
+				best[fields[0]] = benchMeasure{iters: iters, allocs: allocs}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(best) == 0 {
+		return fmt.Errorf("no %s allocs/op measurement found (run benchmarks with -benchmem)", allocBenchmark)
+	}
+	var bad []string
+	steady := false
+	for name, m := range best {
+		if m.iters > 1 {
+			steady = true
+		}
+		if m.allocs != 0 {
+			bad = append(bad, fmt.Sprintf("%s reports %g allocs/op over %d iterations, want 0", name, m.allocs, m.iters))
+		}
+	}
+	if !steady {
+		return fmt.Errorf("only b.N=1 %s measurements found; zero allocs/op needs a steady-state run (e.g. -benchtime 200000x)", allocBenchmark)
+	}
+	sort.Strings(bad)
+	if len(bad) > 0 {
+		return fmt.Errorf("zero-alloc invariant broken: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+func loadPerfDoc(path string) (analysis.PerfDoc, error) {
+	var doc analysis.PerfDoc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// rowKey identifies a perf row across documents.
+func rowKey(r analysis.PerfDocRow) string {
+	return fmt.Sprintf("%s/n=%d/%s", r.Protocol, r.N, r.Workload)
+}
+
+// comparePerf returns one message per regression of a pinned metric —
+// current worse than baseline by more than tol relative (with one unit
+// of absolute slack, so a 1-vs-2 time-unit quantile is not a 100%
+// regression) — plus messages for structural mismatches (schema,
+// config, missing rows), which are always failures.
+func comparePerf(base, cur analysis.PerfDoc, tol float64) []string {
+	var msgs []string
+	if base.Schema != cur.Schema {
+		return []string{fmt.Sprintf("schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema)}
+	}
+	if !configEqual(base.Config, cur.Config) {
+		return []string{fmt.Sprintf("config mismatch: baseline %+v vs current %+v (regenerate the baseline with the same flags)",
+			base.Config, cur.Config)}
+	}
+	curRows := make(map[string]analysis.PerfDocRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curRows[rowKey(r)] = r
+	}
+	for _, b := range base.Rows {
+		c, ok := curRows[rowKey(b)]
+		if !ok {
+			msgs = append(msgs, fmt.Sprintf("%s: row missing from current document", rowKey(b)))
+			continue
+		}
+		if c.Requests != b.Requests {
+			msgs = append(msgs, fmt.Sprintf("%s: completed %d requests, baseline %d", rowKey(b), c.Requests, b.Requests))
+		}
+		// Integer quantiles get one simulated time unit of absolute
+		// slack (1 -> 2 is +100% but one bucket); means are fine-grained
+		// floats where that slack would hide large regressions on
+		// small-valued rows, so they get only the relative tolerance.
+		for _, m := range []struct {
+			name      string
+			base, cur float64
+			slack     float64
+		}{
+			{"makespan", float64(b.Makespan), float64(c.Makespan), 1},
+			{"latency.p50", float64(b.Latency.P50), float64(c.Latency.P50), 1},
+			{"latency.p90", float64(b.Latency.P90), float64(c.Latency.P90), 1},
+			{"latency.p99", float64(b.Latency.P99), float64(c.Latency.P99), 1},
+			{"latency.p999", float64(b.Latency.P999), float64(c.Latency.P999), 1},
+			{"latency.max", float64(b.Latency.Max), float64(c.Latency.Max), 1},
+			{"latency.mean", b.Latency.Mean, c.Latency.Mean, 1e-9},
+			{"hops.p99", float64(b.Hops.P99), float64(c.Hops.P99), 1},
+			{"hops.max", float64(b.Hops.Max), float64(c.Hops.Max), 1},
+			{"hops.mean", b.Hops.Mean, c.Hops.Mean, 1e-9},
+		} {
+			if m.cur > m.base*(1+tol)+m.slack {
+				msgs = append(msgs, fmt.Sprintf("%s: %s regressed %.3f -> %.3f (>%.0f%%)",
+					rowKey(b), m.name, m.base, m.cur, tol*100))
+			}
+		}
+	}
+	return msgs
+}
+
+func configEqual(a, b analysis.PerfConfig) bool {
+	if a.PerNode != b.PerNode || a.Seed != b.Seed || len(a.Sizes) != len(b.Sizes) {
+		return false
+	}
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			return false
+		}
+	}
+	return true
+}

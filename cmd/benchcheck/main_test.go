@@ -1,0 +1,153 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/stats"
+)
+
+const goodBench = `goos: linux
+BenchmarkSimSendDispatch/binary-8         5000000   214.0 ns/op   0 B/op   0 allocs/op
+BenchmarkSimSendDispatch/star-8           5000000   120.0 ns/op   0 B/op   0 allocs/op
+BenchmarkFig10Arrow/n=2-8                 1         83000 ns/op
+PASS
+`
+
+const badBench = `BenchmarkSimSendDispatch/binary-8   5000000   214.0 ns/op   16 B/op   3 allocs/op
+PASS
+`
+
+func TestCheckBenchOutput(t *testing.T) {
+	if err := checkBenchOutput(strings.NewReader(goodBench)); err != nil {
+		t.Errorf("clean output failed: %v", err)
+	}
+	if err := checkBenchOutput(strings.NewReader(badBench)); err == nil {
+		t.Error("3 allocs/op passed the zero-alloc gate")
+	}
+	if err := checkBenchOutput(strings.NewReader("PASS\n")); err == nil {
+		t.Error("missing benchmark passed the gate")
+	}
+	// Without -benchmem there is no allocs/op column: the invariant is
+	// unconfirmed and must fail.
+	noMem := "BenchmarkSimSendDispatch/binary-8  5000000  214.0 ns/op\nPASS\n"
+	if err := checkBenchOutput(strings.NewReader(noMem)); err == nil {
+		t.Error("output without allocs/op column passed the gate")
+	}
+	// A lone b.N=1 measurement cannot confirm the steady-state property.
+	oneShot := "BenchmarkSimSendDispatch/binary-8  1  152232 ns/op  80392 B/op  10 allocs/op\nPASS\n"
+	if err := checkBenchOutput(strings.NewReader(oneShot)); err == nil {
+		t.Error("b.N=1-only measurement passed the gate")
+	}
+	// When both the 1x smoke line and a steady-state line are present
+	// (CI appends the latter), only the higher-iteration one counts.
+	both := oneShot + "BenchmarkSimSendDispatch/binary-8  200000  120.0 ns/op  0 B/op  0 allocs/op\nPASS\n"
+	if err := checkBenchOutput(strings.NewReader(both)); err != nil {
+		t.Errorf("steady-state zero-alloc line did not override the 1x smoke line: %v", err)
+	}
+	// A different benchmark sharing the name prefix is not conscripted
+	// into the invariant.
+	prefixed := goodBench + "BenchmarkSimSendDispatchBatched-8  200000  300.0 ns/op  64 B/op  2 allocs/op\nPASS\n"
+	if err := checkBenchOutput(strings.NewReader(prefixed)); err != nil {
+		t.Errorf("prefix-sharing benchmark pulled into the gate: %v", err)
+	}
+}
+
+func perfDoc() analysis.PerfDoc {
+	return analysis.PerfDoc{
+		Schema: analysis.PerfSchema,
+		Config: analysis.PerfConfig{Sizes: []int{64, 76}, PerNode: 500, Seed: 1},
+		Rows: []analysis.PerfDocRow{
+			{
+				Protocol: "arrow", N: 64, Workload: "saturated", Requests: 32000, Makespan: 900,
+				Latency: stats.Dist{Count: 32000, Mean: 1.5, P50: 1, P90: 3, P99: 5, P999: 7, Max: 9},
+				Hops:    stats.Dist{Count: 32000, Mean: 1.5, P50: 1, P90: 3, P99: 5, P999: 7, Max: 9},
+			},
+			{
+				Protocol: "centralized", N: 64, Workload: "saturated", Requests: 32000, Makespan: 64000,
+				Latency: stats.Dist{Count: 32000, Mean: 60, P50: 62, P90: 63, P99: 63, P999: 64, Max: 64},
+				Hops:    stats.Dist{Count: 32000, Mean: 0.98, P50: 1, P90: 1, P99: 1, P999: 1, Max: 1},
+			},
+		},
+	}
+}
+
+func TestComparePerfIdentical(t *testing.T) {
+	if msgs := comparePerf(perfDoc(), perfDoc(), 0.2); len(msgs) != 0 {
+		t.Errorf("identical documents regressed: %v", msgs)
+	}
+}
+
+func TestComparePerfRegression(t *testing.T) {
+	cur := perfDoc()
+	cur.Rows[0].Latency.P99 = 100 // 5 -> 100: way past 20% + slack
+	msgs := comparePerf(perfDoc(), cur, 0.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "latency.p99") {
+		t.Errorf("p99 regression not caught: %v", msgs)
+	}
+}
+
+func TestComparePerfSmallSlack(t *testing.T) {
+	// One simulated time unit of jitter on a tiny quantile is not a
+	// regression (1 -> 2 is +100% but within the absolute slack).
+	cur := perfDoc()
+	cur.Rows[0].Latency.P50 = 2
+	if msgs := comparePerf(perfDoc(), cur, 0.2); len(msgs) != 0 {
+		t.Errorf("one-unit quantile jitter flagged: %v", msgs)
+	}
+}
+
+func TestComparePerfMeanHasNoAbsoluteSlack(t *testing.T) {
+	// Means are fine-grained floats: the quantiles' one-unit slack must
+	// not hide a large relative regression on a small-valued mean
+	// (0.98 -> 2.17 is +122%).
+	cur := perfDoc()
+	cur.Rows[1].Hops.Mean = 2.17
+	msgs := comparePerf(perfDoc(), cur, 0.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "hops.mean") {
+		t.Errorf("small-valued mean regression not caught: %v", msgs)
+	}
+}
+
+func TestComparePerfImprovementPasses(t *testing.T) {
+	cur := perfDoc()
+	cur.Rows[1].Makespan = 100 // got faster: never a failure
+	cur.Rows[1].Latency.Mean = 1
+	if msgs := comparePerf(perfDoc(), cur, 0.2); len(msgs) != 0 {
+		t.Errorf("improvement flagged as regression: %v", msgs)
+	}
+}
+
+func TestComparePerfMissingRow(t *testing.T) {
+	cur := perfDoc()
+	cur.Rows = cur.Rows[:1]
+	msgs := comparePerf(perfDoc(), cur, 0.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "missing") {
+		t.Errorf("missing row not caught: %v", msgs)
+	}
+}
+
+func TestComparePerfConfigMismatch(t *testing.T) {
+	cur := perfDoc()
+	cur.Config.PerNode = 1000
+	msgs := comparePerf(perfDoc(), cur, 0.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "config mismatch") {
+		t.Errorf("config mismatch not caught: %v", msgs)
+	}
+	cur = perfDoc()
+	cur.Schema = "arrowbench/perf/v2"
+	msgs = comparePerf(perfDoc(), cur, 0.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "schema mismatch") {
+		t.Errorf("schema mismatch not caught: %v", msgs)
+	}
+}
+
+func TestComparePerfRequestCountChange(t *testing.T) {
+	cur := perfDoc()
+	cur.Rows[0].Requests = 31999
+	msgs := comparePerf(perfDoc(), cur, 0.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "requests") {
+		t.Errorf("request-count drift not caught: %v", msgs)
+	}
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// PerfWorkload is one workload column of the perf grid: a closed-loop
+// regime variant whose tail behavior the aggregate tables cannot
+// express.
+type PerfWorkload struct {
+	// Name labels the workload in rows and the JSON schema.
+	Name string
+	// Think is the closed-loop think time (0 = saturated, one local
+	// step between completion and re-issue).
+	Think sim.Time
+	// Latency is the delay model (nil = synchronous unit latency).
+	Latency sim.LatencyModel
+}
+
+// PerfWorkloads is the fixed workload axis of the perf experiment, in
+// column order: the paper's saturated Section 5 regime, a think-time
+// variant that drains the queue pressure, and an asynchronous-delay
+// variant (Section 3.8 models) that spreads the latency tail.
+func PerfWorkloads() []PerfWorkload {
+	return []PerfWorkload{
+		{Name: "saturated"},
+		{Name: "think16", Think: 16},
+		{Name: "async4", Latency: sim.AsyncUniform(4)},
+	}
+}
+
+// PerfRow is one protocol × size × workload cell of the perf
+// experiment: full per-request latency and hop distributions, the
+// observability the aggregate BaselineRow cannot express.
+type PerfRow struct {
+	Protocol string
+	N        int
+	PerNode  int
+	Workload string
+	Requests int64
+	Makespan sim.Time
+	// Latency is the per-request queuing-latency distribution
+	// (simulated time units), Hops the queue/find hop-count
+	// distribution.
+	Latency stats.Dist
+	Hops    stats.Dist
+}
+
+// perfCells builds the perf experiment cells plus each cell's workload
+// name (the names slice is index-aligned with the cells, so row
+// assembly never re-derives the grid nesting positionally). Cells are
+// size-major, then workload, then protocol. Unlike engine.Grid, every
+// cell gets its own Instance with a private DistRecorder — recorders
+// accumulate per-request state, so sharing one across the concurrently
+// swept protocol column would race.
+func perfCells(ns []int, perNode int, seed int64) (cells []engine.Cell, names []string) {
+	workloads := PerfWorkloads()
+	protocols := baselineProtocols()
+	cells = make([]engine.Cell, 0, len(ns)*len(workloads)*len(protocols))
+	names = make([]string, 0, cap(cells))
+	for i, n := range ns {
+		g := graph.Complete(n)
+		t := tree.BalancedBinary(n)
+		for j, w := range workloads {
+			for _, p := range protocols {
+				cells = append(cells, engine.Cell{
+					Protocol: p,
+					Instance: engine.Instance{
+						Label:    fmt.Sprintf("n=%d/%s", n, w.Name),
+						Graph:    g,
+						Tree:     t,
+						Root:     0,
+						Workload: engine.ClosedLoop(perNode, w.Think),
+						Latency:  w.Latency,
+						Seed:     engine.DeriveSeed(seed, i*len(workloads)+j),
+						Recorder: stats.NewDistRecorder(),
+					},
+				})
+				names = append(names, w.Name)
+			}
+		}
+	}
+	return cells, names
+}
+
+// PerfExperiment runs the perf grid as one parallel sweep (workers 0 =
+// GOMAXPROCS; results are identical for every worker count) and
+// flattens the outcomes to rows. Histogram memory is fixed per cell, so
+// the experiment runs at the paper's 100k-requests-per-node scale
+// without per-request storage.
+func PerfExperiment(ns []int, perNode int, seed int64, workers int) ([]PerfRow, error) {
+	cells, names := perfCells(ns, perNode, seed)
+	outs := engine.Sweep(cells, workers)
+	if err := engine.FirstError(outs); err != nil {
+		return nil, fmt.Errorf("analysis: perf sweep: %w", err)
+	}
+	rows := make([]PerfRow, len(outs))
+	for i, c := range engine.Costs(outs) {
+		rows[i] = PerfRow{
+			Protocol: c.Protocol,
+			N:        c.N,
+			PerNode:  perNode,
+			Workload: names[i],
+			Requests: c.Requests,
+			Makespan: c.Makespan,
+			Latency:  c.Latency,
+			Hops:     c.Hops,
+		}
+	}
+	return rows, nil
+}
+
+// PerfLatencyTable formats the per-request queuing-latency percentiles.
+func PerfLatencyTable(rows []PerfRow) *Table {
+	t := &Table{
+		Title: "Perf — per-request queuing latency distribution (closed loop)",
+		Headers: []string{"protocol", "n", "workload", "reqs",
+			"p50", "p90", "p99", "p999", "max", "mean", "std"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Protocol, r.N, r.Workload, r.Requests,
+			r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.P999,
+			r.Latency.Max, r.Latency.Mean, r.Latency.Std)
+	}
+	return t
+}
+
+// PerfHopsTable formats the per-request hop-count percentiles.
+func PerfHopsTable(rows []PerfRow) *Table {
+	t := &Table{
+		Title: "Perf — per-request queue/find hop distribution (closed loop)",
+		Headers: []string{"protocol", "n", "workload", "reqs",
+			"p50", "p90", "p99", "p999", "max", "mean"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Protocol, r.N, r.Workload, r.Requests,
+			r.Hops.P50, r.Hops.P90, r.Hops.P99, r.Hops.P999,
+			r.Hops.Max, r.Hops.Mean)
+	}
+	return t
+}
+
+// PerfSchema versions the machine-readable perf document. Bump it on
+// any field rename or semantic change — cmd/benchcheck refuses to
+// compare documents with different schemas.
+const PerfSchema = "arrowbench/perf/v1"
+
+// PerfConfig records the experiment parameters inside the document, so
+// a baseline comparison against a run with different parameters fails
+// loudly instead of reporting nonsense deltas.
+type PerfConfig struct {
+	Sizes   []int `json:"sizes"`
+	PerNode int   `json:"per_node"`
+	Seed    int64 `json:"seed"`
+}
+
+// PerfDocRow is one row of the perf document. All simulated quantities
+// (makespan, latency and hop distributions) are deterministic for a
+// fixed config, which is what makes the document a meaningful CI
+// regression baseline.
+type PerfDocRow struct {
+	Protocol string     `json:"protocol"`
+	N        int        `json:"n"`
+	Workload string     `json:"workload"`
+	Requests int64      `json:"requests"`
+	Makespan int64      `json:"makespan"`
+	Latency  stats.Dist `json:"latency"`
+	Hops     stats.Dist `json:"hops"`
+}
+
+// PerfDoc is the stable schema of `arrowbench -exp perf -json` — the
+// repo's machine-readable perf trajectory (BENCH_perf.json).
+type PerfDoc struct {
+	Schema string       `json:"schema"`
+	Config PerfConfig   `json:"config"`
+	Rows   []PerfDocRow `json:"rows"`
+}
+
+// PerfDocument assembles the machine-readable perf document.
+func PerfDocument(cfg PerfConfig, rows []PerfRow) PerfDoc {
+	doc := PerfDoc{Schema: PerfSchema, Config: cfg, Rows: make([]PerfDocRow, len(rows))}
+	for i, r := range rows {
+		doc.Rows[i] = PerfDocRow{
+			Protocol: r.Protocol,
+			N:        r.N,
+			Workload: r.Workload,
+			Requests: r.Requests,
+			Makespan: int64(r.Makespan),
+			Latency:  r.Latency,
+			Hops:     r.Hops,
+		}
+	}
+	return doc
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPerfExperimentShape(t *testing.T) {
+	ns := []int{8, 12}
+	rows, err := PerfExperiment(ns, 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := PerfWorkloads()
+	wantRows := len(ns) * len(workloads) * len(baselineProtocols())
+	if len(rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
+	}
+	i := 0
+	for _, n := range ns {
+		for _, w := range workloads {
+			for _, p := range baselineProtocols() {
+				r := rows[i]
+				i++
+				if r.Protocol != p.Name() || r.N != n || r.Workload != w.Name {
+					t.Fatalf("row %d = %s/n=%d/%s, want %s/n=%d/%s",
+						i-1, r.Protocol, r.N, r.Workload, p.Name(), n, w.Name)
+				}
+				if want := int64(5 * n); r.Requests != want || r.Latency.Count != want || r.Hops.Count != want {
+					t.Errorf("row %d (%s/n=%d/%s): requests %d, distribution counts %d/%d, want %d",
+						i-1, r.Protocol, r.N, r.Workload, r.Requests, r.Latency.Count, r.Hops.Count, want)
+				}
+				if r.Latency.P50 > r.Latency.P99 || r.Latency.P99 > r.Latency.Max {
+					t.Errorf("row %d: latency quantiles not monotone: %+v", i-1, r.Latency)
+				}
+			}
+		}
+	}
+	if tbl := PerfLatencyTable(rows); len(tbl.Rows) != wantRows || !strings.Contains(tbl.Render(), "p999") {
+		t.Error("latency table malformed")
+	}
+	if tbl := PerfHopsTable(rows); len(tbl.Rows) != wantRows {
+		t.Error("hops table malformed")
+	}
+}
+
+// The perf experiment is a deterministic artifact: same config, same
+// document, at any worker count — the property that makes BENCH_perf.json
+// a meaningful CI baseline.
+func TestPerfExperimentDeterministic(t *testing.T) {
+	a, err := PerfExperiment([]int{8}, 4, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PerfExperiment([]int{8}, 4, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("perf rows differ across worker counts:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPerfDocumentRoundTrip(t *testing.T) {
+	rows, err := PerfExperiment([]int{8}, 3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PerfConfig{Sizes: []int{8}, PerNode: 3, Seed: 2}
+	doc := PerfDocument(cfg, rows)
+	if doc.Schema != PerfSchema || len(doc.Rows) != len(rows) {
+		t.Fatalf("document header: %+v", doc)
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PerfDoc
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, back) {
+		t.Fatalf("document did not round-trip:\n%+v\n%+v", doc, back)
+	}
+}

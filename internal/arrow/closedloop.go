@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tree"
 )
 
@@ -28,6 +29,11 @@ type LoopConfig struct {
 	Arbitration sim.Arbitration
 	// Seed drives random latency/arbitration.
 	Seed int64
+	// Recorder, when non-nil, receives every completed request's queuing
+	// latency and hop count as it completes (fixed-memory streaming
+	// observability at any request count). The completion hot path does
+	// no recording work when nil.
+	Recorder stats.Recorder
 }
 
 // LoopResult aggregates a closed-loop run. Counters rather than
@@ -205,11 +211,15 @@ func (st *loopState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Mes
 // completeAt records the queuing of origin's current request at the sink
 // and notifies the requester so it can issue its next request.
 func (st *loopState) completeAt(ctx *sim.Context, origin, sink graph.NodeID) {
+	lat := int64(ctx.Now() - st.issueTime[origin])
 	st.res.Requests++
-	st.res.TotalLatency += int64(ctx.Now() - st.issueTime[origin])
+	st.res.TotalLatency += lat
 	st.res.QueueHops += int64(st.hops[origin])
 	if st.hops[origin] > st.res.MaxQueueHops {
 		st.res.MaxQueueHops = st.hops[origin]
+	}
+	if st.cfg.Recorder != nil {
+		st.cfg.Recorder.RecordRequest(lat, st.hops[origin])
 	}
 	if origin == sink {
 		st.res.LocalCompletions++

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // LoopConfig drives the closed-loop centralized experiment matching
@@ -18,6 +19,10 @@ type LoopConfig struct {
 	Latency     sim.LatencyModel
 	Arbitration sim.Arbitration
 	Seed        int64
+	// Recorder, when non-nil, receives every completed request's queuing
+	// latency and queue-side hop count (0 for requests issued at the
+	// center) as it queues. The hot path does no recording work when nil.
+	Recorder stats.Recorder
 }
 
 // LoopResult aggregates a closed-loop centralized run. Request traffic
@@ -115,17 +120,22 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 	// protocol's loop result measures, so the baselines column compares
 	// like with like. The reply only tells the requester to re-issue.
 	queued := func(ctx *sim.Context, v graph.NodeID, issued sim.Time) {
+		lat := int64(ctx.Now() - issued)
 		res.Requests++
-		res.TotalLatency += int64(ctx.Now() - issued)
+		res.TotalLatency += lat
+		h := 0
 		if v == eng.center {
 			res.LocalCompletions++
-			return
+		} else {
+			h = topo.Hops(v, eng.center)
+			res.QueueHops += int64(h)
+			res.ReplyHops += int64(topo.Hops(eng.center, v))
+			if h > res.MaxQueueHops {
+				res.MaxQueueHops = h
+			}
 		}
-		h := topo.Hops(v, eng.center)
-		res.QueueHops += int64(h)
-		res.ReplyHops += int64(topo.Hops(eng.center, v))
-		if h > res.MaxQueueHops {
-			res.MaxQueueHops = h
+		if cfg.Recorder != nil {
+			cfg.Recorder.RecordRequest(lat, h)
 		}
 	}
 	issue = func(ctx *sim.Context, v graph.NodeID) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ivy"
 	"repro/internal/nta"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // loopCounters is the closed-loop counter shape shared field for field
@@ -42,12 +43,17 @@ func loopCost(proto, label string, r loopCounters) Cost {
 	}
 }
 
-// tallyHops aggregates a completion slice into the shared Cost fields:
+// tallyHops aggregates a completion slice into the shared Cost fields —
 // requests that completed locally (zero hops) and the worst per-request
-// hop count.
-func tallyHops[T any](cs []T, hops func(T) int) (local int64, maxHops int) {
+// hop count — and feeds the instance recorder, which is how static-set
+// runs (whose drivers already retain per-request completion records)
+// get the same per-request observability as the streaming closed loops.
+func tallyHops[T any](rec stats.Recorder, cs []T, hops func(T) int, latency func(T) int64) (local int64, maxHops int) {
 	for _, c := range cs {
 		h := hops(c)
+		if rec != nil {
+			rec.RecordRequest(latency(c), h)
+		}
 		if h == 0 {
 			local++
 		}
@@ -56,6 +62,15 @@ func tallyHops[T any](cs []T, hops func(T) int) (local int64, maxHops int) {
 		}
 	}
 	return local, maxHops
+}
+
+// attachDists copies the recorder's distribution snapshots into the
+// cost when the instance recorder is the standard DistRecorder.
+func attachDists(c *Cost, rec stats.Recorder) {
+	if dr, ok := rec.(*stats.DistRecorder); ok && dr != nil {
+		c.Latency = dr.Latency.Snapshot()
+		c.Hops = dr.Hops.Snapshot()
+	}
 }
 
 // Arrow runs the arrow protocol on the instance's spanning tree. It
@@ -81,11 +96,14 @@ func (p Arrow) Run(inst Instance) (Cost, error) {
 			Latency:     inst.Latency,
 			Arbitration: inst.Arbitration,
 			Seed:        inst.Seed,
+			Recorder:    inst.Recorder,
 		})
 		if err != nil {
 			return Cost{}, err
 		}
-		return loopCost(p.Name(), inst.Label, loopCounters(*res)), nil
+		cost := loopCost(p.Name(), inst.Label, loopCounters(*res))
+		attachDists(&cost, inst.Recorder)
+		return cost, nil
 	}
 	res, err := arrow.Run(inst.Tree, inst.Workload.Set, arrow.Options{
 		Root:        inst.Root,
@@ -96,8 +114,10 @@ func (p Arrow) Run(inst Instance) (Cost, error) {
 	if err != nil {
 		return Cost{}, err
 	}
-	local, _ := tallyHops(res.Completions, func(c arrow.Completion) int { return c.Hops })
-	return Cost{
+	local, _ := tallyHops(inst.Recorder, res.Completions,
+		func(c arrow.Completion) int { return c.Hops },
+		func(c arrow.Completion) int64 { return c.Latency() })
+	cost := Cost{
 		Protocol:         p.Name(),
 		Label:            inst.Label,
 		N:                inst.Tree.NumNodes(),
@@ -108,7 +128,9 @@ func (p Arrow) Run(inst Instance) (Cost, error) {
 		LocalCompletions: local,
 		Makespan:         res.Makespan,
 		Order:            res.Order,
-	}, nil
+	}
+	attachDists(&cost, inst.Recorder)
+	return cost, nil
 }
 
 // Centralized runs the central-coordinator baseline over the instance's
@@ -140,11 +162,14 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 			Latency:     inst.Latency,
 			Arbitration: inst.Arbitration,
 			Seed:        inst.Seed,
+			Recorder:    inst.Recorder,
 		})
 		if err != nil {
 			return Cost{}, err
 		}
-		return loopCost(p.Name(), inst.Label, loopCounters(*res)), nil
+		cost := loopCost(p.Name(), inst.Label, loopCounters(*res))
+		attachDists(&cost, inst.Recorder)
+		return cost, nil
 	}
 	res, err := centralized.Run(inst.Graph, inst.Workload.Set, centralized.Options{
 		Center:      inst.Root,
@@ -156,8 +181,10 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 	if err != nil {
 		return Cost{}, err
 	}
-	local, maxHops := tallyHops(res.Completions, func(c centralized.Completion) int { return c.Hops })
-	return Cost{
+	local, maxHops := tallyHops(inst.Recorder, res.Completions,
+		func(c centralized.Completion) int { return c.Hops },
+		func(c centralized.Completion) int64 { return c.Latency() })
+	cost := Cost{
 		Protocol:         p.Name(),
 		Label:            inst.Label,
 		N:                inst.Graph.NumNodes(),
@@ -168,7 +195,9 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 		LocalCompletions: local,
 		Makespan:         res.Makespan,
 		Order:            res.Order,
-	}, nil
+	}
+	attachDists(&cost, inst.Recorder)
+	return cost, nil
 }
 
 // NTA runs the Naimi–Trehel–Arnold path-reversal protocol over the
@@ -195,11 +224,14 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 			Latency:     inst.Latency,
 			Arbitration: inst.Arbitration,
 			Seed:        inst.Seed,
+			Recorder:    inst.Recorder,
 		})
 		if err != nil {
 			return Cost{}, err
 		}
-		return loopCost(p.Name(), inst.Label, loopCounters(*res)), nil
+		cost := loopCost(p.Name(), inst.Label, loopCounters(*res))
+		attachDists(&cost, inst.Recorder)
+		return cost, nil
 	}
 	res, err := nta.Run(inst.Graph, inst.Workload.Set, nta.Options{
 		Root:        inst.Root,
@@ -210,8 +242,10 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 	if err != nil {
 		return Cost{}, err
 	}
-	local, _ := tallyHops(res.Completions, func(c nta.Completion) int { return c.Hops })
-	return Cost{
+	local, _ := tallyHops(inst.Recorder, res.Completions,
+		func(c nta.Completion) int { return c.Hops },
+		func(c nta.Completion) int64 { return c.Latency() })
+	cost := Cost{
 		Protocol:         p.Name(),
 		Label:            inst.Label,
 		N:                inst.Graph.NumNodes(),
@@ -222,7 +256,9 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 		LocalCompletions: local,
 		Makespan:         res.Makespan,
 		Order:            res.Order,
-	}, nil
+	}
+	attachDists(&cost, inst.Recorder)
+	return cost, nil
 }
 
 // Ivy runs the Li–Hudak probable-owner directory on the discrete-event
@@ -252,11 +288,14 @@ func (p Ivy) Run(inst Instance) (Cost, error) {
 			Latency:     inst.Latency,
 			Arbitration: inst.Arbitration,
 			Seed:        inst.Seed,
+			Recorder:    inst.Recorder,
 		})
 		if err != nil {
 			return Cost{}, err
 		}
-		return loopCost(p.Name(), inst.Label, loopCounters(*res)), nil
+		cost := loopCost(p.Name(), inst.Label, loopCounters(*res))
+		attachDists(&cost, inst.Recorder)
+		return cost, nil
 	}
 	res, err := ivy.Run(inst.Graph, inst.Workload.Set, ivy.Options{
 		Root:        inst.Root,
@@ -267,8 +306,10 @@ func (p Ivy) Run(inst Instance) (Cost, error) {
 	if err != nil {
 		return Cost{}, err
 	}
-	local, _ := tallyHops(res.Completions, func(c ivy.Completion) int { return c.Hops })
-	return Cost{
+	local, _ := tallyHops(inst.Recorder, res.Completions,
+		func(c ivy.Completion) int { return c.Hops },
+		func(c ivy.Completion) int64 { return c.Latency() })
+	cost := Cost{
 		Protocol:         p.Name(),
 		Label:            inst.Label,
 		N:                inst.Graph.NumNodes(),
@@ -279,5 +320,7 @@ func (p Ivy) Run(inst Instance) (Cost, error) {
 		LocalCompletions: local,
 		Makespan:         res.Makespan,
 		Order:            res.Order,
-	}, nil
+	}
+	attachDists(&cost, inst.Recorder)
+	return cost, nil
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/queuing"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tree"
 )
 
@@ -89,6 +90,19 @@ type Instance struct {
 	Arbitration sim.Arbitration
 	// Seed drives random latency/arbitration, per cell.
 	Seed int64
+	// Recorder, when non-nil, receives every completed request's queuing
+	// latency and hop count: closed-loop drivers feed it streamingly as
+	// requests complete (fixed memory at any request count), static runs
+	// from their completion records after the run. When the recorder is
+	// a *stats.DistRecorder, the run's Cost carries Latency/Hops
+	// distribution snapshots. The protocol hot paths do no recording
+	// work when Recorder is nil.
+	//
+	// Recorders accumulate state, so each swept cell needs its own:
+	// Grid panics rather than share a recording Instance across its
+	// protocol column (the copies would race under Sweep) — grids that
+	// record build one Instance per cell (as analysis.PerfExperiment does).
+	Recorder stats.Recorder
 }
 
 // Cost is the standard result of one protocol run: the cost metrics the
@@ -118,6 +132,12 @@ type Cost struct {
 	LocalCompletions int64
 	// Makespan is the simulated time at quiescence.
 	Makespan sim.Time
+	// Latency and Hops are per-request distribution snapshots (queuing
+	// latency; queue/find hop counts) with p50/p90/p99/p999/max and
+	// streaming mean/std, populated when Instance.Recorder is a
+	// *stats.DistRecorder; zero (Count == 0) otherwise.
+	Latency stats.Dist
+	Hops    stats.Dist
 	// Order is the induced total order (static-set runs; nil otherwise).
 	Order queuing.Order
 }

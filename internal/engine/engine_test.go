@@ -2,12 +2,14 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/graph"
 	"repro/internal/queuing"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tree"
 	"repro/internal/workload"
 )
@@ -97,6 +99,123 @@ func TestSweepRepeatable(t *testing.T) {
 		if fmt.Sprintf("%#v", a[i]) != fmt.Sprintf("%#v", b[i]) {
 			t.Fatalf("cell %d: sweep is not repeatable", i)
 		}
+	}
+}
+
+// recorderGrid is determinismGrid with a fresh DistRecorder per cell.
+// It must be rebuilt for every sweep: recorders accumulate state.
+func recorderGrid(seed int64) []Cell {
+	cells := determinismGrid(seed)
+	for i := range cells {
+		inst := cells[i].Instance
+		inst.Recorder = stats.NewDistRecorder()
+		cells[i].Instance = inst
+	}
+	return cells
+}
+
+// TestSweepDeterministicWithRecorders extends the worker-count
+// determinism guarantee to instrumented sweeps: with a private
+// DistRecorder per cell, the full Cost — including the Latency/Hops
+// distribution snapshots — is byte-identical for every worker count.
+func TestSweepDeterministicWithRecorders(t *testing.T) {
+	want := Sweep(recorderGrid(5), 1)
+	if err := FirstError(want); err != nil {
+		t.Fatalf("sequential sweep failed: %v", err)
+	}
+	for i, o := range want {
+		if o.Cost.Latency.Count != o.Cost.Requests || o.Cost.Hops.Count != o.Cost.Requests {
+			t.Fatalf("cell %d: distribution count %d/%d != requests %d",
+				i, o.Cost.Latency.Count, o.Cost.Hops.Count, o.Cost.Requests)
+		}
+	}
+	for _, workers := range []int{2, 8, 0} {
+		got := Sweep(recorderGrid(5), workers)
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("workers %d cell %d: %v", workers, i, got[i].Err)
+			}
+			g, w := fmt.Sprintf("%#v", got[i].Cost), fmt.Sprintf("%#v", want[i].Cost)
+			if g != w {
+				t.Errorf("workers %d cell %d: instrumented result diverged\n got: %s\nwant: %s", workers, i, g, w)
+			}
+		}
+	}
+}
+
+// TestRecorderDistributionsConsistent cross-checks the distribution
+// snapshots against the aggregate counters on every protocol adapter in
+// both workload modes: counts equal Requests, the streaming mean equals
+// TotalLatency/Requests, the hop maximum equals MaxHops, and the
+// quantiles are monotone.
+func TestRecorderDistributionsConsistent(t *testing.T) {
+	const n, perNode = 12, 16
+	for _, mode := range []string{"closed", "static"} {
+		w := ClosedLoop(perNode, 0)
+		if mode == "static" {
+			w = Static(workload.Poisson(n, 0.7, 60, 3))
+		}
+		for _, p := range []Protocol{Arrow{}, Centralized{}, NTA{}, Ivy{}} {
+			rec := stats.NewDistRecorder()
+			cost, err := p.Run(Instance{
+				Graph:    graph.Complete(n),
+				Tree:     tree.BalancedBinary(n),
+				Root:     0,
+				Workload: w,
+				Recorder: rec,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name(), mode, err)
+			}
+			if cost.Latency.Count != cost.Requests || cost.Hops.Count != cost.Requests {
+				t.Errorf("%s/%s: distribution counts %d/%d, requests %d",
+					p.Name(), mode, cost.Latency.Count, cost.Hops.Count, cost.Requests)
+			}
+			if cost.Requests > 0 {
+				if got, want := cost.Latency.Mean, cost.AvgLatency(); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+					t.Errorf("%s/%s: streaming mean %v != TotalLatency/Requests %v", p.Name(), mode, got, want)
+				}
+			}
+			if int(cost.Hops.Max) != cost.MaxHops {
+				t.Errorf("%s/%s: hop distribution max %d != MaxHops %d",
+					p.Name(), mode, cost.Hops.Max, cost.MaxHops)
+			}
+			for _, d := range []stats.Dist{cost.Latency, cost.Hops} {
+				if d.P50 > d.P90 || d.P90 > d.P99 || d.P99 > d.P999 || d.P999 > d.Max || d.Min > d.P50 {
+					t.Errorf("%s/%s: quantiles not monotone: %+v", p.Name(), mode, d)
+				}
+			}
+		}
+	}
+}
+
+// TestRecorderMemoryIndependentOfRequests is the paper-scale memory
+// pin: a closed-loop run at the paper's 100k requests per node streams
+// every completion through the recorder, yet the histogram's bucket
+// storage is the same fixed array a 100-request run uses — per-request
+// observability without per-request storage.
+func TestRecorderMemoryIndependentOfRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	const n, perNode = 4, 100000
+	big := stats.NewDistRecorder()
+	cost, err := NTA{}.Run(Instance{
+		Graph:    graph.Complete(n),
+		Workload: ClosedLoop(perNode, 0),
+		Recorder: big,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n * perNode); cost.Requests != want || big.Latency.Count() != want {
+		t.Fatalf("completed %d requests, recorded %d, want %d", cost.Requests, big.Latency.Count(), want)
+	}
+	small := stats.NewDistRecorder()
+	small.RecordRequest(1, 1)
+	if big.Latency.Buckets() != small.Latency.Buckets() || big.Hops.Buckets() != small.Hops.Buckets() {
+		t.Errorf("histogram storage grew with request count: %d/%d buckets vs %d/%d",
+			big.Latency.Buckets(), big.Hops.Buckets(), small.Latency.Buckets(), small.Hops.Buckets())
 	}
 }
 
@@ -256,6 +375,47 @@ func TestGridOrder(t *testing.T) {
 				i, cells[i].Instance.Label, cells[i].Protocol.Name(), w.label, w.proto)
 		}
 	}
+}
+
+// TestGridRejectsSharedRecorder: crossing a recording instance with a
+// protocol column would share one accumulating recorder across
+// concurrently swept cells; Grid must refuse eagerly.
+func TestGridRejectsSharedRecorder(t *testing.T) {
+	inst := sequentialInstance(8, 4)
+	inst.Recorder = stats.NewDistRecorder()
+	defer func() {
+		if recover() == nil {
+			t.Error("Grid accepted a shared Recorder across a protocol column")
+		}
+	}()
+	Grid([]Instance{inst}, Arrow{}, NTA{})
+}
+
+// TestGridAllowsRecorderWithOneProtocol: a single-protocol column with
+// per-instance recorders has no sharing, so recording instances pass.
+func TestGridAllowsRecorderWithOneProtocol(t *testing.T) {
+	a, b := sequentialInstance(8, 4), sequentialInstance(8, 4)
+	a.Recorder = stats.NewDistRecorder()
+	b.Recorder = stats.NewDistRecorder()
+	if cells := Grid([]Instance{a, b}, Arrow{}); len(cells) != 2 {
+		t.Errorf("got %d cells, want 2", len(cells))
+	}
+}
+
+// TestGridRejectsRecorderSharedAcrossInstances: the instance axis is
+// guarded too — one recorder reused by several instances would race
+// even with a single protocol.
+func TestGridRejectsRecorderSharedAcrossInstances(t *testing.T) {
+	rec := stats.NewDistRecorder()
+	a, b := sequentialInstance(8, 4), sequentialInstance(8, 4)
+	a.Recorder = rec
+	b.Recorder = rec
+	defer func() {
+		if recover() == nil {
+			t.Error("Grid accepted one Recorder shared across instances")
+		}
+	}()
+	Grid([]Instance{a, b}, Arrow{})
 }
 
 // TestParallelMap: every index is visited exactly once, for pool sizes

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Cell is one independent experiment: a protocol applied to an instance.
@@ -56,7 +59,31 @@ func Costs(outs []Outcome) []Cost {
 // Grid builds the cross product of instances and protocols in
 // deterministic instance-major order: all protocols of instance 0, then
 // all of instance 1, and so on.
+//
+// A Recorder shared between cells is rejected with a descriptive panic:
+// crossing a recording instance with a protocol column, or reusing one
+// recorder across several instances, would have concurrently swept
+// cells feed the same accumulating state — a data race under Sweep, and
+// conflated distributions even sequentially. Grids that record build
+// one Instance (and recorder) per cell (as analysis.PerfExperiment does).
 func Grid(instances []Instance, protocols ...Protocol) []Cell {
+	seen := make(map[stats.Recorder]bool)
+	for _, inst := range instances {
+		if inst.Recorder == nil {
+			continue
+		}
+		if len(protocols) > 1 {
+			panic(fmt.Sprintf("engine: Grid would share instance %q's Recorder across %d protocol cells; build per-cell instances instead",
+				inst.Label, len(protocols)))
+		}
+		if reflect.TypeOf(inst.Recorder).Comparable() {
+			if seen[inst.Recorder] {
+				panic(fmt.Sprintf("engine: Grid instances share one Recorder (seen again at %q); give each instance its own",
+					inst.Label))
+			}
+			seen[inst.Recorder] = true
+		}
+	}
 	cells := make([]Cell, 0, len(instances)*len(protocols))
 	for _, inst := range instances {
 		for _, p := range protocols {

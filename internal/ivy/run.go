@@ -16,6 +16,7 @@ import (
 	"repro/internal/loop"
 	"repro/internal/queuing"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Options configures a simulator-backed Ivy run.
@@ -201,6 +202,9 @@ type LoopConfig struct {
 	Arbitration sim.Arbitration
 	// Seed drives random latency/arbitration.
 	Seed int64
+	// Recorder, when non-nil, receives every completed request's queuing
+	// latency and hop count (see loop.Config.Recorder).
+	Recorder stats.Recorder
 }
 
 // LoopResult aggregates a closed-loop Ivy run — the shared closed-loop
@@ -223,5 +227,6 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
+		Recorder:    cfg.Recorder,
 	})
 }

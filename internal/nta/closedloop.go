@@ -6,6 +6,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/loop"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // LoopConfig drives the closed-loop workload of the paper's experiments
@@ -28,6 +29,9 @@ type LoopConfig struct {
 	Arbitration sim.Arbitration
 	// Seed drives random latency/arbitration.
 	Seed int64
+	// Recorder, when non-nil, receives every completed request's queuing
+	// latency and hop count (see loop.Config.Recorder).
+	Recorder stats.Recorder
 }
 
 // LoopResult aggregates a closed-loop NTA run — the shared closed-loop
@@ -87,5 +91,6 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
+		Recorder:    cfg.Recorder,
 	})
 }

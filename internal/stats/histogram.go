@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram is a fixed-memory streaming histogram of non-negative int64
+// observations (latencies in simulated time units, hop counts), built for
+// the closed-loop drivers' per-request observability: recording is O(1)
+// and allocation-free at steady state, memory is a fixed ~15KB bucket
+// array regardless of how many observations are recorded (the paper-scale
+// runs record 100k requests per node), and quantile queries carry a
+// bounded relative error.
+//
+// Buckets are HDR-style log-linear: values below 2^histSubBits are
+// recorded exactly, and every octave above is split into 2^histSubBits
+// linear sub-buckets, so a bucket's width is at most 2^-histSubBits of
+// its lower edge and any quantile estimate q satisfies
+//
+//	x <= q <= x * (1 + 1/32)
+//
+// for the exact order statistic x at that rank. Mean and standard
+// deviation are tracked exactly (up to float rounding) with Welford's
+// algorithm, not from the buckets.
+//
+// The zero value is ready to use; the bucket array is allocated on the
+// first Record. Histogram is not safe for concurrent use — each sweep
+// cell must own its recorder.
+type Histogram struct {
+	counts []int64
+	count  int64
+	min    int64
+	max    int64
+	// Welford running moments: mean and sum of squared deviations.
+	mean float64
+	m2   float64
+}
+
+const (
+	// histSubBits fixes the relative error: 2^histSubBits linear
+	// sub-buckets per octave bound bucket width by 1/32 of the value.
+	histSubBits = 5
+	histSubCnt  = 1 << histSubBits
+	// histBuckets covers all of int64: the top octave (k = 62 -
+	// histSubBits) ends below (k+2)<<histSubBits.
+	histBuckets = (64 - histSubBits) << histSubBits
+)
+
+// histIndex maps a value to its bucket. Values below histSubCnt map to
+// themselves (exact); a larger v with most-significant bit m+k (m =
+// histSubBits) keeps its top m+1 bits: index = k<<m + v>>k.
+func histIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubCnt {
+		return int(u)
+	}
+	k := bits.Len64(u) - histSubBits - 1
+	return k<<histSubBits + int(u>>uint(k))
+}
+
+// histUpper returns the largest value mapping to bucket i — the
+// conservative representative Quantile reports.
+func histUpper(i int) int64 {
+	if i < histSubCnt {
+		return int64(i)
+	}
+	k := i>>histSubBits - 1
+	lower := int64(i-k<<histSubBits) << uint(k)
+	return lower + int64(1)<<uint(k) - 1
+}
+
+// Record adds one observation. Negative values are clamped to zero (the
+// drivers only produce non-negative latencies and hop counts).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make([]int64, histBuckets)
+	}
+	h.counts[histIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	f := float64(v)
+	delta := f - h.mean
+	h.mean += delta / float64(h.count)
+	h.m2 += delta * (f - h.mean)
+}
+
+// Merge folds o into h, as if every observation recorded into o had been
+// recorded into h: bucket counts and min/max combine exactly, the
+// Welford moments via the parallel (Chan et al.) combination. o is left
+// unchanged.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]int64, histBuckets)
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	na, nb := float64(h.count), float64(o.count)
+	delta := o.mean - h.mean
+	h.mean += delta * nb / (na + nb)
+	h.m2 += o.m2 + delta*delta*na*nb/(na+nb)
+	h.count += o.count
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (h *Histogram) Mean() float64 { return h.mean }
+
+// Std returns the population standard deviation (0 when empty).
+func (h *Histogram) Std() float64 {
+	if h.count == 0 || h.m2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(h.m2 / float64(h.count))
+}
+
+// Buckets returns the number of allocated bucket slots — fixed at
+// histBuckets after the first Record, independent of Count. Tests use it
+// to pin the fixed-memory property.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Quantile returns an estimate of the p-th percentile (0..100): the
+// upper edge of the bucket holding the rank-⌈p/100·Count⌉ observation,
+// clamped to the exact observed [Min, Max]. The estimate q of an exact
+// order statistic x satisfies x <= q <= x·(1+2^-histSubBits). p<=0
+// returns Min, p>=100 returns Max, an empty histogram returns 0.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := histUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Dist is the fixed-size summary of a Histogram: the streaming moments
+// plus the standard tail quantiles. The JSON tags are the wire shape of
+// the machine-readable perf output (BENCH_perf.json), so renaming a
+// field is a schema change.
+type Dist struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+	Min   int64   `json:"min"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Max   int64   `json:"max"`
+}
+
+// Snapshot summarizes the histogram as a Dist.
+func (h *Histogram) Snapshot() Dist {
+	return Dist{
+		Count: h.count,
+		Mean:  h.mean,
+		Std:   h.Std(),
+		Min:   h.min,
+		P50:   h.Quantile(50),
+		P90:   h.Quantile(90),
+		P99:   h.Quantile(99),
+		P999:  h.Quantile(99.9),
+		Max:   h.max,
+	}
+}
+
+// Recorder receives one observation per completed request: its queuing
+// latency (simulated time units) and its queue/find hop count.
+// Implementations must be cheap and allocation-free — the closed-loop
+// drivers invoke them on the completion hot path — and need not be
+// concurrency-safe: every sweep cell owns its recorder.
+type Recorder interface {
+	RecordRequest(latency int64, hops int)
+}
+
+// DistRecorder is the standard Recorder: one fixed-memory Histogram per
+// observed dimension. The zero value is ready to use.
+type DistRecorder struct {
+	Latency Histogram
+	Hops    Histogram
+}
+
+// NewDistRecorder returns an empty DistRecorder.
+func NewDistRecorder() *DistRecorder { return &DistRecorder{} }
+
+// RecordRequest implements Recorder.
+func (r *DistRecorder) RecordRequest(latency int64, hops int) {
+	r.Latency.Record(latency)
+	r.Hops.Record(int64(hops))
+}

@@ -31,16 +31,19 @@ func Of(xs []float64) Summary {
 	sort.Float64s(sorted)
 	s.Min = sorted[0]
 	s.Max = sorted[len(sorted)-1]
-	var sum, sumsq float64
-	for _, x := range sorted {
-		sum += x
-		sumsq += x * x
+	// Welford's algorithm: the textbook sumsq/n − mean² form cancels
+	// catastrophically when the spread is small relative to the values
+	// (e.g. latencies near 1e9 differing by units), reporting a wildly
+	// wrong or zero Std.
+	var mean, m2 float64
+	for i, x := range sorted {
+		delta := x - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (x - mean)
 	}
-	n := float64(s.Count)
-	s.Mean = sum / n
-	variance := sumsq/n - s.Mean*s.Mean
-	if variance > 0 {
-		s.Std = math.Sqrt(variance)
+	s.Mean = mean
+	if m2 > 0 {
+		s.Std = math.Sqrt(m2 / float64(s.Count))
 	}
 	s.Median = Percentile(sorted, 50)
 	s.P90 = Percentile(sorted, 90)

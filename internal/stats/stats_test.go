@@ -73,6 +73,21 @@ func TestMeanAndGeoMean(t *testing.T) {
 	}
 }
 
+// TestSummaryWelfordPrecision pins the Welford variance: the naive
+// sumsq/n − mean² form cancels catastrophically on large samples with a
+// small spread (latencies near 1e9 differing by units) and reports a
+// wildly wrong Std; Welford stays exact.
+func TestSummaryWelfordPrecision(t *testing.T) {
+	s := Of([]float64{1e9, 1e9 + 1, 1e9 + 2})
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.Std-want) > 1e-6 {
+		t.Errorf("std = %v, want %v (catastrophic cancellation?)", s.Std, want)
+	}
+	if s.Mean != 1e9+1 {
+		t.Errorf("mean = %v, want 1e9+1", s.Mean)
+	}
+}
+
 // Property: min <= percentile(p) <= max for sorted samples and monotone
 // percentiles.
 func TestPercentileMonotone(t *testing.T) {
