@@ -414,6 +414,30 @@ func BenchmarkClosedLoopObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkClosedLoopScale10k is the 10k-node scale cell the ladder
+// scheduler targets: a closed-loop arrow run on a 10001-node balanced
+// binary tree, roughly 10k events pending at every instant — two orders
+// of magnitude beyond the paper's 76 processors. Reported events/s is
+// raw simulator throughput at that pending-set size (where the old
+// heap's O(log pending) per operation was most expensive); run with
+// -benchmem to confirm the per-run allocation count stays flat (setup
+// only) at this scale.
+func BenchmarkClosedLoopScale10k(b *testing.B) {
+	const n, perNode = 10001, 4
+	t := tree.BalancedBinary(n)
+	b.ReportAllocs()
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: perNode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkTreeDistance measures the LCA-based dT query, the analysis
 // hot path.
 func BenchmarkTreeDistance(b *testing.B) {

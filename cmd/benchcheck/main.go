@@ -9,13 +9,16 @@
 //
 //   - -baseline FILE -current FILE: compare two arrowbench/perf
 //     documents (`arrowbench -exp perf -json`, the BENCH_perf.json
-//     schema) row by row and fail when a pinned metric regresses more
-//     than -tol (default 20%). The pinned metrics — makespan and the
+//     arrowbench/perf/v2 schema) row by row and fail when a pinned
+//     metric regresses more than -tol (default 20%). The pinned metrics
+//     — makespan, the per-cell simulator event count, and the
 //     latency/hop distribution quantiles — are simulated quantities,
 //     deterministic for a fixed config, so unlike wall-clock ns/op they
 //     gate reliably on shared CI runners; the tolerance only leaves room
-//     for deliberate small semantic changes. Config or schema mismatch
-//     between the documents fails immediately: a delta between runs with
+//     for deliberate small semantic changes. The v2 events_per_sec
+//     throughput field is deliberately NOT gated: it is wall-clock and
+//     would flake on shared runners. Config or schema mismatch between
+//     the documents fails immediately: a delta between runs with
 //     different parameters is noise.
 //
 // Usage (what CI runs):
@@ -226,12 +229,15 @@ func comparePerf(base, cur analysis.PerfDoc, tol float64) []string {
 		// slack (1 -> 2 is +100% but one bucket); means are fine-grained
 		// floats where that slack would hide large regressions on
 		// small-valued rows, so they get only the relative tolerance.
+		// events_per_sec is intentionally absent: wall-clock throughput
+		// is informational, not a gate.
 		for _, m := range []struct {
 			name      string
 			base, cur float64
 			slack     float64
 		}{
 			{"makespan", float64(b.Makespan), float64(c.Makespan), 1},
+			{"events", float64(b.Events), float64(c.Events), 1},
 			{"latency.p50", float64(b.Latency.P50), float64(c.Latency.P50), 1},
 			{"latency.p90", float64(b.Latency.P90), float64(c.Latency.P90), 1},
 			{"latency.p99", float64(b.Latency.P99), float64(c.Latency.P99), 1},

@@ -61,11 +61,13 @@ func perfDoc() analysis.PerfDoc {
 		Rows: []analysis.PerfDocRow{
 			{
 				Protocol: "arrow", N: 64, Workload: "saturated", Requests: 32000, Makespan: 900,
+				Events: 120000, EventsPerSec: 4.2e6,
 				Latency: stats.Dist{Count: 32000, Mean: 1.5, P50: 1, P90: 3, P99: 5, P999: 7, Max: 9},
 				Hops:    stats.Dist{Count: 32000, Mean: 1.5, P50: 1, P90: 3, P99: 5, P999: 7, Max: 9},
 			},
 			{
 				Protocol: "centralized", N: 64, Workload: "saturated", Requests: 32000, Makespan: 64000,
+				Events: 128000, EventsPerSec: 5.7e6,
 				Latency: stats.Dist{Count: 32000, Mean: 60, P50: 62, P90: 63, P99: 63, P999: 64, Max: 64},
 				Hops:    stats.Dist{Count: 32000, Mean: 0.98, P50: 1, P90: 1, P99: 1, P999: 1, Max: 1},
 			},
@@ -136,10 +138,34 @@ func TestComparePerfConfigMismatch(t *testing.T) {
 		t.Errorf("config mismatch not caught: %v", msgs)
 	}
 	cur = perfDoc()
-	cur.Schema = "arrowbench/perf/v2"
+	cur.Schema = "arrowbench/perf/v1"
 	msgs = comparePerf(perfDoc(), cur, 0.2)
 	if len(msgs) != 1 || !strings.Contains(msgs[0], "schema mismatch") {
 		t.Errorf("schema mismatch not caught: %v", msgs)
+	}
+}
+
+func TestComparePerfEventCountGated(t *testing.T) {
+	// The per-cell event count is deterministic, so a blow-up (a
+	// protocol or scheduler change doing more work per request) is a
+	// gated regression like makespan.
+	cur := perfDoc()
+	cur.Rows[0].Events = 200000 // +67%
+	msgs := comparePerf(perfDoc(), cur, 0.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "events") {
+		t.Errorf("event-count regression not caught: %v", msgs)
+	}
+}
+
+func TestComparePerfThroughputNotGated(t *testing.T) {
+	// events_per_sec is wall clock: halving it on a shared CI runner is
+	// noise, never a failure.
+	cur := perfDoc()
+	for i := range cur.Rows {
+		cur.Rows[i].EventsPerSec /= 2
+	}
+	if msgs := comparePerf(perfDoc(), cur, 0.2); len(msgs) != 0 {
+		t.Errorf("wall-clock throughput drop flagged: %v", msgs)
 	}
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -45,11 +46,26 @@ type PerfRow struct {
 	Workload string
 	Requests int64
 	Makespan sim.Time
+	// Events is the simulator event count the cell consumed —
+	// deterministic for a fixed config, like Makespan.
+	Events int64
+	// WallNanos is the cell's wall-clock run time. Unlike every other
+	// field it varies run to run; it exists only to derive the events/sec
+	// throughput and is never a regression-gate input.
+	WallNanos int64
 	// Latency is the per-request queuing-latency distribution
 	// (simulated time units), Hops the queue/find hop-count
 	// distribution.
 	Latency stats.Dist
 	Hops    stats.Dist
+}
+
+// EventsPerSec is the cell's wall-clock simulator throughput.
+func (r PerfRow) EventsPerSec() float64 {
+	if r.WallNanos <= 0 {
+		return 0
+	}
+	return float64(r.Events) / (float64(r.WallNanos) * 1e-9)
 }
 
 // perfCells builds the perf experiment cells plus each cell's workload
@@ -89,6 +105,24 @@ func perfCells(ns []int, perNode int, seed int64) (cells []engine.Cell, names []
 	return cells, names
 }
 
+// timedProtocol decorates a Protocol with wall-clock measurement into a
+// caller-owned slot. Timing stays out of engine.Cost so Sweep's outcome
+// slices remain byte-identical across runs and worker counts; only the
+// perf experiment, which reports throughput, pays for the wrapper.
+type timedProtocol struct {
+	p    engine.Protocol
+	wall *int64
+}
+
+func (t timedProtocol) Name() string { return t.p.Name() }
+
+func (t timedProtocol) Run(inst engine.Instance) (engine.Cost, error) {
+	start := time.Now()
+	cost, err := t.p.Run(inst)
+	*t.wall = time.Since(start).Nanoseconds()
+	return cost, err
+}
+
 // PerfExperiment runs the perf grid as one parallel sweep (workers 0 =
 // GOMAXPROCS; results are identical for every worker count) and
 // flattens the outcomes to rows. Histogram memory is fixed per cell, so
@@ -96,6 +130,10 @@ func perfCells(ns []int, perNode int, seed int64) (cells []engine.Cell, names []
 // without per-request storage.
 func PerfExperiment(ns []int, perNode int, seed int64, workers int) ([]PerfRow, error) {
 	cells, names := perfCells(ns, perNode, seed)
+	walls := make([]int64, len(cells))
+	for i := range cells {
+		cells[i].Protocol = timedProtocol{p: cells[i].Protocol, wall: &walls[i]}
+	}
 	outs := engine.Sweep(cells, workers)
 	if err := engine.FirstError(outs); err != nil {
 		return nil, fmt.Errorf("analysis: perf sweep: %w", err)
@@ -103,30 +141,35 @@ func PerfExperiment(ns []int, perNode int, seed int64, workers int) ([]PerfRow, 
 	rows := make([]PerfRow, len(outs))
 	for i, c := range engine.Costs(outs) {
 		rows[i] = PerfRow{
-			Protocol: c.Protocol,
-			N:        c.N,
-			PerNode:  perNode,
-			Workload: names[i],
-			Requests: c.Requests,
-			Makespan: c.Makespan,
-			Latency:  c.Latency,
-			Hops:     c.Hops,
+			Protocol:  c.Protocol,
+			N:         c.N,
+			PerNode:   perNode,
+			Workload:  names[i],
+			Requests:  c.Requests,
+			Makespan:  c.Makespan,
+			Events:    c.Events,
+			WallNanos: walls[i],
+			Latency:   c.Latency,
+			Hops:      c.Hops,
 		}
 	}
 	return rows, nil
 }
 
-// PerfLatencyTable formats the per-request queuing-latency percentiles.
+// PerfLatencyTable formats the per-request queuing-latency percentiles
+// plus the cell's simulator throughput (million events per wall-clock
+// second — the one non-deterministic column).
 func PerfLatencyTable(rows []PerfRow) *Table {
 	t := &Table{
 		Title: "Perf — per-request queuing latency distribution (closed loop)",
 		Headers: []string{"protocol", "n", "workload", "reqs",
-			"p50", "p90", "p99", "p999", "max", "mean", "std"},
+			"p50", "p90", "p99", "p999", "max", "mean", "std", "Mev/s"},
 	}
 	for _, r := range rows {
 		t.AddRow(r.Protocol, r.N, r.Workload, r.Requests,
 			r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.P999,
-			r.Latency.Max, r.Latency.Mean, r.Latency.Std)
+			r.Latency.Max, r.Latency.Mean, r.Latency.Std,
+			r.EventsPerSec()/1e6)
 	}
 	return t
 }
@@ -148,8 +191,10 @@ func PerfHopsTable(rows []PerfRow) *Table {
 
 // PerfSchema versions the machine-readable perf document. Bump it on
 // any field rename or semantic change — cmd/benchcheck refuses to
-// compare documents with different schemas.
-const PerfSchema = "arrowbench/perf/v1"
+// compare documents with different schemas. v2 added the deterministic
+// per-cell event count (gated like the other pinned metrics) and the
+// wall-clock events/sec throughput (reported, never gated).
+const PerfSchema = "arrowbench/perf/v2"
 
 // PerfConfig records the experiment parameters inside the document, so
 // a baseline comparison against a run with different parameters fails
@@ -165,13 +210,20 @@ type PerfConfig struct {
 // fixed config, which is what makes the document a meaningful CI
 // regression baseline.
 type PerfDocRow struct {
-	Protocol string     `json:"protocol"`
-	N        int        `json:"n"`
-	Workload string     `json:"workload"`
-	Requests int64      `json:"requests"`
-	Makespan int64      `json:"makespan"`
-	Latency  stats.Dist `json:"latency"`
-	Hops     stats.Dist `json:"hops"`
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	Workload string `json:"workload"`
+	Requests int64  `json:"requests"`
+	Makespan int64  `json:"makespan"`
+	// Events is the cell's simulator event count — deterministic, so
+	// benchcheck gates it alongside makespan and the quantiles.
+	Events int64 `json:"events"`
+	// EventsPerSec is wall-clock throughput: the one field that differs
+	// between two runs of the same commit. Benchcheck reports it but
+	// never gates on it (shared CI runners make wall-clock deltas noise).
+	EventsPerSec float64    `json:"events_per_sec"`
+	Latency      stats.Dist `json:"latency"`
+	Hops         stats.Dist `json:"hops"`
 }
 
 // PerfDoc is the stable schema of `arrowbench -exp perf -json` — the
@@ -187,13 +239,15 @@ func PerfDocument(cfg PerfConfig, rows []PerfRow) PerfDoc {
 	doc := PerfDoc{Schema: PerfSchema, Config: cfg, Rows: make([]PerfDocRow, len(rows))}
 	for i, r := range rows {
 		doc.Rows[i] = PerfDocRow{
-			Protocol: r.Protocol,
-			N:        r.N,
-			Workload: r.Workload,
-			Requests: r.Requests,
-			Makespan: int64(r.Makespan),
-			Latency:  r.Latency,
-			Hops:     r.Hops,
+			Protocol:     r.Protocol,
+			N:            r.N,
+			Workload:     r.Workload,
+			Requests:     r.Requests,
+			Makespan:     int64(r.Makespan),
+			Events:       r.Events,
+			EventsPerSec: r.EventsPerSec(),
+			Latency:      r.Latency,
+			Hops:         r.Hops,
 		}
 	}
 	return doc

@@ -48,7 +48,10 @@ func TestPerfExperimentShape(t *testing.T) {
 
 // The perf experiment is a deterministic artifact: same config, same
 // document, at any worker count — the property that makes BENCH_perf.json
-// a meaningful CI baseline.
+// a meaningful CI baseline. WallNanos (and the events/sec derived from
+// it) is the one deliberate exception: it measures the host, not the
+// simulation, so it is zeroed before the comparison and excluded from
+// benchcheck's gate for the same reason.
 func TestPerfExperimentDeterministic(t *testing.T) {
 	a, err := PerfExperiment([]int{8}, 4, 7, 1)
 	if err != nil {
@@ -57,6 +60,12 @@ func TestPerfExperimentDeterministic(t *testing.T) {
 	b, err := PerfExperiment([]int{8}, 4, 7, 4)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for i := range a {
+		a[i].WallNanos = 0
+	}
+	for i := range b {
+		b[i].WallNanos = 0
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("perf rows differ across worker counts:\n%+v\n%+v", a, b)

@@ -43,6 +43,9 @@ type Options struct {
 	// MaxEvents guards against divergence; 0 derives a generous default
 	// from the instance size.
 	MaxEvents int64
+	// Scheduler selects the simulator's event-queue implementation
+	// (semantically inert; see sim.SchedulerKind).
+	Scheduler sim.SchedulerKind
 }
 
 // Tracer observes protocol execution; implementations must be cheap, as
@@ -134,7 +137,7 @@ func Run(t *tree.Tree, set queuing.Set, opts Options) (*Result, error) {
 	maxEvents := opts.MaxEvents
 	if maxEvents == 0 {
 		// Each request travels at most n hops plus its injection timer.
-		maxEvents = int64(len(set)+1) * int64(t.NumNodes()+2) * 4
+		maxEvents = sim.SatMul(int64(len(set)+1), sim.SatMul(int64(t.NumNodes()+2), 4))
 		if maxEvents < 4096 {
 			maxEvents = 4096
 		}
@@ -168,6 +171,7 @@ func Run(t *tree.Tree, set queuing.Set, opts Options) (*Result, error) {
 		Arbitration: opts.Arbitration,
 		Seed:        opts.Seed,
 		MaxEvents:   maxEvents,
+		Scheduler:   opts.Scheduler,
 	})
 	s.SetAllHandlers(st.handleMessage)
 	for _, r := range set {

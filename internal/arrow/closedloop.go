@@ -34,6 +34,9 @@ type LoopConfig struct {
 	// observability at any request count). The completion hot path does
 	// no recording work when nil.
 	Recorder stats.Recorder
+	// Scheduler selects the simulator's event-queue implementation
+	// (semantically inert; see sim.SchedulerKind).
+	Scheduler sim.SchedulerKind
 }
 
 // LoopResult aggregates a closed-loop run. Counters rather than
@@ -59,6 +62,9 @@ type LoopResult struct {
 	TotalLatency int64
 	// MaxQueueHops is the worst single-request hop count.
 	MaxQueueHops int
+	// Events is the number of simulator events the run consumed
+	// (messages + timers) — deterministic for a fixed config.
+	Events int64
 }
 
 // AvgQueueHops returns queue-message hops per queuing operation —
@@ -147,15 +153,20 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
 		// Generous divergence guard: each request costs at most ~2n
-		// message events plus a timer.
-		MaxEvents: total*int64(4*n+8) + 1024,
+		// message events plus a timer; saturating arithmetic keeps the
+		// guard sane at scales where the product overflows int64.
+		MaxEvents: sim.SatAdd(sim.SatMul(total, int64(4*n+8)), 1024),
+		Scheduler: cfg.Scheduler,
 	})
 	s.SetAllHandlers(st.handle)
+	// Issue timers dispatch by node through the TimerHandler: neither the
+	// initial injection nor the per-request re-issue captures a closure.
+	s.SetTimerHandler(st.issue)
 	for v := 0; v < n; v++ {
-		node := graph.NodeID(v)
-		s.ScheduleAt(0, func(ctx *sim.Context) { st.issue(ctx, node) })
+		s.ScheduleNodeAt(0, graph.NodeID(v))
 	}
 	st.res.Makespan = s.Run()
+	st.res.Events = s.EventsProcessed()
 	if st.res.Requests != total {
 		return nil, fmt.Errorf("arrow: closed loop completed %d of %d requests", st.res.Requests, total)
 	}
@@ -238,5 +249,5 @@ func (st *loopState) scheduleNext(ctx *sim.Context, v graph.NodeID) {
 	if think <= 0 {
 		think = 1
 	}
-	ctx.After(think, func(ctx *sim.Context) { st.issue(ctx, v) })
+	ctx.AfterNode(think, v)
 }

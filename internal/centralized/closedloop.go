@@ -23,6 +23,9 @@ type LoopConfig struct {
 	// latency and queue-side hop count (0 for requests issued at the
 	// center) as it queues. The hot path does no recording work when nil.
 	Recorder stats.Recorder
+	// Scheduler selects the simulator's event-queue implementation
+	// (semantically inert; see sim.SchedulerKind).
+	Scheduler sim.SchedulerKind
 }
 
 // LoopResult aggregates a closed-loop centralized run. Request traffic
@@ -50,6 +53,9 @@ type LoopResult struct {
 	// The field set and order deliberately match loop.Result, so the
 	// engine adapter maps every protocol through one conversion.
 	MaxQueueHops int
+	// Events is the number of simulator events the run consumed
+	// (messages + timers) — deterministic for a fixed config.
+	Events int64
 }
 
 // AvgLatency returns mean queuing latency per request.
@@ -69,12 +75,33 @@ func (r *LoopResult) AvgHops() float64 {
 	return float64(r.QueueHops+r.ReplyHops) / float64(r.Requests)
 }
 
-type loopReq struct {
-	origin graph.NodeID
-	issued sim.Time
-}
+type loopReq struct{ origin graph.NodeID }
 
 type loopReply struct{}
+
+// clState is the closed-loop driver state, O(n) like the other
+// protocols' loops: at most one request per node is in flight, so issue
+// times key by node and the pre-boxed request message is reused across a
+// node's successive requests. Node timers carry only the node, so the
+// per-node serving flag distinguishes the two timer meanings — a
+// serve-finish at the center for v's request vs v's own think-time
+// re-issue tick — which are never pending simultaneously for one node
+// (a request must be replied to before its issuer thinks again).
+type clState struct {
+	cfg       LoopConfig
+	topo      *sim.MetricTopology
+	center    graph.NodeID
+	service   sim.Time
+	think     sim.Time
+	busyUntil sim.Time
+
+	issued    []sim.Time
+	serving   []bool
+	msgs      []loopReq
+	rep       loopReply
+	remaining []int
+	res       *LoopResult
+}
 
 // RunClosedLoop executes the closed-loop centralized experiment on g.
 func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
@@ -93,90 +120,125 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 	if service <= 0 {
 		service = 1
 	}
-	topo := sim.NewMetricTopology(g)
 	total := int64(cfg.PerNode) * int64(n)
+	st := &clState{
+		cfg:       cfg,
+		topo:      sim.NewMetricTopology(g),
+		center:    cfg.Center,
+		service:   service,
+		think:     think,
+		issued:    make([]sim.Time, n),
+		serving:   make([]bool, n),
+		msgs:      make([]loopReq, n),
+		remaining: make([]int, n),
+		res:       &LoopResult{N: n},
+	}
+	for v := range st.remaining {
+		st.remaining[v] = cfg.PerNode
+		st.msgs[v].origin = graph.NodeID(v)
+	}
+
 	s := sim.New(sim.Config{
-		Topology:    topo,
+		Topology:    st.topo,
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
-		MaxEvents:   total*16 + 1024,
+		MaxEvents:   sim.SatAdd(sim.SatMul(total, 16), 1024),
+		Scheduler:   cfg.Scheduler,
 	})
-	res := &LoopResult{N: n}
-	eng := &engine{center: cfg.Center, service: service, lastReq: -1}
-	remaining := make([]int, n)
-	for i := range remaining {
-		remaining[i] = cfg.PerNode
-	}
-
-	var issue func(ctx *sim.Context, v graph.NodeID)
-	scheduleNext := func(ctx *sim.Context, v graph.NodeID) {
-		if remaining[v] > 0 {
-			ctx.After(think, func(ctx *sim.Context) { issue(ctx, v) })
-		}
-	}
-	// queued records the request joining the total order at the center
-	// (after its serialization wait) — the latency endpoint every
-	// protocol's loop result measures, so the baselines column compares
-	// like with like. The reply only tells the requester to re-issue.
-	queued := func(ctx *sim.Context, v graph.NodeID, issued sim.Time) {
-		lat := int64(ctx.Now() - issued)
-		res.Requests++
-		res.TotalLatency += lat
-		h := 0
-		if v == eng.center {
-			res.LocalCompletions++
-		} else {
-			h = topo.Hops(v, eng.center)
-			res.QueueHops += int64(h)
-			res.ReplyHops += int64(topo.Hops(eng.center, v))
-			if h > res.MaxQueueHops {
-				res.MaxQueueHops = h
-			}
-		}
-		if cfg.Recorder != nil {
-			cfg.Recorder.RecordRequest(lat, h)
-		}
-	}
-	issue = func(ctx *sim.Context, v graph.NodeID) {
-		if remaining[v] == 0 {
-			return
-		}
-		remaining[v]--
-		issued := ctx.Now()
-		if v == eng.center {
-			eng.serve(ctx, func(ctx *sim.Context, _ int) {
-				queued(ctx, v, issued)
-				scheduleNext(ctx, v)
-			})
-			return
-		}
-		ctx.Send(v, eng.center, loopReq{origin: v, issued: issued})
-	}
-
-	s.SetAllHandlers(func(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
-		switch m := msg.(type) {
-		case loopReq:
-			if at != eng.center {
-				panic("centralized: request at non-center node")
-			}
-			eng.serve(ctx, func(ctx *sim.Context, _ int) {
-				queued(ctx, m.origin, m.issued)
-				ctx.Send(eng.center, m.origin, loopReply{})
-			})
-		case loopReply:
-			scheduleNext(ctx, at)
-		default:
-			panic(fmt.Sprintf("centralized: unexpected message %T", msg))
-		}
-	})
+	s.SetAllHandlers(st.handle)
+	s.SetTimerHandler(st.timer)
 	for v := 0; v < n; v++ {
-		node := graph.NodeID(v)
-		s.ScheduleAt(0, func(ctx *sim.Context) { issue(ctx, node) })
+		s.ScheduleNodeAt(0, graph.NodeID(v))
 	}
-	res.Makespan = s.Run()
-	if res.Requests != total {
-		return nil, fmt.Errorf("centralized: closed loop completed %d of %d", res.Requests, total)
+	st.res.Makespan = s.Run()
+	st.res.Events = s.EventsProcessed()
+	if st.res.Requests != total {
+		return nil, fmt.Errorf("centralized: closed loop completed %d of %d", st.res.Requests, total)
 	}
-	return res, nil
+	return st.res, nil
+}
+
+func (st *clState) timer(ctx *sim.Context, v graph.NodeID) {
+	if st.serving[v] {
+		st.serving[v] = false
+		st.queued(ctx, v)
+		if v == st.center {
+			st.scheduleNext(ctx, v)
+			return
+		}
+		ctx.Send(st.center, v, &st.rep)
+		return
+	}
+	st.issue(ctx, v)
+}
+
+func (st *clState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
+	switch m := msg.(type) {
+	case *loopReq:
+		if at != st.center {
+			panic("centralized: request at non-center node")
+		}
+		st.serve(ctx, m.origin)
+	case *loopReply:
+		st.scheduleNext(ctx, at)
+	default:
+		panic(fmt.Sprintf("centralized: unexpected message %T", msg))
+	}
+}
+
+func (st *clState) issue(ctx *sim.Context, v graph.NodeID) {
+	if st.remaining[v] == 0 {
+		return
+	}
+	st.remaining[v]--
+	st.issued[v] = ctx.Now()
+	if v == st.center {
+		st.serve(ctx, v)
+		return
+	}
+	ctx.Send(v, st.center, &st.msgs[v])
+}
+
+// serve admits v's request into the center's serialized processing and
+// schedules its finish as a node timer for v.
+func (st *clState) serve(ctx *sim.Context, v graph.NodeID) {
+	start := ctx.Now()
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	finish := start + st.service
+	st.busyUntil = finish
+	st.serving[v] = true
+	ctx.AfterNode(finish-ctx.Now(), v)
+}
+
+// queued records v's request joining the total order at the center
+// (after its serialization wait) — the latency endpoint every protocol's
+// loop result measures, so the baselines column compares like with like.
+// The reply only tells the requester to re-issue.
+func (st *clState) queued(ctx *sim.Context, v graph.NodeID) {
+	lat := int64(ctx.Now() - st.issued[v])
+	st.res.Requests++
+	st.res.TotalLatency += lat
+	h := 0
+	if v == st.center {
+		st.res.LocalCompletions++
+	} else {
+		h = st.topo.Hops(v, st.center)
+		st.res.QueueHops += int64(h)
+		st.res.ReplyHops += int64(st.topo.Hops(st.center, v))
+		if h > st.res.MaxQueueHops {
+			st.res.MaxQueueHops = h
+		}
+	}
+	if st.cfg.Recorder != nil {
+		st.cfg.Recorder.RecordRequest(lat, h)
+	}
+}
+
+func (st *clState) scheduleNext(ctx *sim.Context, v graph.NodeID) {
+	if st.remaining[v] > 0 {
+		ctx.AfterNode(st.think, v)
+	}
 }

@@ -25,6 +25,7 @@ type loopCounters struct {
 	LocalCompletions int64
 	TotalLatency     int64
 	MaxQueueHops     int
+	Events           int64
 }
 
 // loopCost maps a closed-loop run's counters to the standard Cost.
@@ -40,6 +41,7 @@ func loopCost(proto, label string, r loopCounters) Cost {
 		MaxHops:          r.MaxQueueHops,
 		LocalCompletions: r.LocalCompletions,
 		Makespan:         r.Makespan,
+		Events:           r.Events,
 	}
 }
 
@@ -96,6 +98,7 @@ func (p Arrow) Run(inst Instance) (Cost, error) {
 			Latency:     inst.Latency,
 			Arbitration: inst.Arbitration,
 			Seed:        inst.Seed,
+			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
 		})
 		if err != nil {
@@ -110,6 +113,7 @@ func (p Arrow) Run(inst Instance) (Cost, error) {
 		Latency:     inst.Latency,
 		Arbitration: inst.Arbitration,
 		Seed:        inst.Seed,
+		Scheduler:   inst.Scheduler,
 	})
 	if err != nil {
 		return Cost{}, err
@@ -162,6 +166,7 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 			Latency:     inst.Latency,
 			Arbitration: inst.Arbitration,
 			Seed:        inst.Seed,
+			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
 		})
 		if err != nil {
@@ -177,6 +182,7 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 		Latency:     inst.Latency,
 		Arbitration: inst.Arbitration,
 		Seed:        inst.Seed,
+		Scheduler:   inst.Scheduler,
 	})
 	if err != nil {
 		return Cost{}, err
@@ -224,6 +230,7 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 			Latency:     inst.Latency,
 			Arbitration: inst.Arbitration,
 			Seed:        inst.Seed,
+			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
 		})
 		if err != nil {
@@ -238,6 +245,7 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 		Latency:     inst.Latency,
 		Arbitration: inst.Arbitration,
 		Seed:        inst.Seed,
+		Scheduler:   inst.Scheduler,
 	})
 	if err != nil {
 		return Cost{}, err
@@ -288,6 +296,7 @@ func (p Ivy) Run(inst Instance) (Cost, error) {
 			Latency:     inst.Latency,
 			Arbitration: inst.Arbitration,
 			Seed:        inst.Seed,
+			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
 		})
 		if err != nil {
@@ -302,6 +311,7 @@ func (p Ivy) Run(inst Instance) (Cost, error) {
 		Latency:     inst.Latency,
 		Arbitration: inst.Arbitration,
 		Seed:        inst.Seed,
+		Scheduler:   inst.Scheduler,
 	})
 	if err != nil {
 		return Cost{}, err

@@ -90,6 +90,12 @@ type Instance struct {
 	Arbitration sim.Arbitration
 	// Seed drives random latency/arbitration, per cell.
 	Seed int64
+	// Scheduler selects the simulator's event-queue implementation for
+	// every run of this instance. Semantically inert — both schedulers
+	// realize the identical event order (see sim.SchedulerKind) — it
+	// exists so the cross-scheduler equivalence tests can pin that claim
+	// protocol by protocol.
+	Scheduler sim.SchedulerKind
 	// Recorder, when non-nil, receives every completed request's queuing
 	// latency and hop count: closed-loop drivers feed it streamingly as
 	// requests complete (fixed memory at any request count), static runs
@@ -132,6 +138,11 @@ type Cost struct {
 	LocalCompletions int64
 	// Makespan is the simulated time at quiescence.
 	Makespan sim.Time
+	// Events is the number of simulator events the run consumed
+	// (messages plus timers) — deterministic for a fixed instance, and
+	// the denominator of the perf document's events/sec throughput.
+	// Populated by closed-loop runs; zero for static-set runs.
+	Events int64
 	// Latency and Hops are per-request distribution snapshots (queuing
 	// latency; queue/find hop counts) with p50/p90/p99/p999/max and
 	// streaming mean/std, populated when Instance.Recorder is a

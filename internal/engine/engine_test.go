@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sync/atomic"
 	"testing"
 
@@ -470,5 +471,62 @@ func TestIvyAdapterCost(t *testing.T) {
 	}
 	if cost.MaxHops != 1 {
 		t.Errorf("max hops = %d, want 1", cost.MaxHops)
+	}
+}
+
+// TestSchedulerEquivalenceAcrossProtocols is the engine half of the
+// tentpole's correctness proof (the sim package pins raw traces): every
+// protocol adapter, in both workload modes, produces a bit-identical
+// Cost — counters, makespan, event count, order, and the full
+// latency/hop histogram snapshots — under the heap and ladder
+// schedulers, across arbitration modes, latency models and seeds.
+func TestSchedulerEquivalenceAcrossProtocols(t *testing.T) {
+	const n = 13
+	g := graph.Complete(n)
+	tr := tree.BalancedBinary(n)
+	set := workload.Poisson(n, 0.6, 50, 3)
+	workloads := []struct {
+		name string
+		w    Workload
+	}{
+		{"closed", ClosedLoop(9, 0)},
+		{"closed-think", ClosedLoop(5, 3)},
+		{"static", Static(set)},
+	}
+	arbs := []sim.Arbitration{sim.ArbFIFO, sim.ArbLIFO, sim.ArbRandom}
+	models := []sim.LatencyModel{nil, sim.AsyncUniform(3), sim.AsyncBimodal(6, 0.3)}
+	for _, p := range []Protocol{Arrow{}, Centralized{}, NTA{}, Ivy{}} {
+		for _, wl := range workloads {
+			for _, arb := range arbs {
+				for mi, m := range models {
+					for seed := int64(1); seed <= 2; seed++ {
+						run := func(k sim.SchedulerKind) Cost {
+							rec := stats.NewDistRecorder()
+							cost, err := p.Run(Instance{
+								Graph:       g,
+								Tree:        tr,
+								Root:        0,
+								Workload:    wl.w,
+								Latency:     m,
+								Arbitration: arb,
+								Seed:        seed,
+								Scheduler:   k,
+								Recorder:    rec,
+							})
+							if err != nil {
+								t.Fatalf("%s/%s/%v/model=%d/seed=%d/%v: %v",
+									p.Name(), wl.name, arb, mi, seed, k, err)
+							}
+							return cost
+						}
+						heap, ladder := run(sim.SchedHeap), run(sim.SchedLadder)
+						if !reflect.DeepEqual(heap, ladder) {
+							t.Errorf("%s/%s/%v/model=%d/seed=%d: heap and ladder costs differ:\nheap:   %+v\nladder: %+v",
+								p.Name(), wl.name, arb, mi, seed, heap, ladder)
+						}
+					}
+				}
+			}
+		}
 	}
 }

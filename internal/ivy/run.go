@@ -29,6 +29,9 @@ type Options struct {
 	Arbitration sim.Arbitration
 	// Seed drives random latency/arbitration.
 	Seed int64
+	// Scheduler selects the simulator's event-queue implementation
+	// (semantically inert; see sim.SchedulerKind).
+	Scheduler sim.SchedulerKind
 }
 
 // Completion records the ownership transfer serving one request.
@@ -91,7 +94,8 @@ func Run(g *graph.Graph, set queuing.Set, opts Options) (*Result, error) {
 		Latency:     opts.Latency,
 		Arbitration: opts.Arbitration,
 		Seed:        opts.Seed,
-		MaxEvents:   int64(len(set))*int64(n+4)*4 + 1024,
+		MaxEvents:   sim.SatAdd(sim.SatMul(int64(len(set)), sim.SatMul(int64(n+4), 4)), 1024),
+		Scheduler:   opts.Scheduler,
 	})
 	dir := NewDirectory(n, opts.Root)
 	res := &Result{
@@ -205,6 +209,9 @@ type LoopConfig struct {
 	// Recorder, when non-nil, receives every completed request's queuing
 	// latency and hop count (see loop.Config.Recorder).
 	Recorder stats.Recorder
+	// Scheduler selects the simulator's event-queue implementation
+	// (semantically inert; see sim.SchedulerKind).
+	Scheduler sim.SchedulerKind
 }
 
 // LoopResult aggregates a closed-loop Ivy run — the shared closed-loop
@@ -228,5 +235,6 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
 		Recorder:    cfg.Recorder,
+		Scheduler:   cfg.Scheduler,
 	})
 }

@@ -51,6 +51,9 @@ type Config struct {
 	// observability at any request count). The completion hot path does
 	// no recording work when nil.
 	Recorder stats.Recorder
+	// Scheduler selects the simulator's event-queue implementation
+	// (semantically inert; see sim.SchedulerKind).
+	Scheduler sim.SchedulerKind
 }
 
 // Result aggregates a closed-loop run with the same counters as
@@ -77,6 +80,10 @@ type Result struct {
 	TotalLatency int64
 	// MaxQueueHops is the worst single-request forwarding count.
 	MaxQueueHops int
+	// Events is the number of simulator events the run consumed
+	// (messages + timers) — the denominator of the engine's events/sec
+	// throughput metric, deterministic for a fixed config.
+	Events int64
 }
 
 // AvgQueueHops returns forwarding messages per queuing operation.
@@ -150,20 +157,31 @@ func Run(g *graph.Graph, step Stepper, proto string, cfg Config) (*Result, error
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
-		// Divergence guard: each request costs at most n forwarding
-		// messages plus a reply and a timer.
-		MaxEvents: total*int64(2*n+8) + 1024,
+		MaxEvents:   eventBudget(total, n),
+		Scheduler:   cfg.Scheduler,
 	})
 	s.SetAllHandlers(st.handle)
+	// Issue timers dispatch by node through the TimerHandler: neither the
+	// initial injection nor the per-request re-issue captures a closure.
+	s.SetTimerHandler(st.issue)
 	for v := 0; v < n; v++ {
-		node := graph.NodeID(v)
-		s.ScheduleAt(0, func(ctx *sim.Context) { st.issue(ctx, node) })
+		s.ScheduleNodeAt(0, graph.NodeID(v))
 	}
 	st.res.Makespan = s.Run()
+	st.res.Events = s.EventsProcessed()
 	if st.res.Requests != total {
 		return nil, fmt.Errorf("%s: closed loop completed %d of %d requests", proto, st.res.Requests, total)
 	}
 	return st.res, nil
+}
+
+// eventBudget is the divergence guard: each request costs at most n
+// forwarding messages plus a reply and a timer. Saturating arithmetic
+// keeps the guard meaningful at scales where the product overflows
+// int64 (a wrapped value would either disable the guard or panic a
+// healthy run).
+func eventBudget(total int64, n int) int64 {
+	return sim.SatAdd(sim.SatMul(total, int64(2*n+8)), 1024)
 }
 
 func (st *state) issue(ctx *sim.Context, v graph.NodeID) {
@@ -230,5 +248,5 @@ func (st *state) scheduleNext(ctx *sim.Context, v graph.NodeID) {
 	if think <= 0 {
 		think = 1
 	}
-	ctx.After(think, func(ctx *sim.Context) { st.issue(ctx, v) })
+	ctx.AfterNode(think, v)
 }

@@ -32,6 +32,9 @@ type LoopConfig struct {
 	// Recorder, when non-nil, receives every completed request's queuing
 	// latency and hop count (see loop.Config.Recorder).
 	Recorder stats.Recorder
+	// Scheduler selects the simulator's event-queue implementation
+	// (semantically inert; see sim.SchedulerKind).
+	Scheduler sim.SchedulerKind
 }
 
 // LoopResult aggregates a closed-loop NTA run — the shared closed-loop
@@ -92,5 +95,6 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
 		Recorder:    cfg.Recorder,
+		Scheduler:   cfg.Scheduler,
 	})
 }

@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"math/bits"
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// SchedulerKind selects the event-queue implementation backing a
+// Simulator. Both schedulers realize the exact same total event order —
+// ascending (at, pri, seq) — so a run's trace, metrics and makespan are
+// bit-identical under either; TestSchedulerEquivalence pins that. The
+// selector exists for that equivalence test and for benchmarking the two
+// against each other, not as a tuning knob.
+type SchedulerKind uint8
+
+const (
+	// SchedLadder is the default: a bucketed ladder/calendar queue with
+	// O(1) push/pop for the near-future delays that dominate the
+	// synchronous model, plus a binary-heap overflow tier for far-future
+	// events.
+	SchedLadder SchedulerKind = iota
+	// SchedHeap is the previous implementation: a single binary min-heap,
+	// O(log pending) per operation.
+	SchedHeap
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedLadder:
+		return "ladder"
+	case SchedHeap:
+		return "heap"
+	default:
+		return "scheduler(?)"
+	}
+}
+
+type evKind uint8
+
+const (
+	evTimer evKind = iota
+	evNodeTimer
+	evMessage
+)
+
+type event struct {
+	at   Time
+	pri  int64
+	seq  uint64
+	kind evKind
+	to   graph.NodeID
+	from graph.NodeID
+	msg  Message
+	fn   TimerFunc
+}
+
+// before is the scheduler total order: time, then arbitration priority,
+// then scheduling sequence (unique, so the order is total and every
+// scheduler realizes the same one).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.pri != o.pri {
+		return e.pri < o.pri
+	}
+	return e.seq < o.seq
+}
+
+// samePriBefore is the within-bucket order: all bucket events share a
+// timestamp, so only (pri, seq) discriminates.
+func samePriBefore(x, y *event) bool {
+	if x.pri != y.pri {
+		return x.pri < y.pri
+	}
+	return x.seq < y.seq
+}
+
+// cmpEvent adapts samePriBefore for slices.SortFunc. A top-level
+// function rather than a closure so sorting a bucket allocates nothing.
+func cmpEvent(x, y event) int {
+	if samePriBefore(&x, &y) {
+		return -1
+	}
+	return 1
+}
+
+// eventHeap is a hand-rolled min-heap of event values: events live inline
+// in the backing array, so pushing a message costs zero heap allocations
+// (container/heap would box every event through its any-typed interface).
+// It is the SchedHeap scheduler and the ladder queue's overflow tier.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool { return h[i].before(&h[j]) }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	a := *h
+	n := len(a) - 1
+	top := a[0]
+	a[0] = a[n]
+	a[n] = event{} // release msg/fn references
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
+}
+
+const (
+	// ringBits sizes the ladder's bucket ring: one bucket per simulated
+	// tick, covering delays up to ringSize ticks ahead without touching
+	// the overflow tier. 512 covers every delay the synchronous and
+	// scaled-async models produce on the paper's topologies while the
+	// ring itself stays one 4 KB array of list heads.
+	ringBits = 9
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+	// overflowRetainCap bounds the overflow tier's retained backing
+	// array: when a refill drains the tier completely, anything larger is
+	// released to the GC. The steady-state closed loops never use the
+	// tier, so a static-set burst (many far-future release times) no
+	// longer pins its peak capacity for the life of the run.
+	overflowRetainCap = 1024
+)
+
+// nilSlot terminates bucket lists and the freelist.
+const nilSlot = int32(-1)
+
+// eslot is one arena cell: an event plus its intrusive list link. All
+// pending in-window events live in one shared arena, so buckets cost no
+// storage of their own — pushing links a recycled cell into a per-tick
+// list, and the arena grows (amortized, like the heap's backing array)
+// only when the pending count reaches a new peak.
+type eslot struct {
+	ev   event
+	next int32
+}
+
+// tickBucket is an intrusive singly-linked list of arena slots holding
+// one tick's pending events, drained from head.
+type tickBucket struct {
+	head, tail int32
+}
+
+// ladderQueue is the default scheduler: a rotating ring of per-tick
+// bucket lists over a shared event arena for events within the current
+// ringSize-tick window, plus a min-heap overflow tier for events at or
+// beyond the window's horizon.
+//
+// Invariants:
+//   - every ring event's time lies in [base, horizon), every overflow
+//     event's at or beyond horizon, and horizon - base <= ringSize, so
+//     bucket slot at&ringMask is collision-free and the nearest occupied
+//     slot (found via the occupancy bitmap) is always the earliest
+//     pending tick;
+//   - horizon only moves on refill, when the ring is empty, so ring
+//     events never need to overtake overflow events;
+//   - each bucket list is in (pri, seq) order by the time it drains:
+//     FIFO maintains it by appending (pri equals seq, and refill pours
+//     ascending before strictly-newer pushes append), LIFO by
+//     prepending fresh pushes (newer means smaller pri), and random
+//     arbitration by a one-time sort when the tick becomes current plus
+//     ordered insertion for same-tick pushes during its drain.
+//
+// Push and pop are O(1) for in-window events — the regime of the
+// synchronous model, where nearly all delays are small integers — and
+// O(log overflow) for the rare far-future event. Arena cells recycle
+// through a freelist, so the steady state allocates nothing.
+type ladderQueue struct {
+	arb     Arbitration
+	base    Time // tick currently being drained; no pending event is earlier
+	horizon Time // ring covers [base, horizon); later events go to overflow
+	size    int  // total pending events (ring + overflow)
+	ringCnt int  // occupied buckets
+	// curPrepared marks the current bucket's list as sorted for random
+	// arbitration (set when its drain starts, cleared when base moves).
+	curPrepared bool
+
+	arena    []eslot
+	free     int32 // freelist head through eslot.next
+	occupied [ringSize / 64]uint64
+	ring     [ringSize]tickBucket
+	overflow eventHeap
+	scratch  []event // random-arbitration sort buffer, recycled
+}
+
+func (q *ladderQueue) init(arb Arbitration) {
+	q.arb = arb
+	q.horizon = ringSize
+	q.free = nilSlot
+	for i := range q.ring {
+		q.ring[i] = tickBucket{head: nilSlot, tail: nilSlot}
+	}
+}
+
+// alloc returns a free arena slot, growing the arena at a new pending
+// peak.
+func (q *ladderQueue) alloc() int32 {
+	if s := q.free; s != nilSlot {
+		q.free = q.arena[s].next
+		return s
+	}
+	q.arena = append(q.arena, eslot{})
+	return int32(len(q.arena) - 1)
+}
+
+func (q *ladderQueue) push(e *event) {
+	if e.at < q.base {
+		panic("sim: scheduling into the past")
+	}
+	q.size++
+	if e.at >= q.horizon {
+		q.overflow.push(*e)
+		return
+	}
+	q.bucketPush(e, true)
+}
+
+// bucketPush links e into its tick's list. direct distinguishes fresh
+// pushes (which see arbitration-specific placement) from refill pours,
+// which always append: the overflow heap emits each tick's events in
+// ascending (pri, seq) order already.
+func (q *ladderQueue) bucketPush(e *event, direct bool) {
+	idx := int(e.at) & ringMask
+	b := &q.ring[idx]
+	s := q.alloc()
+	q.arena[s].ev = *e
+	if b.head == nilSlot {
+		q.occupied[idx>>6] |= 1 << (idx & 63)
+		q.ringCnt++
+		q.arena[s].next = nilSlot
+		b.head, b.tail = s, s
+		return
+	}
+	if direct {
+		switch q.arb {
+		case ArbLIFO:
+			// A fresh push has the largest seq, hence the smallest pri:
+			// it pops before everything already listed.
+			q.arena[s].next = b.head
+			b.head = s
+			return
+		case ArbRandom:
+			if q.curPrepared && e.at == q.base {
+				q.insertSorted(b, s)
+				return
+			}
+		}
+	}
+	q.arena[s].next = nilSlot
+	q.arena[b.tail].next = s
+	b.tail = s
+}
+
+// insertSorted places slot s into the sorted remainder of the current
+// bucket. Only same-tick scheduling during the tick's own drain under
+// random arbitration lands here, so the list walk is off the hot path.
+func (q *ladderQueue) insertSorted(b *tickBucket, s int32) {
+	e := &q.arena[s].ev
+	if samePriBefore(e, &q.arena[b.head].ev) {
+		q.arena[s].next = b.head
+		b.head = s
+		return
+	}
+	p := b.head
+	for {
+		n := q.arena[p].next
+		if n == nilSlot || samePriBefore(e, &q.arena[n].ev) {
+			break
+		}
+		p = n
+	}
+	q.arena[s].next = q.arena[p].next
+	q.arena[p].next = s
+	if q.arena[s].next == nilSlot {
+		b.tail = s
+	}
+}
+
+// prepareRandom sorts the current bucket's list contents by (pri, seq):
+// random-arbitration priorities arrive in push order, not sorted order.
+// The list structure is kept and only the stored events permuted, via a
+// recycled scratch buffer and an allocation-free comparator.
+func (q *ladderQueue) prepareRandom(b *tickBucket) {
+	q.scratch = q.scratch[:0]
+	for s := b.head; s != nilSlot; s = q.arena[s].next {
+		q.scratch = append(q.scratch, q.arena[s].ev)
+	}
+	slices.SortFunc(q.scratch, cmpEvent)
+	i := 0
+	for s := b.head; s != nilSlot; s = q.arena[s].next {
+		q.arena[s].ev = q.scratch[i]
+		q.scratch[i] = event{} // release msg/fn references
+		i++
+	}
+}
+
+// pop writes the earliest pending event into out, avoiding intermediate
+// copies of the (several-word) event struct on the hottest path.
+func (q *ladderQueue) pop(out *event) bool {
+	if q.size == 0 {
+		return false
+	}
+	for {
+		idx := int(q.base) & ringMask
+		b := &q.ring[idx]
+		if s := b.head; s != nilSlot {
+			if q.arb == ArbRandom && !q.curPrepared {
+				q.prepareRandom(b)
+				q.curPrepared = true
+			}
+			c := &q.arena[s]
+			*out = c.ev
+			// Release only the reference fields; the scalar fields are
+			// dead weight the GC does not scan.
+			c.ev.msg = nil
+			c.ev.fn = nil
+			b.head = c.next
+			if b.head == nilSlot {
+				b.tail = nilSlot
+				q.occupied[idx>>6] &^= 1 << (idx & 63)
+				q.ringCnt--
+				q.curPrepared = false
+			}
+			c.next = q.free
+			q.free = s
+			q.size--
+			return true
+		}
+		q.curPrepared = false
+		if q.ringCnt > 0 {
+			q.base += Time(q.nextOccupiedDelta(idx))
+			continue
+		}
+		q.refill()
+	}
+}
+
+// nextOccupiedDelta returns the circular distance from slot idx to the
+// next occupied slot — equal to the tick gap, since all ring events lie
+// within one window. Callers guarantee ringCnt > 0 and slot idx itself
+// empty, so a set bit exists within distance ringSize-1 and the scan
+// terminates before wrapping past its start.
+func (q *ladderQueue) nextOccupiedDelta(idx int) int {
+	for d := 1; ; d += 64 - ((idx + d) & 63) {
+		i := (idx + d) & ringMask
+		if w := q.occupied[i>>6] >> (i & 63); w != 0 {
+			return d + bits.TrailingZeros64(w)
+		}
+	}
+}
+
+// refill advances the window to the earliest overflow event and pulls
+// everything within the new window into the ring. Called only when the
+// ring is empty and events remain, so overflow is non-empty. A
+// completely drained overflow tier releases its oversized backing array
+// — the one place transient bursts could otherwise pin peak memory for
+// the rest of the run.
+func (q *ladderQueue) refill() {
+	q.base = q.overflow[0].at
+	q.horizon = q.base + ringSize
+	for len(q.overflow) > 0 && q.overflow[0].at < q.horizon {
+		e := q.overflow.pop()
+		q.bucketPush(&e, false)
+	}
+	if len(q.overflow) == 0 && cap(q.overflow) > overflowRetainCap {
+		q.overflow = nil
+	}
+}

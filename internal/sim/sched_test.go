@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// traceEntry is one processed event, the unit of the cross-scheduler
+// equivalence property: two schedulers are equivalent iff they produce
+// identical traces.
+type traceEntry struct {
+	at       Time
+	kind     evKind
+	to, from graph.NodeID
+}
+
+// runTrace drives a randomized workload that exercises every scheduler
+// code path — unit and multi-tick delays, node and closure timers,
+// same-tick scheduling during the current tick's drain, and far-future
+// delays that cross the ladder's ring horizon into the overflow tier
+// (with multiple window refills) — and records the processed-event
+// trace. All randomness flows through the simulator's own seeded
+// streams, so for a fixed config the trace is a pure function of the
+// event order the scheduler realizes.
+func runTrace(t *testing.T, kind SchedulerKind, arb Arbitration, lat LatencyModel, seed int64) []traceEntry {
+	t.Helper()
+	tr := tree.PathTree(4)
+	s := New(Config{
+		Topology:    TreeTopology{T: tr},
+		Latency:     lat,
+		Arbitration: arb,
+		Seed:        seed,
+		Scheduler:   kind,
+		MaxEvents:   200000,
+	})
+	var trace []traceEntry
+	budget := 4000
+	spawn := func(ctx *Context, at graph.NodeID) {
+		if budget <= 0 {
+			return
+		}
+		budget--
+		r := ctx.Rand()
+		switch r.Intn(5) {
+		case 0:
+			// Far-future node timer: usually beyond the ring horizon.
+			ctx.AfterNode(Time(1+r.Intn(3*ringSize)), at)
+		case 1:
+			// Same-tick closure timer: inserts into the bucket being
+			// drained right now.
+			to := at
+			ctx.After(0, func(ctx *Context) {
+				trace = append(trace, traceEntry{ctx.Now(), evTimer, to, -1})
+			})
+		case 2:
+			ctx.AfterNode(Time(1+r.Intn(7)), at)
+		default:
+			next := at - 1
+			if at == 0 {
+				next = 1
+			}
+			ctx.Send(at, next, nil)
+		}
+	}
+	s.SetAllHandlers(func(ctx *Context, at, from graph.NodeID, msg Message) {
+		trace = append(trace, traceEntry{ctx.Now(), evMessage, at, from})
+		spawn(ctx, at)
+		spawn(ctx, at)
+	})
+	s.SetTimerHandler(func(ctx *Context, v graph.NodeID) {
+		trace = append(trace, traceEntry{ctx.Now(), evNodeTimer, v, -1})
+		spawn(ctx, v)
+	})
+	for v := graph.NodeID(0); v < 4; v++ {
+		s.ScheduleNodeAt(Time(v)*700, v) // staggered past the first horizon
+	}
+	s.Run()
+	return trace
+}
+
+// TestSchedulerEquivalence pins the tentpole invariant: the ladder queue
+// realizes the exact (at, pri, seq) total order of the binary heap —
+// event for event — across arbitration modes, latency models and seeds.
+func TestSchedulerEquivalence(t *testing.T) {
+	models := []struct {
+		name string
+		m    LatencyModel
+	}{
+		{"sync", nil},
+		{"async-uniform", AsyncUniform(4)},
+		{"async-bimodal", AsyncBimodal(8, 0.25)},
+	}
+	for _, arb := range []Arbitration{ArbFIFO, ArbLIFO, ArbRandom} {
+		for _, lm := range models {
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%v/%s/seed=%d", arb, lm.name, seed)
+				heap := runTrace(t, SchedHeap, arb, lm.m, seed)
+				ladder := runTrace(t, SchedLadder, arb, lm.m, seed)
+				if len(heap) != len(ladder) {
+					t.Errorf("%s: trace lengths differ: heap %d, ladder %d", name, len(heap), len(ladder))
+					continue
+				}
+				for i := range heap {
+					if heap[i] != ladder[i] {
+						t.Errorf("%s: traces diverge at event %d: heap %+v, ladder %+v",
+							name, i, heap[i], ladder[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLadderReleasesOverflowStorage is the scheduler-memory pin
+// (alongside engine's 100k-request recorder-memory pin): a burst of
+// far-future events grows the overflow tier once, and draining it
+// releases the oversized backing array instead of pinning peak capacity
+// for the life of the run — while the ring's arena stays proportional
+// to the in-flight event count, not the total.
+func TestLadderReleasesOverflowStorage(t *testing.T) {
+	const far = 5000
+	s := New(Config{Topology: TreeTopology{T: tree.PathTree(2)}})
+	s.SetTimerHandler(func(ctx *Context, v graph.NodeID) {})
+	for i := 1; i <= far; i++ {
+		// 600-tick spacing: every event is beyond the previous window,
+		// so the run performs ~5000 refills, draining overflow slowly.
+		s.ScheduleNodeAt(Time(i)*600, 0)
+	}
+	if c := cap(s.lq.overflow); c < far-1 {
+		t.Fatalf("test premise broken: overflow tier holds cap %d, want >= %d", c, far-1)
+	}
+	s.Run()
+	if s.lq.overflow != nil {
+		t.Errorf("drained overflow tier retains cap %d, want released (nil)", cap(s.lq.overflow))
+	}
+	if s.lq.size != 0 || s.lq.ringCnt != 0 {
+		t.Errorf("queue not empty after run: size=%d ringCnt=%d", s.lq.size, s.lq.ringCnt)
+	}
+	if got := len(s.lq.arena); got > 64 {
+		t.Errorf("arena grew to %d slots for a 1-in-flight workload; want peak-pending-sized", got)
+	}
+}
+
+// TestLadderOverflowBelowRetainCapKept: small overflow arrays are reused,
+// not churned.
+func TestLadderOverflowBelowRetainCapKept(t *testing.T) {
+	s := New(Config{Topology: TreeTopology{T: tree.PathTree(2)}})
+	s.SetTimerHandler(func(ctx *Context, v graph.NodeID) {})
+	for i := 1; i <= 16; i++ {
+		s.ScheduleNodeAt(Time(i)*600, 0)
+	}
+	s.Run()
+	if s.lq.overflow == nil || cap(s.lq.overflow) > overflowRetainCap {
+		t.Errorf("small overflow array not retained: %v (cap %d)", s.lq.overflow == nil, cap(s.lq.overflow))
+	}
+}
+
+func TestSatMulSatAdd(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, math.MaxInt64, 0},
+		{1, math.MaxInt64, math.MaxInt64},
+		{3, 4, 12},
+		{math.MaxInt64 / 2, 3, math.MaxInt64},
+		{int64(1) << 40, int64(1) << 30, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := SatMul(c.a, c.b); got != c.want {
+			t.Errorf("SatMul(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := SatMul(c.b, c.a); got != c.want {
+			t.Errorf("SatMul(%d, %d) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+	if got := SatAdd(math.MaxInt64-10, 11); got != math.MaxInt64 {
+		t.Errorf("SatAdd near max = %d, want saturation", got)
+	}
+	if got := SatAdd(40, 2); got != 42 {
+		t.Errorf("SatAdd(40, 2) = %d", got)
+	}
+}
+
+// BenchmarkSchedulerPushPop measures raw steady-state scheduler
+// throughput: a pending set of the given size with uniformly random
+// delays, popping one event and pushing its replacement per iteration.
+// delay16 stays within the ladder's ring (the synchronous regime);
+// delay4096 crosses into the heap-backed overflow tier, the ladder's
+// worst case. Run with -benchmem: the steady state of both schedulers
+// is allocation-free.
+func BenchmarkSchedulerPushPop(b *testing.B) {
+	for _, kind := range []SchedulerKind{SchedLadder, SchedHeap} {
+		for _, pending := range []int{64, 1024, 65536} {
+			for _, maxDelay := range []int{16, 4096} {
+				name := fmt.Sprintf("%v/pending=%d/delay=%d", kind, pending, maxDelay)
+				b.Run(name, func(b *testing.B) {
+					var lq ladderQueue
+					lq.init(ArbFIFO)
+					var h eventHeap
+					var seq uint64
+					now := Time(0)
+					rng := rand.New(rand.NewSource(1))
+					push := func(d Time) {
+						seq++
+						e := event{at: now + d, pri: int64(seq), seq: seq}
+						if kind == SchedHeap {
+							h.push(e)
+						} else {
+							lq.push(&e)
+						}
+					}
+					for i := 0; i < pending; i++ {
+						push(1 + Time(rng.Intn(maxDelay)))
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					var e event
+					for i := 0; i < b.N; i++ {
+						if kind == SchedHeap {
+							e = h.pop()
+						} else {
+							lq.pop(&e)
+						}
+						now = e.at
+						push(1 + Time(rng.Intn(maxDelay)))
+					}
+				})
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -38,6 +39,13 @@ type Handler func(ctx *Context, at, from graph.NodeID, msg Message)
 
 // TimerFunc is a scheduled local action at a node.
 type TimerFunc func(ctx *Context)
+
+// TimerHandler processes per-node timers scheduled with Context.AfterNode
+// or Simulator.ScheduleNodeAt. One handler serves the whole simulator
+// (like SetAllHandlers for messages): protocols that key state by node —
+// every closed-loop driver — dispatch on v instead of capturing it, so a
+// timer costs zero allocations where a TimerFunc closure costs one.
+type TimerHandler func(ctx *Context, v graph.NodeID)
 
 // Arbitration selects the processing order of events that carry identical
 // timestamps.
@@ -104,15 +112,28 @@ type Config struct {
 	// MaxEvents aborts the run (with a panic describing a likely protocol
 	// bug) after this many events; 0 means no limit.
 	MaxEvents int64
+	// Scheduler selects the event-queue implementation; the zero value is
+	// the ladder queue. Every scheduler realizes the identical event
+	// order, so this is an equivalence-testing and benchmarking knob, not
+	// a semantic one.
+	Scheduler SchedulerKind
 }
 
 // Simulator is a deterministic discrete-event engine.
 type Simulator struct {
 	cfg      Config
 	now      Time
-	events   eventHeap
 	seq      uint64
 	handlers []Handler
+	timerH   TimerHandler
+
+	// The pending-event scheduler: the ladder queue by default, the
+	// binary heap when cfg.Scheduler is SchedHeap. A two-way branch on a
+	// bool keeps the hot path devirtualized (an interface call per
+	// push/pop costs more than the queue operation itself).
+	useHeap bool
+	heap    eventHeap
+	lq      ladderQueue
 
 	// Per-directed-link FIFO state: the dense slice is used when the
 	// topology implements LinkIndexer, the map otherwise.
@@ -123,10 +144,18 @@ type Simulator struct {
 	// Independent seeded streams: rng is the protocol-visible stream
 	// (Context.Rand), latRNG drives the latency model and arbRNG random
 	// arbitration. Separate streams mean enabling random latency does not
-	// perturb arbitration draws and vice versa.
+	// perturb arbitration draws and vice versa. Each stream is created on
+	// first use: seeding one costs a 607-word lagged-Fibonacci warm-up,
+	// a measurable fraction of a short run, and a synchronous FIFO run —
+	// the common case — touches none of them.
 	rng    *rand.Rand
 	latRNG *rand.Rand
 	arbRNG *rand.Rand
+
+	// syncScale caches the synchronous latency model's scale, letting
+	// send compute the (deterministic) delay without an interface call
+	// or a latency RNG; 0 means the model is genuinely random.
+	syncScale int64
 
 	processed int64 // number of events processed
 	messages  int64
@@ -159,10 +188,15 @@ func New(cfg Config) *Simulator {
 	s := &Simulator{
 		cfg:      cfg,
 		handlers: make([]Handler, cfg.Topology.NumNodes()),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		latRNG:   rand.New(rand.NewSource(DeriveSeed(cfg.Seed, 1))),
-		arbRNG:   rand.New(rand.NewSource(DeriveSeed(cfg.Seed, 2))),
+		useHeap:  cfg.Scheduler == SchedHeap,
 	}
+	if m, ok := cfg.Latency.(syncModel); ok {
+		s.syncScale = m.scale
+	}
+	if cfg.Arbitration == ArbRandom {
+		s.arbRNG = rand.New(rand.NewSource(DeriveSeed(cfg.Seed, 2)))
+	}
+	s.lq.init(cfg.Arbitration)
 	if li, ok := cfg.Topology.(LinkIndexer); ok {
 		s.linkIdx = li
 		s.linkFIFO = make([]Time, li.NumLinks())
@@ -182,6 +216,11 @@ func (s *Simulator) SetAllHandlers(h Handler) {
 		s.handlers[i] = h
 	}
 }
+
+// SetTimerHandler installs the handler for per-node timers (AfterNode /
+// ScheduleNodeAt). Scheduling a node timer without a handler installed
+// panics at dispatch.
+func (s *Simulator) SetTimerHandler(h TimerHandler) { s.timerH = h }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
@@ -210,15 +249,36 @@ func (c *Context) Send(u, v graph.NodeID, msg Message) { c.s.send(u, v, msg) }
 // After schedules fn to run at node-local time Now()+d.
 func (c *Context) After(d Time, fn TimerFunc) { c.s.scheduleTimer(c.s.now+d, fn) }
 
+// AfterNode schedules a timer for node v at time Now()+d, dispatched to
+// the simulator's registered TimerHandler. Unlike After it captures no
+// closure: the hot-path timer of a closed-loop run costs zero
+// allocations.
+func (c *Context) AfterNode(d Time, v graph.NodeID) {
+	c.s.push(event{at: c.s.now + d, kind: evNodeTimer, to: v})
+}
+
 // Rand returns the simulator's seeded RNG (deterministic per run).
-func (c *Context) Rand() *rand.Rand { return c.s.rng }
+func (c *Context) Rand() *rand.Rand {
+	if c.s.rng == nil {
+		c.s.rng = rand.New(rand.NewSource(c.s.cfg.Seed))
+	}
+	return c.s.rng
+}
 
 func (s *Simulator) send(u, v graph.NodeID, msg Message) {
 	w, ok := s.cfg.Topology.Latency(u, v)
 	if !ok {
 		panic(fmt.Sprintf("sim: illegal send %d -> %d (not connected in topology)", u, v))
 	}
-	delay := s.cfg.Latency.Delay(w, s.latRNG)
+	var delay Time
+	if s.syncScale != 0 {
+		delay = w * s.syncScale
+	} else {
+		if s.latRNG == nil {
+			s.latRNG = rand.New(rand.NewSource(DeriveSeed(s.cfg.Seed, 1)))
+		}
+		delay = s.cfg.Latency.Delay(w, s.latRNG)
+	}
 	if delay < 1 {
 		delay = 1
 	}
@@ -252,6 +312,17 @@ func (s *Simulator) ScheduleAt(t Time, fn TimerFunc) {
 	s.scheduleTimer(t, fn)
 }
 
+// ScheduleNodeAt schedules a per-node timer at absolute time t (>=
+// current time) for the registered TimerHandler — the closure-free
+// counterpart of ScheduleAt, used to inject a closed loop's initial
+// requests.
+func (s *Simulator) ScheduleNodeAt(t Time, v graph.NodeID) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule in the past (t=%d now=%d)", t, s.now))
+	}
+	s.push(event{at: t, kind: evNodeTimer, to: v})
+}
+
 func (s *Simulator) scheduleTimer(t Time, fn TimerFunc) {
 	s.push(event{at: t, kind: evTimer, fn: fn})
 }
@@ -267,15 +338,27 @@ func (s *Simulator) push(e event) {
 	case ArbRandom:
 		e.pri = s.arbRNG.Int63()
 	}
-	s.events.push(e)
+	if s.useHeap {
+		s.heap.push(e)
+	} else {
+		s.lq.push(&e)
+	}
 }
 
 // Run processes events until the queue is empty and returns the final
 // simulated time (the makespan).
 func (s *Simulator) Run() Time {
 	ctx := &Context{s: s}
-	for len(s.events) > 0 {
-		e := s.events.pop()
+	var e event
+	for {
+		if s.useHeap {
+			if len(s.heap) == 0 {
+				break
+			}
+			e = s.heap.pop()
+		} else if !s.lq.pop(&e) {
+			break
+		}
 		if e.at < s.now {
 			panic("sim: time went backwards")
 		}
@@ -287,6 +370,12 @@ func (s *Simulator) Run() Time {
 		switch e.kind {
 		case evTimer:
 			e.fn(ctx)
+		case evNodeTimer:
+			h := s.timerH
+			if h == nil {
+				panic(fmt.Sprintf("sim: node timer for node %d with no TimerHandler", e.to))
+			}
+			h(ctx, e.to)
 		case evMessage:
 			h := s.handlers[e.to]
 			if h == nil {
@@ -298,76 +387,27 @@ func (s *Simulator) Run() Time {
 	return s.now
 }
 
-type evKind uint8
-
-const (
-	evTimer evKind = iota
-	evMessage
-)
-
-type event struct {
-	at   Time
-	pri  int64
-	seq  uint64
-	kind evKind
-	to   graph.NodeID
-	from graph.NodeID
-	msg  Message
-	fn   TimerFunc
+// SatMul returns a*b for non-negative operands, saturating at
+// math.MaxInt64 instead of wrapping. Divergence-guard event budgets are
+// products of request counts and per-request bounds, which overflow
+// int64 at large node × per-node scales; a saturated guard is simply "no
+// effective limit", while a wrapped one either disables the guard
+// (negative) or panics a healthy run (small positive).
+func SatMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
 }
 
-// eventHeap is a hand-rolled min-heap of event values: events live inline
-// in the backing array, so pushing a message costs zero heap allocations
-// (container/heap would box every event through its any-typed interface).
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// SatAdd returns a+b for non-negative operands, saturating at
+// math.MaxInt64.
+func SatAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
 	}
-	if h[i].pri != h[j].pri {
-		return h[i].pri < h[j].pri
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) push(e event) {
-	*h = append(*h, e)
-	a := *h
-	i := len(a) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !a.less(i, parent) {
-			break
-		}
-		a[i], a[parent] = a[parent], a[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	a := *h
-	n := len(a) - 1
-	top := a[0]
-	a[0] = a[n]
-	a[n] = event{} // release msg/fn references
-	a = a[:n]
-	*h = a
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && a.less(l, smallest) {
-			smallest = l
-		}
-		if r < n && a.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		a[i], a[smallest] = a[smallest], a[i]
-		i = smallest
-	}
-	return top
+	return a + b
 }
