@@ -598,3 +598,30 @@ func BenchmarkOneShot(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkChurnRecovery measures the full degraded-mode cycle on the
+// arrow closed loop: link churn drops queue messages, the embedded
+// message-driven repair restores the pointer state, and lost requests
+// re-issue. Reported metrics are the recovery costs (repair messages
+// and simulated repair time per run) — deterministic for the fixed
+// plan, so the smoke run doubles as a regression canary for the fault
+// layer.
+func BenchmarkChurnRecovery(b *testing.B) {
+	t := tree.BalancedBinary(63)
+	plan := &sim.FaultPlan{Events: sim.LinkChurn(sim.TreeLinks(t), 2, 40, 30, 1500, 7)}
+	var res *arrow.LoopResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: 30, Faults: plan})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Dropped == 0 {
+		b.Fatal("churn plan dropped nothing; benchmark is vacuous")
+	}
+	b.ReportMetric(float64(res.RepairMessages), "repair-msgs")
+	b.ReportMetric(float64(res.RepairTime), "repair-time")
+	b.ReportMetric(float64(res.Reissued), "reissued")
+}

@@ -19,7 +19,8 @@
 //	arrowbench -exp oneshot      # PODC'01 one-shot regime: ratio vs s log |R|
 //	arrowbench -exp directory    # arrow directory vs home-based (Herlihy–Warres)
 //	arrowbench -exp commtree     # Peleg–Reshef demand-aware tree selection
-//	arrowbench -exp stabilize    # self-stabilization repair statistics
+//	arrowbench -exp stabilize    # self-stabilization: round oracle vs message-driven repair
+//	arrowbench -exp churn        # dynamic topology: availability/latency vs fault rate, all protocols
 //	arrowbench -exp all          # everything above
 //
 // The -pernode, -seed and -sizes flags scale the Section 5 experiments;
@@ -98,12 +99,13 @@ func main() {
 		"directory":   func() error { return runDirectory(*seed) },
 		"commtree":    func() error { return runCommTree(*seed) },
 		"stabilize":   func() error { return runStabilize(*seed) },
+		"churn":       func() error { return runChurn(*perNode, *seed, *workers) },
 	}
 	if *exp == "all" {
 		order := []string{
 			"fig10", "fig11", "lowerbound", "adversarial", "ratio", "sequential",
 			"trees", "arbitration", "async", "stretch", "nnapprox", "baselines",
-			"perf", "oneshot", "directory", "commtree", "stabilize",
+			"perf", "oneshot", "directory", "commtree", "stabilize", "churn",
 		}
 		for _, name := range order {
 			if name == "fig10" {
@@ -327,15 +329,9 @@ func runPerf(ns []int, perNode int, seed int64, workers int) error {
 		return err
 	}
 	if jsonOut {
-		doc := analysis.PerfDocument(analysis.PerfConfig{
+		return emitDoc(analysis.PerfDocument(analysis.PerfConfig{
 			Sizes: ns, PerNode: perNode, Seed: seed,
-		}, rows)
-		b, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(b))
-		return nil
+		}, rows))
 	}
 	emit(analysis.PerfLatencyTable(rows))
 	emit(analysis.PerfHopsTable(rows))
@@ -352,10 +348,51 @@ func runCommTree(seed int64) error {
 }
 
 func runStabilize(seed int64) error {
-	rows, err := analysis.StabilizeExperiment([]int{15, 63, 255, 1023}, 0.3, 20, seed)
+	cfg := analysis.StabilizeConfig{
+		Sizes: []int{15, 63, 255, 1023}, CorruptFrac: 0.3, Trials: 20, Seed: seed,
+	}
+	rows, err := analysis.StabilizeExperiment(cfg.Sizes, cfg.CorruptFrac, cfg.Trials, cfg.Seed)
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitDoc(analysis.StabilizeDocument(cfg, rows))
+	}
 	emit(analysis.StabilizeTable(rows))
+	return nil
+}
+
+// runChurn sweeps fault rate × workload × protocol under deterministic
+// node churn: every protocol faces the identical failure trace per
+// rate, recovering by its own mechanism (arrow: message-driven repair;
+// NTA/Ivy: re-issue; centralized: coordinator failover). -pernode
+// scales the cells but is capped: the churn window is sized relative to
+// the run, so the smoke-sized default stays representative.
+func runChurn(perNode int, seed int64, workers int) error {
+	if perNode > 500 {
+		perNode = 500
+	}
+	cfg := analysis.ChurnConfig{
+		N: 24, PerNode: perNode, Rates: []float64{0, 0.5, 1, 2}, Seed: seed,
+	}
+	rows, err := analysis.ChurnExperiment(cfg.N, cfg.PerNode, cfg.Rates, cfg.Seed, workers)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitDoc(analysis.ChurnDocument(cfg, rows))
+	}
+	emit(analysis.ChurnAvailabilityTable(rows))
+	emit(analysis.ChurnLatencyTable(rows))
+	return nil
+}
+
+// emitDoc prints one versioned machine-readable document.
+func emitDoc(doc any) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
 	return nil
 }

@@ -1,39 +1,66 @@
 // Command arrowtrace replays the paper's Figures 1–5 walkthrough: two
 // concurrent queuing requests on a small spanning tree, printing every
 // pointer flip, message hop, and completion, plus the pointer
-// configuration after each step.
+// configuration after each step. With -chaos it instead replays a
+// failure/recovery episode: a link outage under closed-loop load, the
+// message-driven self-stabilizing repair at heal, and the recovery
+// counters.
 //
 // Usage:
 //
 //	arrowtrace             # the 6-node example from the paper's figures
 //	arrowtrace -n 15 -r 4  # 4 concurrent requests on a 15-node binary tree
+//	arrowtrace -chaos      # scripted link failure + repair episode
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/arrow"
 	"repro/internal/graph"
 	"repro/internal/queuing"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tree"
 	"repro/internal/workload"
 )
 
-func main() {
-	n := flag.Int("n", 0, "binary-tree size (0 = use the paper's 6-node example)")
-	r := flag.Int("r", 2, "number of simultaneous requests (with -n)")
-	seed := flag.Int64("seed", 1, "request placement seed (with -n)")
-	flag.Parse()
+// config carries the parsed flags; main builds it, tests build it
+// directly.
+type config struct {
+	n     int
+	r     int
+	seed  int64
+	chaos bool
+}
 
+func main() {
+	cfg := config{}
+	flag.IntVar(&cfg.n, "n", 0, "binary-tree size (0 = use the paper's 6-node example)")
+	flag.IntVar(&cfg.r, "r", 2, "number of simultaneous requests (with -n)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "request placement seed (with -n)")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "replay a link-failure/repair episode instead")
+	flag.Parse()
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arrowtrace:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected walkthrough, writing the full trace to w.
+func run(cfg config, w io.Writer) error {
+	if cfg.chaos {
+		return runChaos(w)
+	}
 	var (
 		t    *tree.Tree
 		set  queuing.Set
 		root graph.NodeID
 	)
-	if *n == 0 {
+	if cfg.n == 0 {
 		// The tree of Figures 1–5:
 		//
 		//	     x(0)
@@ -49,45 +76,76 @@ func main() {
 			[]graph.NodeID{0, 0, 0, 1, 1, 2},
 			[]graph.Weight{0, 1, 1, 1, 1, 1})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		root = 0
 		set = queuing.NewSet([]queuing.Request{
 			{Node: 3, Time: 0}, // v issues m1
 			{Node: 5, Time: 0}, // w issues m2
 		})
-		fmt.Println("Paper Figures 1-5: tree x(0) {u(1) {v(3) z(4)} y(2) {w(5)}}, root x")
-		fmt.Println("v(3) and w(5) issue concurrent requests m1=r0, m2=r1")
-		fmt.Println()
+		fmt.Fprintln(w, "Paper Figures 1-5: tree x(0) {u(1) {v(3) z(4)} y(2) {w(5)}}, root x")
+		fmt.Fprintln(w, "v(3) and w(5) issue concurrent requests m1=r0, m2=r1")
+		fmt.Fprintln(w)
 	} else {
-		t = tree.BalancedBinary(*n)
+		t = tree.BalancedBinary(cfg.n)
 		root = 0
-		set = workload.OneShot(*n, *r, *seed)
-		fmt.Printf("Balanced binary tree, n=%d, %d simultaneous requests\n\n", *n, *r)
+		set = workload.OneShot(cfg.n, cfg.r, cfg.seed)
+		fmt.Fprintf(w, "Balanced binary tree, n=%d, %d simultaneous requests\n\n", cfg.n, cfg.r)
 	}
 
 	rec := trace.NewRecorder()
 	res, err := arrow.Run(t, set, arrow.Options{Root: root, Tracer: rec})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println("--- event log ---")
-	fmt.Print(rec.RenderLog())
-	fmt.Println("\n--- pointer configurations (per flip) ---")
-	fmt.Print(rec.RenderSnapshots())
-	fmt.Println("--- final state ---")
-	fmt.Printf("queuing order: ")
+	fmt.Fprintln(w, "--- event log ---")
+	fmt.Fprint(w, rec.RenderLog())
+	fmt.Fprintln(w, "\n--- pointer configurations (per flip) ---")
+	fmt.Fprint(w, rec.RenderSnapshots())
+	fmt.Fprintln(w, "--- final state ---")
+	fmt.Fprintf(w, "queuing order: ")
 	for i, id := range res.Order {
 		if i > 0 {
-			fmt.Print(" -> ")
+			fmt.Fprint(w, " -> ")
 		}
-		fmt.Printf("r%d(v%d)", id, set[id].Node)
+		fmt.Fprintf(w, "r%d(v%d)", id, set[id].Node)
 	}
-	fmt.Printf("\nfinal sink: v%d\ntotal latency: %d  total hops: %d\n",
+	fmt.Fprintf(w, "\nfinal sink: v%d\ntotal latency: %d  total hops: %d\n",
 		res.FinalSink, res.TotalLatency, res.TotalHops)
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "arrowtrace:", err)
-	os.Exit(1)
+// runChaos replays the scripted failure/recovery episode: a 6-node path
+// under closed-loop load, one link outage that drops queue messages in
+// flight, and the self-stabilizing repair that merges the split regions
+// back once the link heals.
+func runChaos(w io.Writer) error {
+	t := tree.PathTree(6)
+	plan := &sim.FaultPlan{Events: []sim.FaultEvent{
+		{At: 4, Kind: sim.LinkDown, U: 2, V: 3},
+		{At: 25, Kind: sim.LinkUp, U: 2, V: 3},
+	}}
+	log := trace.NewChaosLog()
+	fmt.Fprintln(w, "Chaos episode: 6-node path, closed loop (3 reqs/node), link v2--v3 fails at t=4, heals at t=25")
+	fmt.Fprintln(w)
+	res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{
+		Root:           0,
+		PerNode:        3,
+		Faults:         plan,
+		FaultObserver:  log.OnFault,
+		RepairObserver: log.OnRepair,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "--- failure/recovery log ---")
+	fmt.Fprint(w, log.Render())
+	fmt.Fprintln(w, "--- recovery counters ---")
+	fmt.Fprintf(w, "requests: %d  dropped: %d  reissued: %d  replies lost: %d\n",
+		res.Requests, res.Dropped, res.Reissued, res.RepliesLost)
+	fmt.Fprintf(w, "repair episodes: %d  repair messages: %d  repair time: %d\n",
+		res.RepairEpisodes, res.RepairMessages, res.RepairTime)
+	fmt.Fprintf(w, "availability: %.3f  makespan: %d\n",
+		1-float64(res.Affected)/float64(res.Requests), res.Makespan)
+	return nil
 }

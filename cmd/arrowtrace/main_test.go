@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// capture runs the command body and returns its output.
+func capture(t *testing.T, cfg config) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(cfg, &b); err != nil {
+		t.Fatalf("run(%+v): %v", cfg, err)
+	}
+	return b.String()
+}
+
+// TestPaperWalkthrough smoke-tests the default mode: the Figures 1–5
+// replay produces a non-empty, stable trace with the expected sections.
+func TestPaperWalkthrough(t *testing.T) {
+	out := capture(t, config{})
+	for _, want := range []string{
+		"--- event log ---", "--- pointer configurations (per flip) ---",
+		"--- final state ---", "queuing order:", "final sink:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if again := capture(t, config{}); again != out {
+		t.Error("default walkthrough not stable across runs")
+	}
+}
+
+// TestRandomTreeMode smoke-tests the -n path on a tiny instance.
+func TestRandomTreeMode(t *testing.T) {
+	cfg := config{n: 15, r: 4, seed: 3}
+	out := capture(t, cfg)
+	if !strings.Contains(out, "Balanced binary tree, n=15") || !strings.Contains(out, "final sink:") {
+		t.Errorf("unexpected -n output:\n%s", out)
+	}
+	if again := capture(t, cfg); again != out {
+		t.Error("-n mode not stable across runs")
+	}
+}
+
+// TestChaosMode smoke-tests the failure/recovery replay: the log shows
+// the outage, a repair token, and convergence, stably.
+func TestChaosMode(t *testing.T) {
+	out := capture(t, config{chaos: true})
+	for _, want := range []string{
+		"x link v2--v3 DOWN", "o link v2--v3 up",
+		"repair token", "repair converged",
+		"--- recovery counters ---", "availability:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q\n%s", want, out)
+		}
+	}
+	if again := capture(t, config{chaos: true}); again != out {
+		t.Error("chaos mode not stable across runs")
+	}
+}

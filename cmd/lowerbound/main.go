@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/arrow"
@@ -23,22 +24,38 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	logD := flag.Int("logd", 6, "diameter exponent: D = 2^logd")
-	k := flag.Int("k", 0, "recursion depth (0 = paper's log D / log log D)")
-	dump := flag.Bool("dump", false, "print the generated request set")
-	flag.Parse()
+// config carries the parsed flags; main builds it, tests build it
+// directly.
+type config struct {
+	logD int
+	k    int
+	dump bool
+}
 
-	depth := *k
-	if depth == 0 {
-		depth = workload.DefaultK(1 << *logD)
+func main() {
+	cfg := config{}
+	flag.IntVar(&cfg.logD, "logd", 6, "diameter exponent: D = 2^logd")
+	flag.IntVar(&cfg.k, "k", 0, "recursion depth (0 = paper's log D / log log D)")
+	flag.BoolVar(&cfg.dump, "dump", false, "print the generated request set")
+	flag.Parse()
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
 	}
-	inst := workload.LowerBound(*logD, depth)
-	fmt.Printf("Theorem 4.1 instance: path diameter D=%d, recursion depth k=%d, |R|=%d\n",
+}
+
+// run executes the lower-bound instance, writing the report to w.
+func run(cfg config, w io.Writer) error {
+	depth := cfg.k
+	if depth == 0 {
+		depth = workload.DefaultK(1 << cfg.logD)
+	}
+	inst := workload.LowerBound(cfg.logD, depth)
+	fmt.Fprintf(w, "Theorem 4.1 instance: path diameter D=%d, recursion depth k=%d, |R|=%d\n",
 		inst.D, inst.K, len(inst.Set))
-	if *dump {
+	if cfg.dump {
 		for _, r := range inst.Set {
-			fmt.Printf("  r%-4d = (v%d, t=%d)\n", r.ID, r.Node, r.Time)
+			fmt.Fprintf(w, "  r%-4d = (v%d, t=%d)\n", r.ID, r.Node, r.Time)
 		}
 	}
 
@@ -46,20 +63,20 @@ func main() {
 	g := graph.Path(inst.D + 1)
 	res, err := arrow.Run(t, inst.Set, arrow.Options{Root: inst.Root})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lowerbound:", err)
-		os.Exit(1)
+		return err
 	}
 	bounds := opt.Compute(g, inst.Root, inst.Set, opt.DistOfGraph(g))
 
-	fmt.Printf("\narrow total latency:      %d\n", res.TotalLatency)
-	fmt.Printf("arrow total hops:         %d\n", res.TotalHops)
-	fmt.Printf("optimal cost upper bound: %d (achievable order)\n", bounds.Upper)
-	fmt.Printf("optimal cost lower bound: %d", bounds.Lower)
+	fmt.Fprintf(w, "\narrow total latency:      %d\n", res.TotalLatency)
+	fmt.Fprintf(w, "arrow total hops:         %d\n", res.TotalHops)
+	fmt.Fprintf(w, "optimal cost upper bound: %d (achievable order)\n", bounds.Upper)
+	fmt.Fprintf(w, "optimal cost lower bound: %d", bounds.Lower)
 	if bounds.Exact {
-		fmt.Printf(" (exact)")
+		fmt.Fprintf(w, " (exact)")
 	}
-	fmt.Printf("\nmeasured ratio:           %.3f (>= true competitive ratio witness)\n",
+	fmt.Fprintf(w, "\nmeasured ratio:           %.3f (>= true competitive ratio witness)\n",
 		opt.Ratio(res.TotalLatency, bounds.Upper))
-	fmt.Printf("theory reference k*D:     %d (asymptotic regime; see EXPERIMENTS.md)\n",
+	fmt.Fprintf(w, "theory reference k*D:     %d (asymptotic regime; see EXPERIMENTS.md)\n",
 		inst.K*inst.D)
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/stabilize"
 	"repro/internal/stats"
 	"repro/internal/tree"
 )
@@ -37,6 +38,21 @@ type LoopConfig struct {
 	// Scheduler selects the simulator's event-queue implementation
 	// (semantically inert; see sim.SchedulerKind).
 	Scheduler sim.SchedulerKind
+	// Faults, when non-nil, is the deterministic liveness schedule the
+	// run executes under. A queue message dropped by a fault corrupts
+	// the pointer state (the loser's region splits off); once the
+	// network heals, the driver freezes new issues, drains in-flight
+	// requests, runs the message-driven self-stabilizing repair
+	// (stabilize.Engine) over the same simulator, and re-issues every
+	// lost request. The plan must be Healing: a permanently dead entity
+	// leaves requests unservable and the run errors at drain.
+	Faults *sim.FaultPlan
+	// FaultObserver, when non-nil, is told each fault transition (for
+	// tracing).
+	FaultObserver func(sim.FaultEvent)
+	// RepairObserver, when non-nil, is told each repair-protocol step
+	// (for tracing).
+	RepairObserver func(stabilize.RepairEvent)
 }
 
 // LoopResult aggregates a closed-loop run. Counters rather than
@@ -65,6 +81,27 @@ type LoopResult struct {
 	// Events is the number of simulator events the run consumed
 	// (messages + timers) — deterministic for a fixed config.
 	Events int64
+	// Fault/recovery counters, all zero in fault-free runs. The field
+	// set and order deliberately match loop.Result and
+	// centralized.LoopResult so the engine adapter maps every protocol
+	// through one conversion.
+	//
+	// Dropped counts messages lost to faults, Deferred messages stalled
+	// by them (policy FaultQueue). Reissued counts requests re-issued
+	// after their queue message was lost, RepliesLost completion
+	// notifications lost in transit (recovered by a timer at heal).
+	// Affected counts completed requests a fault touched — the
+	// complement of the availability fraction. RepairEpisodes /
+	// RepairMessages / RepairTime account the self-stabilizing repair
+	// runs in the same message/latency currency as the protocol.
+	Dropped        int64
+	Deferred       int64
+	Reissued       int64
+	RepliesLost    int64
+	Affected       int64
+	RepairEpisodes int64
+	RepairMessages int64
+	RepairTime     sim.Time
 }
 
 // AvgQueueHops returns queue-message hops per queuing operation —
@@ -114,6 +151,37 @@ type loopState struct {
 
 	remaining []int
 	res       *LoopResult
+
+	// fs is the fault/recovery state, nil in fault-free runs: the hot
+	// path pays one nil check per issue/completion.
+	fs *faultLoopState
+}
+
+// faultLoopState is the arrow loop's degraded-mode machinery: loss
+// detection (the simulator reports each dropped message), a
+// freeze/drain/repair/re-issue cycle around the embedded stabilize
+// engine, and the availability accounting.
+type faultLoopState struct {
+	eng *stabilize.Engine
+	// lost marks nodes whose current request's queue message was lost;
+	// they re-issue after repair. parked marks nodes whose next issue
+	// fired during a freeze and waits for repair to finish. affected
+	// marks requests a fault touched, counted at completion.
+	lost     []bool
+	parked   []bool
+	affected []bool
+	// inFlight counts issued-but-not-completed-or-lost requests — the
+	// drain condition before repair may run.
+	inFlight int
+	// frozen gates new issues while a repair is pending or running;
+	// corrupted records that a queue-message drop corrupted the pointer
+	// state since the last repair.
+	frozen    bool
+	corrupted bool
+	// repairing marks an engine episode in flight; repairStart stamps
+	// the accounting.
+	repairing   bool
+	repairStart sim.Time
 }
 
 // RunClosedLoop executes the closed-loop experiment on tree t.
@@ -124,6 +192,12 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 	}
 	if int(cfg.Root) < 0 || int(cfg.Root) >= n {
 		return nil, fmt.Errorf("arrow: root %d out of range", cfg.Root)
+	}
+	if err := cfg.Faults.Validate(sim.TreeTopology{T: t}); err != nil {
+		return nil, err
+	}
+	if cfg.Faults != nil && !cfg.Faults.Healing() {
+		return nil, fmt.Errorf("arrow: closed loop requires a healing fault plan (every down matched by an up)")
 	}
 	think := cfg.ThinkTime
 	if think <= 0 {
@@ -146,18 +220,36 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 		st.msgs[v].origin = graph.NodeID(v)
 		st.replies[v].origin = graph.NodeID(v)
 	}
-
+	// Divergence guard: each request costs at most ~2n message events
+	// plus a timer; saturating arithmetic keeps the guard sane at scales
+	// where the product overflows int64. Faulty runs add repair traffic
+	// and re-issues, bounded by the plan's episode count.
+	budget := sim.SatAdd(sim.SatMul(total, int64(4*n+8)), 1024)
+	if cfg.Faults != nil {
+		budget = sim.SatMul(budget, 4)
+	}
 	s := sim.New(sim.Config{
 		Topology:    sim.TreeTopology{T: t},
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
-		// Generous divergence guard: each request costs at most ~2n
-		// message events plus a timer; saturating arithmetic keeps the
-		// guard sane at scales where the product overflows int64.
-		MaxEvents: sim.SatAdd(sim.SatMul(total, int64(4*n+8)), 1024),
-		Scheduler: cfg.Scheduler,
+		MaxEvents:   budget,
+		Scheduler:   cfg.Scheduler,
+		Faults:      cfg.Faults,
 	})
+	if cfg.Faults != nil {
+		st.fs = &faultLoopState{
+			lost:     make([]bool, n),
+			parked:   make([]bool, n),
+			affected: make([]bool, n),
+		}
+		st.fs.eng = stabilize.NewEngine(t, st.link, stabilize.EngineConfig{
+			Observer: cfg.RepairObserver,
+			OnDone:   st.repairDone,
+		})
+		s.SetBlockedHandler(st.onBlocked)
+		s.SetFaultObserver(st.onFault)
+	}
 	s.SetAllHandlers(st.handle)
 	// Issue timers dispatch by node through the TimerHandler: neither the
 	// initial injection nor the per-request re-issue captures a closure.
@@ -167,7 +259,26 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 	}
 	st.res.Makespan = s.Run()
 	st.res.Events = s.EventsProcessed()
+	st.res.Dropped = s.MessagesDropped()
+	st.res.Deferred = s.MessagesDeferred()
+	if fs := st.fs; fs != nil {
+		st.res.RepairEpisodes = int64(fs.eng.Episodes())
+		st.res.RepairMessages = fs.eng.Messages()
+	}
 	if st.res.Requests != total {
+		if fs := st.fs; fs != nil {
+			lost, parked := 0, 0
+			for v := range fs.lost {
+				if fs.lost[v] {
+					lost++
+				}
+				if fs.parked[v] {
+					parked++
+				}
+			}
+			return nil, fmt.Errorf("arrow: closed loop completed %d of %d requests (lost=%d parked=%d inFlight=%d frozen=%v repairing=%v corrupted=%v)",
+				st.res.Requests, total, lost, parked, fs.inFlight, fs.frozen, fs.repairing, fs.corrupted)
+		}
 		return nil, fmt.Errorf("arrow: closed loop completed %d of %d requests", st.res.Requests, total)
 	}
 	if _, err := followLinks(t, st.link); err != nil {
@@ -176,17 +287,135 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 	return st.res, nil
 }
 
+// onFault watches liveness transitions: once the network fully heals
+// after a corrupting drop, the loop freezes new issues, drains, and
+// repairs.
+func (st *loopState) onFault(ctx *sim.Context, ev sim.FaultEvent) {
+	if st.cfg.FaultObserver != nil {
+		st.cfg.FaultObserver(ev)
+	}
+	fs := st.fs
+	if fs.corrupted && ctx.ActiveFaults() == 0 {
+		fs.frozen = true
+		st.tryRepair(ctx)
+	}
+}
+
+// onBlocked is told each message a fault dropped or stalled. A dropped
+// queue message corrupts the pointer state — its requester's region
+// split off when it initiated — so repair is armed; a dropped reply only
+// delays the requester, recovered by a timer at the heal instant.
+func (st *loopState) onBlocked(ctx *sim.Context, from, to graph.NodeID, msg sim.Message, upAt sim.Time, dropped bool) {
+	fs := st.fs
+	switch m := msg.(type) {
+	case *loopFind:
+		fs.affected[m.origin] = true
+		if dropped && !fs.lost[m.origin] {
+			fs.lost[m.origin] = true
+			fs.corrupted = true
+			fs.inFlight--
+			st.tryRepair(ctx)
+		}
+	case *loopReply:
+		fs.affected[m.origin] = true
+		if dropped {
+			st.res.RepliesLost++
+			if upAt != sim.FaultNever {
+				// The request completed; its issuer just never heard.
+				// Resume its loop once the blocking entity recovers.
+				ctx.AfterNode(upAt-ctx.Now()+1, m.origin)
+			}
+		}
+	default:
+		if fs.eng.Owns(msg) {
+			// A fault caught the repair itself: abort the episode (its
+			// time still counts as repair downtime); the next heal
+			// re-runs it from the current pointer state.
+			if dropped && fs.eng.Running() {
+				fs.eng.Abort()
+				st.res.RepairTime += ctx.Now() - fs.repairStart
+				fs.repairing = false
+			}
+		}
+	}
+}
+
+// tryRepair starts a repair episode once the loop is frozen, the network
+// healed, and every in-flight request drained (completed or lost).
+func (st *loopState) tryRepair(ctx *sim.Context) {
+	fs := st.fs
+	if !fs.frozen || fs.repairing || fs.inFlight > 0 || ctx.ActiveFaults() != 0 {
+		return
+	}
+	fs.repairing = true
+	fs.repairStart = ctx.Now()
+	fs.eng.Begin(ctx)
+}
+
+// repairDone unfreezes the loop: lost requests re-issue against the
+// repaired pointer state and parked nodes resume.
+func (st *loopState) repairDone(ctx *sim.Context, converged bool) {
+	fs := st.fs
+	st.res.RepairTime += ctx.Now() - fs.repairStart
+	fs.repairing = false
+	fs.frozen = false
+	fs.corrupted = false
+	for v := range fs.parked {
+		if fs.lost[v] || fs.parked[v] {
+			fs.parked[v] = false
+			ctx.AfterNode(1, graph.NodeID(v))
+		}
+	}
+}
+
 func (st *loopState) issue(ctx *sim.Context, v graph.NodeID) {
+	if fs := st.fs; fs != nil {
+		if fs.frozen {
+			// A repair is pending or running: park the issue; repairDone
+			// resumes it.
+			fs.parked[v] = true
+			return
+		}
+		if fs.lost[v] {
+			st.reissue(ctx, v)
+			return
+		}
+	}
 	if st.remaining[v] == 0 {
 		return
 	}
 	st.remaining[v]--
 	st.issueTime[v] = ctx.Now()
 	st.hops[v] = 0
+	if st.fs != nil {
+		st.fs.inFlight++
+	}
 
 	if st.link[v] == v {
 		// The total order itself is not retained in closed-loop runs, so
 		// queuing behind the node's previous request is purely local.
+		st.completeAt(ctx, v, v)
+		return
+	}
+	target := st.link[v]
+	st.link[v] = v
+	st.hops[v]++
+	ctx.Send(v, target, &st.msgs[v])
+}
+
+// reissue re-initiates a request whose queue message a fault destroyed.
+// Repair has restored a legal pointer state by now; the request keeps
+// its original issue time, so its latency carries the outage — exactly
+// what the churn experiment's tail quantiles measure.
+func (st *loopState) reissue(ctx *sim.Context, v graph.NodeID) {
+	fs := st.fs
+	fs.lost[v] = false
+	fs.inFlight++
+	st.res.Reissued++
+	st.hops[v] = 0
+	if st.link[v] == v {
+		// Repair elected v's region the survivor: the request queues
+		// locally behind whatever merged in.
 		st.completeAt(ctx, v, v)
 		return
 	}
@@ -215,6 +444,10 @@ func (st *loopState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Mes
 		st.res.ReplyHops++
 		ctx.Send(at, st.t.NextHop(at, m.origin), m)
 	default:
+		if fs := st.fs; fs != nil && fs.eng.Owns(msg) {
+			fs.eng.Handle(ctx, at, from, msg)
+			return
+		}
 		panic(fmt.Sprintf("arrow: unexpected message %T", msg))
 	}
 }
@@ -231,6 +464,16 @@ func (st *loopState) completeAt(ctx *sim.Context, origin, sink graph.NodeID) {
 	}
 	if st.cfg.Recorder != nil {
 		st.cfg.Recorder.RecordRequest(lat, st.hops[origin])
+	}
+	if fs := st.fs; fs != nil {
+		fs.inFlight--
+		if fs.affected[origin] {
+			st.res.Affected++
+			fs.affected[origin] = false
+		}
+		if fs.frozen {
+			st.tryRepair(ctx)
+		}
 	}
 	if origin == sink {
 		st.res.LocalCompletions++

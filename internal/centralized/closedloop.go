@@ -26,6 +26,17 @@ type LoopConfig struct {
 	// Scheduler selects the simulator's event-queue implementation
 	// (semantically inert; see sim.SchedulerKind).
 	Scheduler sim.SchedulerKind
+	// Faults, when non-nil, is the deterministic liveness schedule the
+	// run executes under, with coordinator-failure semantics: when the
+	// center dies the system is unavailable until a deterministic
+	// failover — after FailoverDelay the smallest live node becomes the
+	// new (sticky) center, requests caught at the old center re-issue
+	// there, and dropped requests/replies retry once the blocking entity
+	// or the failover completes. The plan must be Healing.
+	Faults *sim.FaultPlan
+	// FailoverDelay is the unavailability window after a center failure
+	// before the replacement center serves (0 = 8 time units).
+	FailoverDelay sim.Time
 }
 
 // LoopResult aggregates a closed-loop centralized run. Request traffic
@@ -56,6 +67,19 @@ type LoopResult struct {
 	// Events is the number of simulator events the run consumed
 	// (messages + timers) — deterministic for a fixed config.
 	Events int64
+	// Fault/recovery counters, all zero in fault-free runs; the field
+	// set and order match arrow.LoopResult and loop.Result so the
+	// engine adapter maps every protocol through one conversion. The
+	// Repair* fields stay zero: the centralized protocol recovers by
+	// failover and re-issue, not distributed repair.
+	Dropped        int64
+	Deferred       int64
+	Reissued       int64
+	RepliesLost    int64
+	Affected       int64
+	RepairEpisodes int64
+	RepairMessages int64
+	RepairTime     sim.Time
 }
 
 // AvgLatency returns mean queuing latency per request.
@@ -101,6 +125,19 @@ type clState struct {
 	rep       loopReply
 	remaining []int
 	res       *LoopResult
+
+	// Failover state, used only under faults. epoch identifies the
+	// current coordinator regime; a request admitted under an older
+	// epoch was caught at a failed center and re-issues. failoverSeq
+	// guards against superseded failover timers.
+	lost        []bool
+	affected    []bool
+	serveEpoch  []int64
+	epoch       int64
+	failoverAt  sim.Time
+	nextCenter  graph.NodeID
+	failoverSeq int64
+	failDelay   sim.Time
 }
 
 // RunClosedLoop executes the closed-loop centralized experiment on g.
@@ -133,19 +170,41 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		remaining: make([]int, n),
 		res:       &LoopResult{N: n},
 	}
+	if err := cfg.Faults.Validate(st.topo); err != nil {
+		return nil, fmt.Errorf("centralized: %w", err)
+	}
+	if cfg.Faults != nil && !cfg.Faults.Healing() {
+		return nil, fmt.Errorf("centralized: closed loop requires a healing fault plan (every down matched by an up)")
+	}
 	for v := range st.remaining {
 		st.remaining[v] = cfg.PerNode
 		st.msgs[v].origin = graph.NodeID(v)
 	}
 
+	budget := sim.SatAdd(sim.SatMul(total, 16), 1024)
+	if cfg.Faults != nil {
+		budget = sim.SatMul(budget, 4)
+	}
 	s := sim.New(sim.Config{
 		Topology:    st.topo,
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
-		MaxEvents:   sim.SatAdd(sim.SatMul(total, 16), 1024),
+		MaxEvents:   budget,
 		Scheduler:   cfg.Scheduler,
+		Faults:      cfg.Faults,
 	})
+	if cfg.Faults != nil {
+		st.lost = make([]bool, n)
+		st.affected = make([]bool, n)
+		st.serveEpoch = make([]int64, n)
+		st.failDelay = cfg.FailoverDelay
+		if st.failDelay <= 0 {
+			st.failDelay = 8
+		}
+		s.SetFaultObserver(st.onFault)
+		s.SetBlockedHandler(st.onBlocked)
+	}
 	s.SetAllHandlers(st.handle)
 	s.SetTimerHandler(st.timer)
 	for v := 0; v < n; v++ {
@@ -153,15 +212,116 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 	}
 	st.res.Makespan = s.Run()
 	st.res.Events = s.EventsProcessed()
+	st.res.Dropped = s.MessagesDropped()
+	st.res.Deferred = s.MessagesDeferred()
 	if st.res.Requests != total {
 		return nil, fmt.Errorf("centralized: closed loop completed %d of %d", st.res.Requests, total)
 	}
 	return st.res, nil
 }
 
+// onFault reacts to the effective coordinator dying: after FailoverDelay
+// the smallest live node becomes the new center (sticky — the old center
+// returning does not reclaim the role). A failure of the
+// pending replacement re-arms the failover.
+func (st *clState) onFault(ctx *sim.Context, ev sim.FaultEvent) {
+	if ev.Kind != sim.NodeDown {
+		return
+	}
+	effective := st.center
+	if st.failoverAt > ctx.Now() {
+		effective = st.nextCenter
+	}
+	if ev.U != effective {
+		return
+	}
+	st.armFailover(ctx, ev.U)
+}
+
+// armFailover elects a replacement for the failed coordinator and
+// schedules the takeover after the failover window.
+func (st *clState) armFailover(ctx *sim.Context, failed graph.NodeID) {
+	st.nextCenter = st.pickCenter(ctx, failed)
+	st.failoverAt = ctx.Now() + st.failDelay
+	st.failoverSeq++
+	seq := st.failoverSeq
+	ctx.After(st.failDelay, func(ctx *sim.Context) {
+		if seq != st.failoverSeq {
+			return // superseded by a newer failover
+		}
+		if ctx.NodeDownUntil(st.nextCenter) != 0 {
+			// The elected replacement died during the failover window —
+			// possibly at this very instant, which onFault cannot see
+			// (fault transitions at time T apply before this timer, and
+			// the pending-failover check there excludes T itself). Elect
+			// again rather than install a dead coordinator.
+			st.armFailover(ctx, st.nextCenter)
+			return
+		}
+		st.center = st.nextCenter
+		st.epoch++
+		st.busyUntil = ctx.Now()
+	})
+}
+
+// pickCenter deterministically elects the smallest live node other than
+// the failed one (falling back to the failed node itself if everything
+// is down — the retries then wait out the heal).
+func (st *clState) pickCenter(ctx *sim.Context, failed graph.NodeID) graph.NodeID {
+	for v := 0; v < st.res.N; v++ {
+		node := graph.NodeID(v)
+		if node != failed && ctx.NodeDownUntil(node) == 0 {
+			return node
+		}
+	}
+	return failed
+}
+
+// onBlocked retries requests and replies a fault destroyed: a dropped
+// request re-issues once the failover (or the blocking entity) resolves;
+// a dropped reply only resumes the requester's loop.
+func (st *clState) onBlocked(ctx *sim.Context, from, to graph.NodeID, msg sim.Message, upAt sim.Time, dropped bool) {
+	switch m := msg.(type) {
+	case *loopReq:
+		st.affected[m.origin] = true
+		if dropped {
+			st.lost[m.origin] = true
+			st.retryAt(ctx, m.origin, upAt)
+		}
+	case *loopReply:
+		st.affected[to] = true
+		if dropped {
+			st.res.RepliesLost++
+			st.retryAt(ctx, to, upAt)
+		}
+	}
+}
+
+func (st *clState) retryAt(ctx *sim.Context, v graph.NodeID, upAt sim.Time) {
+	// Prefer the failover instant when one is pending: the replacement
+	// center serves long before a dead center heals.
+	if st.failoverAt > ctx.Now() {
+		ctx.AfterNode(st.failoverAt-ctx.Now()+1, v)
+		return
+	}
+	if upAt == sim.FaultNever {
+		return // unserviceable; the drain check reports the shortfall
+	}
+	ctx.AfterNode(upAt-ctx.Now()+1, v)
+}
+
 func (st *clState) timer(ctx *sim.Context, v graph.NodeID) {
 	if st.serving[v] {
 		st.serving[v] = false
+		if st.serveEpoch != nil && st.serveEpoch[v] != st.epoch {
+			// The serve was running at a center that failed before the
+			// request could queue: it is lost with the coordinator and
+			// re-issues against the replacement.
+			st.affected[v] = true
+			st.lost[v] = true
+			st.retryAt(ctx, v, ctx.Now())
+			return
+		}
 		st.queued(ctx, v)
 		if v == st.center {
 			st.scheduleNext(ctx, v)
@@ -177,7 +337,14 @@ func (st *clState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Messa
 	switch m := msg.(type) {
 	case *loopReq:
 		if at != st.center {
-			panic("centralized: request at non-center node")
+			if st.lost == nil {
+				panic("centralized: request at non-center node")
+			}
+			// A request delivered to a node that lost the coordinator
+			// role mid-flight (failover): redirect to the current center.
+			st.affected[m.origin] = true
+			ctx.Send(at, st.center, m)
+			return
 		}
 		st.serve(ctx, m.origin)
 	case *loopReply:
@@ -188,6 +355,18 @@ func (st *clState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Messa
 }
 
 func (st *clState) issue(ctx *sim.Context, v graph.NodeID) {
+	if st.lost != nil && st.lost[v] {
+		// Re-issue the lost request against the current center, keeping
+		// the original issue time so the latency carries the outage.
+		st.lost[v] = false
+		st.res.Reissued++
+		if v == st.center {
+			st.serve(ctx, v)
+			return
+		}
+		ctx.Send(v, st.center, &st.msgs[v])
+		return
+	}
 	if st.remaining[v] == 0 {
 		return
 	}
@@ -210,6 +389,9 @@ func (st *clState) serve(ctx *sim.Context, v graph.NodeID) {
 	finish := start + st.service
 	st.busyUntil = finish
 	st.serving[v] = true
+	if st.serveEpoch != nil {
+		st.serveEpoch[v] = st.epoch
+	}
 	ctx.AfterNode(finish-ctx.Now(), v)
 }
 
@@ -234,6 +416,10 @@ func (st *clState) queued(ctx *sim.Context, v graph.NodeID) {
 	}
 	if st.cfg.Recorder != nil {
 		st.cfg.Recorder.RecordRequest(lat, h)
+	}
+	if st.affected != nil && st.affected[v] {
+		st.res.Affected++
+		st.affected[v] = false
 	}
 }
 

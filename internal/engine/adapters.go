@@ -26,6 +26,14 @@ type loopCounters struct {
 	TotalLatency     int64
 	MaxQueueHops     int
 	Events           int64
+	Dropped          int64
+	Deferred         int64
+	Reissued         int64
+	RepliesLost      int64
+	Affected         int64
+	RepairEpisodes   int64
+	RepairMessages   int64
+	RepairTime       sim.Time
 }
 
 // loopCost maps a closed-loop run's counters to the standard Cost.
@@ -42,6 +50,14 @@ func loopCost(proto, label string, r loopCounters) Cost {
 		LocalCompletions: r.LocalCompletions,
 		Makespan:         r.Makespan,
 		Events:           r.Events,
+		Dropped:          r.Dropped,
+		Deferred:         r.Deferred,
+		Reissued:         r.Reissued,
+		RepliesLost:      r.RepliesLost,
+		Affected:         r.Affected,
+		RepairEpisodes:   r.RepairEpisodes,
+		RepairMessages:   r.RepairMessages,
+		RepairTime:       r.RepairTime,
 	}
 }
 
@@ -67,12 +83,28 @@ func tallyHops[T any](rec stats.Recorder, cs []T, hops func(T) int, latency func
 }
 
 // attachDists copies the recorder's distribution snapshots into the
-// cost when the instance recorder is the standard DistRecorder.
+// cost when the instance recorder is the standard DistRecorder, and
+// derives the availability fraction from the affected-request counter
+// (1 for fault-free runs and empty workloads).
 func attachDists(c *Cost, rec stats.Recorder) {
 	if dr, ok := rec.(*stats.DistRecorder); ok && dr != nil {
 		c.Latency = dr.Latency.Snapshot()
 		c.Hops = dr.Hops.Snapshot()
 	}
+	c.Availability = 1
+	if c.Requests > 0 {
+		c.Availability = 1 - float64(c.Affected)/float64(c.Requests)
+	}
+}
+
+// validateFaults rejects the workload/fault combinations the drivers do
+// not support: faults require a closed-loop workload (a static set has
+// no re-issue loop to survive them).
+func validateFaults(inst Instance) error {
+	if inst.Faults != nil && !inst.Workload.Closed() {
+		return fmt.Errorf("engine: Instance.Faults requires a closed-loop workload")
+	}
+	return nil
 }
 
 // Arrow runs the arrow protocol on the instance's spanning tree. It
@@ -85,6 +117,9 @@ func (Arrow) Name() string { return "arrow" }
 // Run implements Protocol.
 func (p Arrow) Run(inst Instance) (Cost, error) {
 	if err := inst.Workload.validate(); err != nil {
+		return Cost{}, err
+	}
+	if err := validateFaults(inst); err != nil {
 		return Cost{}, err
 	}
 	if inst.Tree == nil {
@@ -100,6 +135,7 @@ func (p Arrow) Run(inst Instance) (Cost, error) {
 			Seed:        inst.Seed,
 			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
+			Faults:      inst.Faults,
 		})
 		if err != nil {
 			return Cost{}, err
@@ -144,6 +180,10 @@ type Centralized struct {
 	// ServiceTime is the central node's per-request serialization cost
 	// (0 = one time unit).
 	ServiceTime sim.Time
+	// FailoverDelay is the unavailability window after a coordinator
+	// failure before the deterministic replacement serves (0 = the
+	// driver default; only meaningful with Instance.Faults).
+	FailoverDelay sim.Time
 }
 
 // Name implements Protocol.
@@ -154,20 +194,25 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 	if err := inst.Workload.validate(); err != nil {
 		return Cost{}, err
 	}
+	if err := validateFaults(inst); err != nil {
+		return Cost{}, err
+	}
 	if inst.Graph == nil {
 		return Cost{}, fmt.Errorf("engine: centralized requires Instance.Graph")
 	}
 	if inst.Workload.Closed() {
 		res, err := centralized.RunClosedLoop(inst.Graph, centralized.LoopConfig{
-			Center:      inst.Root,
-			PerNode:     inst.Workload.PerNode,
-			ThinkTime:   inst.Workload.ThinkTime,
-			ServiceTime: p.ServiceTime,
-			Latency:     inst.Latency,
-			Arbitration: inst.Arbitration,
-			Seed:        inst.Seed,
-			Scheduler:   inst.Scheduler,
-			Recorder:    inst.Recorder,
+			Center:        inst.Root,
+			PerNode:       inst.Workload.PerNode,
+			ThinkTime:     inst.Workload.ThinkTime,
+			ServiceTime:   p.ServiceTime,
+			FailoverDelay: p.FailoverDelay,
+			Latency:       inst.Latency,
+			Arbitration:   inst.Arbitration,
+			Seed:          inst.Seed,
+			Scheduler:     inst.Scheduler,
+			Recorder:      inst.Recorder,
+			Faults:        inst.Faults,
 		})
 		if err != nil {
 			return Cost{}, err
@@ -219,6 +264,9 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 	if err := inst.Workload.validate(); err != nil {
 		return Cost{}, err
 	}
+	if err := validateFaults(inst); err != nil {
+		return Cost{}, err
+	}
 	if inst.Graph == nil {
 		return Cost{}, fmt.Errorf("engine: nta requires Instance.Graph")
 	}
@@ -232,6 +280,7 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 			Seed:        inst.Seed,
 			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
+			Faults:      inst.Faults,
 		})
 		if err != nil {
 			return Cost{}, err
@@ -285,6 +334,9 @@ func (p Ivy) Run(inst Instance) (Cost, error) {
 	if err := inst.Workload.validate(); err != nil {
 		return Cost{}, err
 	}
+	if err := validateFaults(inst); err != nil {
+		return Cost{}, err
+	}
 	if inst.Graph == nil {
 		return Cost{}, fmt.Errorf("engine: ivy requires Instance.Graph")
 	}
@@ -298,6 +350,7 @@ func (p Ivy) Run(inst Instance) (Cost, error) {
 			Seed:        inst.Seed,
 			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
+			Faults:      inst.Faults,
 		})
 		if err != nil {
 			return Cost{}, err

@@ -90,6 +90,14 @@ type Instance struct {
 	Arbitration sim.Arbitration
 	// Seed drives random latency/arbitration, per cell.
 	Seed int64
+	// Faults is the deterministic liveness schedule the cell runs under
+	// (nil = fault-free, bit-identical to a simulator without the fault
+	// layer). Only closed-loop workloads support faults; the plan is
+	// read-only and may be shared across cells, so a sweep stays
+	// byte-identical across worker counts. Arrow recovers by
+	// message-driven self-stabilizing repair, NTA/Ivy by re-issue, and
+	// centralized by deterministic coordinator failover.
+	Faults *sim.FaultPlan
 	// Scheduler selects the simulator's event-queue implementation for
 	// every run of this instance. Semantically inert — both schedulers
 	// realize the identical event order (see sim.SchedulerKind) — it
@@ -149,6 +157,26 @@ type Cost struct {
 	// *stats.DistRecorder; zero (Count == 0) otherwise.
 	Latency stats.Dist
 	Hops    stats.Dist
+	// Fault/recovery metrics, populated by closed-loop runs under a
+	// FaultPlan and zero otherwise. Dropped/Deferred count messages the
+	// faults destroyed or stalled; Reissued counts requests re-issued
+	// after a loss, RepliesLost completion notifications lost in
+	// transit. RepairEpisodes/RepairMessages/RepairTime account arrow's
+	// message-driven self-stabilizing repair in the same hops/latency
+	// currency as the protocol traffic. Affected counts completed
+	// requests a fault touched.
+	Dropped        int64
+	Deferred       int64
+	Reissued       int64
+	RepliesLost    int64
+	Affected       int64
+	RepairEpisodes int64
+	RepairMessages int64
+	RepairTime     sim.Time
+	// Availability is the clean-completion fraction 1 − Affected /
+	// Requests: the share of requests no fault touched (1 for fault-free
+	// runs).
+	Availability float64
 	// Order is the induced total order (static-set runs; nil otherwise).
 	Order queuing.Order
 }

@@ -530,3 +530,95 @@ func TestSchedulerEquivalenceAcrossProtocols(t *testing.T) {
 		}
 	}
 }
+
+// faultGrid builds closed-loop cells for every protocol under a shared
+// read-only FaultPlan (node churn, plus tree-link churn for arrow), with
+// a private recorder per cell.
+func faultGrid(seed int64) []Cell {
+	const n = 20
+	g := graph.Complete(n)
+	t := tree.BalancedBinary(n)
+	nodePlan := &sim.FaultPlan{Events: sim.NodeChurn(n, nil, 1, 20, 15, 500, seed)}
+	linkPlan := &sim.FaultPlan{Events: sim.LinkChurn(sim.TreeLinks(t), 1.5, 20, 15, 500, seed)}
+	queuePlan := &sim.FaultPlan{Policy: sim.FaultQueue, Events: nodePlan.Events}
+	var cells []Cell
+	for i, plan := range []*sim.FaultPlan{nodePlan, queuePlan} {
+		inst := Instance{
+			Label:    fmt.Sprintf("faults=%d", i),
+			Graph:    g,
+			Tree:     t,
+			Root:     0,
+			Workload: ClosedLoop(12, 0),
+			Seed:     DeriveSeed(seed, i),
+			Faults:   plan,
+			Recorder: stats.NewDistRecorder(),
+		}
+		for _, p := range []Protocol{Arrow{}, Centralized{}, NTA{}, Ivy{}} {
+			c := inst
+			c.Recorder = stats.NewDistRecorder()
+			cells = append(cells, Cell{Protocol: p, Instance: c})
+		}
+	}
+	arrowInst := Instance{
+		Label:    "faults=tree-links",
+		Tree:     t,
+		Root:     0,
+		Workload: ClosedLoop(12, 0),
+		Seed:     DeriveSeed(seed, 9),
+		Faults:   linkPlan,
+		Recorder: stats.NewDistRecorder(),
+	}
+	cells = append(cells, Cell{Protocol: Arrow{}, Instance: arrowInst})
+	return cells
+}
+
+// TestSweepDeterministicWithFaults mirrors the worker-count determinism
+// guarantee on faulty cells: with Instance.Faults set (shared read-only
+// plans across cells), the full Cost — fault counters, repair
+// accounting, availability, and the distribution snapshots — is
+// byte-identical for every worker count.
+func TestSweepDeterministicWithFaults(t *testing.T) {
+	want := Sweep(faultGrid(3), 1)
+	if err := FirstError(want); err != nil {
+		t.Fatalf("sequential faulty sweep failed: %v", err)
+	}
+	anyFaults := false
+	for i, o := range want {
+		if o.Cost.Dropped > 0 || o.Cost.Deferred > 0 {
+			anyFaults = true
+		}
+		if o.Cost.Availability < 0 || o.Cost.Availability > 1 {
+			t.Fatalf("cell %d: availability %v out of range", i, o.Cost.Availability)
+		}
+	}
+	if !anyFaults {
+		t.Fatal("fault grid produced no fault activity; the test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got := Sweep(faultGrid(3), workers)
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("workers %d cell %d: %v", workers, i, got[i].Err)
+			}
+			g, w := fmt.Sprintf("%#v", got[i].Cost), fmt.Sprintf("%#v", want[i].Cost)
+			if g != w {
+				t.Errorf("workers %d cell %d: faulty sweep diverged\n got: %s\nwant: %s", workers, i, g, w)
+			}
+		}
+	}
+}
+
+// TestFaultsRequireClosedLoop: every adapter refuses a static workload
+// with faults rather than silently ignoring the plan.
+func TestFaultsRequireClosedLoop(t *testing.T) {
+	plan := &sim.FaultPlan{Events: []sim.FaultEvent{
+		{At: 1, Kind: sim.NodeDown, U: 1}, {At: 5, Kind: sim.NodeUp, U: 1},
+	}}
+	inst := sequentialInstance(8, 4)
+	inst.Faults = plan
+	for _, p := range []Protocol{Arrow{}, NTA{}, Centralized{}, Ivy{}} {
+		if _, err := p.Run(inst); err == nil {
+			t.Errorf("%s: static workload with faults accepted", p.Name())
+		}
+	}
+}

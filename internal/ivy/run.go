@@ -212,6 +212,8 @@ type LoopConfig struct {
 	// Scheduler selects the simulator's event-queue implementation
 	// (semantically inert; see sim.SchedulerKind).
 	Scheduler sim.SchedulerKind
+	// Faults is the deterministic liveness schedule (see loop.Config).
+	Faults *sim.FaultPlan
 }
 
 // LoopResult aggregates a closed-loop Ivy run — the shared closed-loop
@@ -236,5 +238,6 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		Seed:        cfg.Seed,
 		Recorder:    cfg.Recorder,
 		Scheduler:   cfg.Scheduler,
+		Faults:      cfg.Faults,
 	})
 }

@@ -54,6 +54,16 @@ type Config struct {
 	// Scheduler selects the simulator's event-queue implementation
 	// (semantically inert; see sim.SchedulerKind).
 	Scheduler sim.SchedulerKind
+	// Faults, when non-nil, is the deterministic liveness schedule the
+	// run executes under. A dropped find loses the request; the
+	// simulator's drop notification marks it lost and the requester
+	// re-issues once the blocking entity recovers (pointer-forwarding
+	// protocols need no global repair: a split chain re-forms as finds
+	// terminate at the requester, which the re-issue then queues
+	// behind). A dropped completion notification is recovered the same
+	// way. The plan must be Healing: a permanently dead entity leaves
+	// requests unservable and the run errors at drain.
+	Faults *sim.FaultPlan
 }
 
 // Result aggregates a closed-loop run with the same counters as
@@ -84,6 +94,19 @@ type Result struct {
 	// (messages + timers) — the denominator of the engine's events/sec
 	// throughput metric, deterministic for a fixed config.
 	Events int64
+	// Fault/recovery counters, all zero in fault-free runs; the field
+	// set and order match arrow.LoopResult and centralized.LoopResult so
+	// the engine adapter maps every protocol through one conversion.
+	// The Repair* fields stay zero here: pointer-forwarding protocols
+	// recover by re-issue alone.
+	Dropped        int64
+	Deferred       int64
+	Reissued       int64
+	RepliesLost    int64
+	Affected       int64
+	RepairEpisodes int64
+	RepairMessages int64
+	RepairTime     sim.Time
 }
 
 // AvgQueueHops returns forwarding messages per queuing operation.
@@ -127,6 +150,13 @@ type state struct {
 
 	remaining []int
 	res       *Result
+
+	// lost/affected are the fault-recovery state, nil in fault-free
+	// runs: lost marks nodes whose current find was dropped (re-issued
+	// at heal), affected marks requests a fault touched (counted at
+	// completion).
+	lost     []bool
+	affected []bool
 }
 
 // Run executes the closed-loop experiment for the given pointer
@@ -135,6 +165,13 @@ func Run(g *graph.Graph, step Stepper, proto string, cfg Config) (*Result, error
 	n := g.NumNodes()
 	if cfg.PerNode < 1 {
 		return nil, fmt.Errorf("%s: PerNode must be >= 1", proto)
+	}
+	topo := sim.NewMetricTopology(g)
+	if err := cfg.Faults.Validate(topo); err != nil {
+		return nil, fmt.Errorf("%s: %w", proto, err)
+	}
+	if cfg.Faults != nil && !cfg.Faults.Healing() {
+		return nil, fmt.Errorf("%s: closed loop requires a healing fault plan (every down matched by an up)", proto)
 	}
 	total := int64(cfg.PerNode) * int64(n)
 	st := &state{
@@ -152,14 +189,24 @@ func Run(g *graph.Graph, step Stepper, proto string, cfg Config) (*Result, error
 		st.msgs[v].origin = graph.NodeID(v)
 	}
 
+	budget := eventBudget(total, n)
+	if cfg.Faults != nil {
+		budget = sim.SatMul(budget, 4)
+	}
 	s := sim.New(sim.Config{
-		Topology:    sim.NewMetricTopology(g),
+		Topology:    topo,
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
 		Seed:        cfg.Seed,
-		MaxEvents:   eventBudget(total, n),
+		MaxEvents:   budget,
 		Scheduler:   cfg.Scheduler,
+		Faults:      cfg.Faults,
 	})
+	if cfg.Faults != nil {
+		st.lost = make([]bool, n)
+		st.affected = make([]bool, n)
+		s.SetBlockedHandler(st.onBlocked)
+	}
 	s.SetAllHandlers(st.handle)
 	// Issue timers dispatch by node through the TimerHandler: neither the
 	// initial injection nor the per-request re-issue captures a closure.
@@ -169,10 +216,45 @@ func Run(g *graph.Graph, step Stepper, proto string, cfg Config) (*Result, error
 	}
 	st.res.Makespan = s.Run()
 	st.res.Events = s.EventsProcessed()
+	st.res.Dropped = s.MessagesDropped()
+	st.res.Deferred = s.MessagesDeferred()
 	if st.res.Requests != total {
 		return nil, fmt.Errorf("%s: closed loop completed %d of %d requests", proto, st.res.Requests, total)
 	}
 	return st.res, nil
+}
+
+// onBlocked is told each message a fault dropped or stalled. A dropped
+// find loses the requester's current attempt: it re-issues after the
+// blocking entity recovers. A dropped reply means the request completed
+// but its issuer never heard: a timer at the heal instant resumes its
+// loop.
+func (st *state) onBlocked(ctx *sim.Context, from, to graph.NodeID, msg sim.Message, upAt sim.Time, dropped bool) {
+	switch m := msg.(type) {
+	case *find:
+		st.affected[m.origin] = true
+		if dropped {
+			st.lost[m.origin] = true
+			st.retryAt(ctx, m.origin, upAt)
+		}
+	case *reply:
+		// The shared reply value carries no origin; the requester is the
+		// destination.
+		st.affected[to] = true
+		if dropped {
+			st.res.RepliesLost++
+			st.retryAt(ctx, to, upAt)
+		}
+	}
+}
+
+func (st *state) retryAt(ctx *sim.Context, v graph.NodeID, upAt sim.Time) {
+	if upAt == sim.FaultNever {
+		// Permanently unserviceable; the drain check reports the
+		// shortfall (healing plans never get here).
+		return
+	}
+	ctx.AfterNode(upAt-ctx.Now()+1, v)
 }
 
 // eventBudget is the divergence guard: each request costs at most n
@@ -185,6 +267,24 @@ func eventBudget(total int64, n int) int64 {
 }
 
 func (st *state) issue(ctx *sim.Context, v graph.NodeID) {
+	if st.lost != nil && st.lost[v] {
+		// Re-issue a request whose find a fault destroyed. The original
+		// issue time is kept, so the request's latency carries the
+		// outage. StartFind runs against the current pointer state: the
+		// partial path reversal of the lost attempt left every touched
+		// pointer aimed at v, so chains still terminate.
+		st.lost[v] = false
+		st.res.Reissued++
+		target, local := st.step.StartFind(v)
+		if local {
+			st.hops[v] = 0
+			st.completeAt(ctx, v, v)
+			return
+		}
+		st.hops[v] = 1
+		ctx.Send(v, target, &st.msgs[v])
+		return
+	}
 	if st.remaining[v] == 0 {
 		return
 	}
@@ -230,6 +330,10 @@ func (st *state) completeAt(ctx *sim.Context, origin, sink graph.NodeID) {
 	}
 	if st.cfg.Recorder != nil {
 		st.cfg.Recorder.RecordRequest(lat, st.hops[origin])
+	}
+	if st.affected != nil && st.affected[origin] {
+		st.res.Affected++
+		st.affected[origin] = false
 	}
 	if origin == sink {
 		st.res.LocalCompletions++

@@ -35,6 +35,8 @@ type LoopConfig struct {
 	// Scheduler selects the simulator's event-queue implementation
 	// (semantically inert; see sim.SchedulerKind).
 	Scheduler sim.SchedulerKind
+	// Faults is the deterministic liveness schedule (see loop.Config).
+	Faults *sim.FaultPlan
 }
 
 // LoopResult aggregates a closed-loop NTA run — the shared closed-loop
@@ -96,5 +98,6 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		Seed:        cfg.Seed,
 		Recorder:    cfg.Recorder,
 		Scheduler:   cfg.Scheduler,
+		Faults:      cfg.Faults,
 	})
 }

@@ -43,6 +43,8 @@ const (
 	evTimer evKind = iota
 	evNodeTimer
 	evMessage
+	// evFault applies a FaultPlan transition; msg carries *compiledFault.
+	evFault
 )
 
 type event struct {

@@ -117,6 +117,13 @@ type Config struct {
 	// order, so this is an equivalence-testing and benchmarking knob, not
 	// a semantic one.
 	Scheduler SchedulerKind
+	// Faults is the deterministic liveness schedule; nil (or an empty
+	// plan) leaves the run bit-identical to a fault-free simulator. The
+	// plan is read-only and may be shared across simulators; it is
+	// validated against the topology at New (panic on a malformed plan —
+	// drivers that accept plans from callers run FaultPlan.Validate first
+	// and return the error).
+	Faults *FaultPlan
 }
 
 // Simulator is a deterministic discrete-event engine.
@@ -126,6 +133,14 @@ type Simulator struct {
 	seq      uint64
 	handlers []Handler
 	timerH   TimerHandler
+
+	// f is the compiled fault state (nil without a plan — the hot paths
+	// gate every fault check on that nil). ctx is the one Context handed
+	// to every handler; faultH and blockedH are the observer hooks.
+	f        *faultState
+	ctx      *Context
+	faultH   FaultObserver
+	blockedH BlockedHandler
 
 	// The pending-event scheduler: the ladder queue by default, the
 	// binary heap when cfg.Scheduler is SchedHeap. A two-way branch on a
@@ -203,6 +218,9 @@ func New(cfg Config) *Simulator {
 	} else {
 		s.lastArr = make(map[linkKey]Time)
 	}
+	s.ctx = &Context{s: s}
+	s.f = compileFaults(cfg.Faults, cfg.Topology, s.linkIdx)
+	s.scheduleFaults()
 	return s
 }
 
@@ -221,6 +239,14 @@ func (s *Simulator) SetAllHandlers(h Handler) {
 // ScheduleNodeAt). Scheduling a node timer without a handler installed
 // panics at dispatch.
 func (s *Simulator) SetTimerHandler(h TimerHandler) { s.timerH = h }
+
+// SetFaultObserver installs the hook told each fault transition as it
+// applies (after the liveness state changed).
+func (s *Simulator) SetFaultObserver(h FaultObserver) { s.faultH = h }
+
+// SetBlockedHandler installs the hook told each message a fault dropped
+// or stalled.
+func (s *Simulator) SetBlockedHandler(h BlockedHandler) { s.blockedH = h }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
@@ -270,6 +296,25 @@ func (s *Simulator) send(u, v graph.NodeID, msg Message) {
 	if !ok {
 		panic(fmt.Sprintf("sim: illegal send %d -> %d (not connected in topology)", u, v))
 	}
+	// Faults are enforced at send time: a down endpoint or link drops or
+	// stalls the message per the plan's policy. healAt stays 0 on the
+	// fault-free fast path (and whenever nothing blocks the send).
+	var healAt Time
+	if s.f != nil {
+		if healAt = s.f.blockedUntil(s, u, v); healAt != 0 {
+			if s.f.policy == FaultDrop || healAt == FaultNever {
+				s.f.dropped++
+				if s.blockedH != nil {
+					s.blockedH(s.ctx, u, v, msg, healAt, true)
+				}
+				return
+			}
+			s.f.deferred++
+			if s.blockedH != nil {
+				s.blockedH(s.ctx, u, v, msg, healAt, false)
+			}
+		}
+	}
 	var delay Time
 	if s.syncScale != 0 {
 		delay = w * s.syncScale
@@ -283,6 +328,11 @@ func (s *Simulator) send(u, v graph.NodeID, msg Message) {
 		delay = 1
 	}
 	arrive := s.now + delay
+	if healAt != 0 {
+		// FaultQueue: the message traverses after the blocking entity
+		// recovers; its normal latency is charged from that instant.
+		arrive = healAt + delay
+	}
 	// FIFO: never overtake an earlier message on this link. Arrivals are
 	// always >= 1, so a zero slot means "no prior message".
 	if s.linkFIFO != nil {
@@ -348,7 +398,7 @@ func (s *Simulator) push(e event) {
 // Run processes events until the queue is empty and returns the final
 // simulated time (the makespan).
 func (s *Simulator) Run() Time {
-	ctx := &Context{s: s}
+	ctx := s.ctx
 	var e event
 	for {
 		if s.useHeap {
@@ -371,17 +421,53 @@ func (s *Simulator) Run() Time {
 		case evTimer:
 			e.fn(ctx)
 		case evNodeTimer:
+			// Per-node liveness gating: a down node does not process
+			// local timers; they are deferred to its recovery instant
+			// (and lost with the node on a permanent failure).
+			if s.f != nil {
+				if upAt := s.f.nodeUpAt[e.to]; upAt != 0 {
+					if upAt == FaultNever {
+						s.f.timerDropped++
+						continue
+					}
+					s.f.timerDeferred++
+					s.push(event{at: upAt, kind: evNodeTimer, to: e.to})
+					continue
+				}
+			}
 			h := s.timerH
 			if h == nil {
 				panic(fmt.Sprintf("sim: node timer for node %d with no TimerHandler", e.to))
 			}
 			h(ctx, e.to)
 		case evMessage:
+			// A destination that died while the message was in flight
+			// blocks delivery: dropped, or redelivered at recovery under
+			// FaultQueue (send-time checks cover everything else).
+			if s.f != nil {
+				if upAt := s.f.nodeUpAt[e.to]; upAt != 0 {
+					if s.f.policy == FaultDrop || upAt == FaultNever {
+						s.f.dropped++
+						if s.blockedH != nil {
+							s.blockedH(ctx, e.from, e.to, e.msg, upAt, true)
+						}
+						continue
+					}
+					s.f.deferred++
+					if s.blockedH != nil {
+						s.blockedH(ctx, e.from, e.to, e.msg, upAt, false)
+					}
+					s.push(event{at: upAt, kind: evMessage, to: e.to, from: e.from, msg: e.msg})
+					continue
+				}
+			}
 			h := s.handlers[e.to]
 			if h == nil {
 				panic(fmt.Sprintf("sim: message for node %d with no handler", e.to))
 			}
 			h(ctx, e.to, e.from, e.msg)
+		case evFault:
+			s.applyFault(ctx, e.msg.(*compiledFault))
 		}
 	}
 	return s.now

@@ -1,0 +1,207 @@
+package stabilize
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// corruptLinks builds a random corruption of tree tr (the same mix the
+// oracle's property test uses: spurious sinks, arbitrary garbage, random
+// neighbours).
+func corruptLinks(tr *tree.Tree, rng *rand.Rand) []graph.NodeID {
+	n := tr.NumNodes()
+	links := make([]graph.NodeID, n)
+	for v := range links {
+		switch rng.Intn(3) {
+		case 0:
+			links[v] = graph.NodeID(v)
+		case 1:
+			links[v] = graph.NodeID(rng.Intn(n))
+		default:
+			nbrs := tr.Neighbors(graph.NodeID(v))
+			links[v] = nbrs[rng.Intn(len(nbrs))].To
+		}
+	}
+	return links
+}
+
+// TestSimRepairMatchesOracle is the tentpole's equivalence pin: on every
+// randomized illegal configuration the message-driven repair converges
+// to a legal state, agrees with the round-based oracle on the surviving
+// sink, and stays within a constant factor of the oracle's
+// rounds·region-size message bound.
+func TestSimRepairMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(60)
+		var tr *tree.Tree
+		switch rng.Intn(3) {
+		case 0:
+			tr = tree.BalancedBinary(n)
+		case 1:
+			tr = tree.PathTree(n)
+		default:
+			g := graph.GNP(n, 0.3, seed)
+			var err error
+			tr, err = tree.BFS(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		links := corruptLinks(tr, rng)
+		oracleLinks := append([]graph.NodeID(nil), links...)
+		simLinks := append([]graph.NodeID(nil), links...)
+
+		oracle, err := Repair(tr, oracleLinks)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		res, err := RunSim(tr, simLinks, SimOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d (n=%d): %v", seed, n, err)
+		}
+		if sink, ok := IsLegal(tr, simLinks); !ok || sink != res.Sink {
+			t.Fatalf("seed %d: repaired state illegal or sink mismatch (%d vs %d)", seed, sink, res.Sink)
+		}
+		if res.Sink != oracle.Sink {
+			t.Errorf("seed %d: sim sink %d, oracle sink %d", seed, res.Sink, oracle.Sink)
+		}
+		// Message bound: each oracle round touches at most every node
+		// once per mechanism; the message protocol adds the probe and
+		// region announcements (≤ 4(n-1) per episode) and the claim
+		// convergecast. A constant factor over rounds·n covers all of it.
+		bound := int64(8) * int64(oracle.Rounds+2) * int64(n)
+		if res.Messages > bound {
+			t.Errorf("seed %d (n=%d): %d repair messages exceed oracle bound %d (rounds=%d)",
+				seed, n, res.Messages, bound, oracle.Rounds)
+		}
+		if res.Messages > 0 && res.ConvergenceTime <= 0 {
+			t.Errorf("seed %d: non-positive convergence time %d", seed, res.ConvergenceTime)
+		}
+	}
+}
+
+// TestSimRepairNeverModifiesLegalStates mirrors the oracle's guarantee:
+// a legal configuration converges instantly, with zero messages and no
+// pointer changes.
+func TestSimRepairNeverModifiesLegalStates(t *testing.T) {
+	tr := tree.BalancedBinary(31)
+	for _, root := range []graph.NodeID{0, 7, 30} {
+		links := legalLinks(tr, root)
+		before := append([]graph.NodeID(nil), links...)
+		res, err := RunSim(tr, links, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(links, before) {
+			t.Fatalf("root %d: repair modified a legal state", root)
+		}
+		if res.Messages != 0 || res.Sink != root || res.Episodes != 0 {
+			t.Errorf("root %d: legal state cost %+v", root, res)
+		}
+	}
+}
+
+// TestSimRepairSingleNode: the degenerate tree repairs trivially.
+func TestSimRepairSingleNode(t *testing.T) {
+	tr := tree.PathTree(1)
+	links := []graph.NodeID{0}
+	res, err := RunSim(tr, links, SimOptions{})
+	if err != nil || res.Sink != 0 {
+		t.Fatalf("n=1: %v %+v", err, res)
+	}
+}
+
+// TestSimRepairUnderAsyncModels: phase transitions are message-count
+// driven, so convergence and the final sink survive random latency and
+// every arbitration policy.
+func TestSimRepairUnderAsyncModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := tree.BalancedBinary(31)
+	links := corruptLinks(tr, rng)
+	oracleLinks := append([]graph.NodeID(nil), links...)
+	oracle, err := Repair(tr, oracleLinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arb := range []sim.Arbitration{sim.ArbFIFO, sim.ArbLIFO, sim.ArbRandom} {
+		for _, m := range []sim.LatencyModel{nil, sim.AsyncUniform(5), sim.AsyncBimodal(7, 0.3)} {
+			simLinks := append([]graph.NodeID(nil), links...)
+			res, err := RunSim(tr, simLinks, SimOptions{Latency: m, Arbitration: arb, Seed: 5})
+			if err != nil {
+				t.Fatalf("arb=%v model=%v: %v", arb, m, err)
+			}
+			if res.Sink != oracle.Sink {
+				t.Errorf("arb=%v model=%v: sink %d, oracle %d", arb, m, res.Sink, oracle.Sink)
+			}
+		}
+	}
+}
+
+// TestSimRepairDeterministic: identical inputs produce identical results
+// and identical event streams.
+func TestSimRepairDeterministic(t *testing.T) {
+	run := func() (SimResult, []RepairEvent) {
+		rng := rand.New(rand.NewSource(3))
+		tr := tree.BalancedBinary(24)
+		links := corruptLinks(tr, rng)
+		var evs []RepairEvent
+		res, err := RunSim(tr, links, SimOptions{
+			Seed:     9,
+			Observer: func(ev RepairEvent) { evs = append(evs, ev) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, evs
+	}
+	r1, e1 := run()
+	r2, e2 := run()
+	if r1 != r2 {
+		t.Fatalf("results diverged: %+v vs %+v", r1, r2)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatal("event streams diverged")
+	}
+	if len(e1) == 0 {
+		t.Fatal("no repair events observed")
+	}
+}
+
+// TestSimRepairAbortRestart: aborting mid-episode leaves a state a later
+// Begin still repairs, with stale messages ignored — the fault-overlap
+// path the arrow loop exercises.
+func TestSimRepairAbortRestart(t *testing.T) {
+	tr := tree.PathTree(12)
+	rng := rand.New(rand.NewSource(8))
+	links := corruptLinks(tr, rng)
+	eng := NewEngine(tr, links, EngineConfig{})
+	s := sim.New(sim.Config{Topology: sim.TreeTopology{T: tr}})
+	aborted := false
+	s.SetAllHandlers(func(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
+		if !aborted && ctx.Now() >= 2 && eng.Running() {
+			// Abort mid-flight once; the remaining messages of the old
+			// episode must be ignored.
+			aborted = true
+			eng.Abort()
+			ctx.After(5, eng.Begin)
+		}
+		eng.Handle(ctx, at, from, msg)
+	})
+	s.ScheduleAt(0, eng.Begin)
+	s.Run()
+	if !aborted {
+		t.Fatal("abort never triggered")
+	}
+	if !eng.Done() || !eng.Converged() {
+		t.Fatalf("engine did not converge after restart (episodes=%d)", eng.Episodes())
+	}
+	if _, ok := IsLegal(tr, links); !ok {
+		t.Fatal("state illegal after abort/restart repair")
+	}
+}

@@ -5,11 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/arrow"
 	"repro/internal/graph"
-	"repro/internal/queuing"
 	"repro/internal/tree"
-	"repro/internal/workload"
 )
 
 // legalLinks builds the canonical legal state oriented toward root.
@@ -171,39 +168,6 @@ func TestRepairAlwaysConverges(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
-	}
-}
-
-// Property: the protocol works correctly after fault injection + repair —
-// the full self-stabilization story.
-func TestProtocolRunsCorrectlyAfterRepair(t *testing.T) {
-	for seed := int64(0); seed < 15; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		n := 8 + rng.Intn(24)
-		tr := tree.BalancedBinary(n)
-		// Corrupt a legal state.
-		links := legalLinks(tr, 0)
-		for k := 0; k < n/3; k++ {
-			v := rng.Intn(n)
-			links[v] = graph.NodeID(rng.Intn(n))
-		}
-		res, err := Repair(tr, links)
-		if err != nil {
-			t.Fatal(err)
-		}
-		// Run the protocol from the repaired configuration: the repaired
-		// sink acts as the root.
-		set := workload.Poisson(n, 0.5, 40, seed)
-		if len(set) == 0 {
-			continue
-		}
-		out, err := arrow.Run(tr, set, arrow.Options{Root: res.Sink})
-		if err != nil {
-			t.Fatalf("seed %d: protocol failed after repair: %v", seed, err)
-		}
-		if !queuing.ValidOrder(out.Order, len(set)) {
-			t.Fatalf("seed %d: invalid order after repair", seed)
-		}
 	}
 }
 

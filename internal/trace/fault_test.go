@@ -1,0 +1,78 @@
+package trace_test
+
+// External test package: the chaos log is exercised through a real
+// faulty arrow closed loop, and arrow imports nothing from trace.
+
+import (
+	"testing"
+
+	"repro/internal/arrow"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// chaosEpisode runs the fixed failure/recovery scenario: a 6-node path,
+// one link outage under load, repair at heal.
+func chaosEpisode(t *testing.T) (*trace.ChaosLog, *arrow.LoopResult) {
+	t.Helper()
+	tr := tree.PathTree(6)
+	plan := &sim.FaultPlan{Events: []sim.FaultEvent{
+		{At: 4, Kind: sim.LinkDown, U: 2, V: 3},
+		{At: 25, Kind: sim.LinkUp, U: 2, V: 3},
+	}}
+	log := trace.NewChaosLog()
+	res, err := arrow.RunClosedLoop(tr, arrow.LoopConfig{
+		Root:           0,
+		PerNode:        3,
+		Faults:         plan,
+		FaultObserver:  log.OnFault,
+		RepairObserver: log.OnRepair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log, res
+}
+
+// TestChaosLogGolden pins the rendered failure/recovery episode byte
+// for byte: the outage marks, the region wave, the granted merge, the
+// path-reversal token, and convergence. The scenario is fully
+// deterministic, so any diff here is a semantic change to the fault or
+// repair layer.
+func TestChaosLogGolden(t *testing.T) {
+	const golden = `t=4     x link v2--v3 DOWN
+t=25    o link v2--v3 up
+t=25    repair episode 1 begins
+t=26    repair: v1 joins region of sink v1
+t=26    repair: v4 joins region of sink v4
+t=27    repair: v0 joins region of sink v1
+t=27    repair: v2 joins region of sink v1
+t=27    repair: v3 joins region of sink v4
+t=27    repair: v5 joins region of sink v4
+t=29    repair: sink v4 grants merge to boundary v3
+t=30    repair token v3 ~> v4 (path reversal)
+t=31    repair: region merged, sink v4 consumed
+t=31    repair converged: unique sink v1
+`
+	log, res := chaosEpisode(t)
+	if got := log.Render(); got != golden {
+		t.Errorf("chaos log diverged from golden output:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+	if res.Dropped != 2 || res.Reissued != 1 || res.RepairEpisodes != 1 {
+		t.Errorf("episode counters drifted: dropped=%d reissued=%d repairs=%d",
+			res.Dropped, res.Reissued, res.RepairEpisodes)
+	}
+}
+
+// TestChaosLogStable: rendering is deterministic across runs.
+func TestChaosLogStable(t *testing.T) {
+	a, _ := chaosEpisode(t)
+	b, _ := chaosEpisode(t)
+	if a.Render() != b.Render() {
+		t.Fatal("chaos log not reproducible")
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty chaos log")
+	}
+}
