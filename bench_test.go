@@ -438,6 +438,57 @@ func BenchmarkClosedLoopScale10k(b *testing.B) {
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// benchClosedLoopScale is the scale-tier cell: a closed-loop arrow run
+// on an implicit binary tree (tree.BinaryWalker — no LCA tables, no
+// per-node closures), serial and under the tick-windowed parallel
+// drain. The two sub-benchmarks produce identical simulated results
+// (res.Events backs the reported events/s for both), so their ratio is
+// a pure drain-overhead/speedup reading.
+func benchClosedLoopScale(b *testing.B, n, perNode int) {
+	t := tree.BinaryWalker(n)
+	counts := []int{1, gort.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1] // single-CPU runner: the two cells are the same
+	}
+	for _, workers := range counts {
+		name := "serial"
+		if workers > 1 {
+			name = fmt.Sprintf("workers=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{
+					Root: 0, PerNode: perNode, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Events
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkClosedLoopScale100k is the 100k-node scale cell, an order of
+// magnitude past BenchmarkClosedLoopScale10k.
+func BenchmarkClosedLoopScale100k(b *testing.B) {
+	benchClosedLoopScale(b, 100_001, 2)
+}
+
+// BenchmarkClosedLoopScale1M is the million-node tier — the scale
+// DESIGN.md targets. Skipped under -short: CI's quick bench smoke
+// passes -short, the dedicated bench job runs it for real.
+func BenchmarkClosedLoopScale1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("million-node cell: skipped under -short")
+	}
+	benchClosedLoopScale(b, 1_000_001, 2)
+}
+
 // BenchmarkTreeDistance measures the LCA-based dT query, the analysis
 // hot path.
 func BenchmarkTreeDistance(b *testing.B) {

@@ -21,7 +21,8 @@
 //	arrowbench -exp commtree     # Peleg–Reshef demand-aware tree selection
 //	arrowbench -exp stabilize    # self-stabilization: round oracle vs message-driven repair
 //	arrowbench -exp churn        # dynamic topology: availability/latency vs fault rate, all protocols
-//	arrowbench -exp all          # everything above
+//	arrowbench -exp scale        # million-node tier: implicit topologies, bytes/node, events/s
+//	arrowbench -exp all          # everything above except scale (opt in: minutes of runtime)
 //
 // The -pernode, -seed and -sizes flags scale the Section 5 experiments;
 // the paper used 100,000 requests per processor on up to 76 processors,
@@ -36,6 +37,20 @@
 // versioned arrowbench/perf document instead of generic tables; CI
 // captures it as BENCH_perf.json and gates regressions with
 // cmd/benchcheck.
+//
+// -exp scale is the million-node tier: every protocol on its implicit
+// topology (no LCA tables, no O(n²) metric), sequential cells reporting
+// bytes/node and events/s. Its -sizes default is 10000,100000,1000000
+// (an explicit -sizes overrides it), its per-node count derives from a
+// 2M total-request budget unless -pernode is passed explicitly, and
+// -workers selects the tick-windowed intra-run drain (results are
+// bit-identical at any count). With -json it emits the versioned
+// arrowbench/scale document.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiment (the memory profile is written at exit, after a
+// final GC), for digging into exactly the hot paths the scale tier
+// exercises.
 package main
 
 import (
@@ -43,6 +58,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -74,13 +91,52 @@ func main() {
 	sizes := flag.String("sizes", "2,4,8,16,24,32,48,64,76", "comma-separated node counts for fig10/fig11 and baselines")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (post-GC, at exit) to this file")
 	flag.Parse()
 	jsonOut = *jsonFlag
+
+	// The scale tier has its own size/pernode defaults (millions of
+	// nodes, a fixed total-request budget); an explicit flag still wins.
+	sizesSet, perNodeSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "sizes":
+			sizesSet = true
+		case "pernode":
+			perNodeSet = true
+		}
+	})
 
 	ns, err := parseSizes(*sizes)
 	if err != nil {
 		fatal(err)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	defer func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+	}()
 	experiments := map[string]func() error{
 		"fig10":       func() error { return runSP2(ns, *perNode, *seed, *workers, true, false) },
 		"fig11":       func() error { return runSP2(ns, *perNode, *seed, *workers, false, true) },
@@ -100,6 +156,19 @@ func main() {
 		"commtree":    func() error { return runCommTree(*seed) },
 		"stabilize":   func() error { return runStabilize(*seed) },
 		"churn":       func() error { return runChurn(*perNode, *seed, *workers) },
+		"scale": func() error {
+			cfg := analysis.ScaleConfig{Seed: *seed, Workers: *workers}
+			if cfg.Workers == 0 {
+				cfg.Workers = runtime.GOMAXPROCS(0)
+			}
+			if sizesSet {
+				cfg.Sizes = ns
+			}
+			if perNodeSet {
+				cfg.PerNode = *perNode
+			}
+			return runScale(cfg)
+		},
 	}
 	if *exp == "all" {
 		order := []string{
@@ -335,6 +404,22 @@ func runPerf(ns []int, perNode int, seed int64, workers int) error {
 	}
 	emit(analysis.PerfLatencyTable(rows))
 	emit(analysis.PerfHopsTable(rows))
+	return nil
+}
+
+// runScale runs the million-node tier: sequential cells, implicit
+// topologies, per-cell allocation and throughput accounting. With -json
+// it emits the versioned arrowbench/scale document (the BENCH_scale.json
+// schema) for CI's schema check and artifact trail.
+func runScale(cfg analysis.ScaleConfig) error {
+	rows, err := analysis.ScaleExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitDoc(analysis.ScaleDocument(cfg, rows))
+	}
+	emit(analysis.ScaleTable(rows))
 	return nil
 }
 

@@ -21,12 +21,22 @@
 //     the documents fails immediately: a delta between runs with
 //     different parameters is noise.
 //
+//   - -scale FILE: structurally validate an arrowbench/scale document
+//     (`arrowbench -exp scale -json`): the schema string must match
+//     analysis.ScaleSchema, the row set must be non-empty, and every
+//     row must report positive node/request/event counts. The scale
+//     numbers themselves (bytes/node, events/s) are machine-dependent,
+//     so this check gates the document's shape, never its values —
+//     regressions of the memory property are pinned by the repo's own
+//     TestScaleBytesPerNodeFlat instead.
+//
 // Usage (what CI runs):
 //
 //	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | tee bench.txt
 //	go test -run '^$' -bench BenchmarkSimSendDispatch -benchtime 200000x -benchmem . | tee -a bench.txt
 //	arrowbench -exp perf -json -sizes 64,76 -pernode 500 -seed 1 > BENCH_perf.ci.json
-//	benchcheck -bench bench.txt -baseline BENCH_perf.json -current BENCH_perf.ci.json
+//	arrowbench -exp scale -json -sizes 2000,5000 -pernode 20 -seed 1 > BENCH_scale.ci.json
+//	benchcheck -bench bench.txt -baseline BENCH_perf.json -current BENCH_perf.ci.json -scale BENCH_scale.ci.json
 package main
 
 import (
@@ -50,11 +60,12 @@ func main() {
 	benchPath := flag.String("bench", "", "go test -bench output to check for the zero-alloc invariant")
 	basePath := flag.String("baseline", "", "committed arrowbench/perf baseline document")
 	curPath := flag.String("current", "", "freshly generated arrowbench/perf document")
+	scalePath := flag.String("scale", "", "arrowbench/scale document to validate structurally")
 	tol := flag.Float64("tol", 0.20, "allowed relative regression of pinned metrics")
 	flag.Parse()
 
-	if *benchPath == "" && (*basePath == "" || *curPath == "") {
-		fmt.Fprintln(os.Stderr, "benchcheck: nothing to do; pass -bench and/or -baseline with -current")
+	if *benchPath == "" && *scalePath == "" && (*basePath == "" || *curPath == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: nothing to do; pass -bench, -scale and/or -baseline with -current")
 		os.Exit(2)
 	}
 	failed := false
@@ -92,9 +103,47 @@ func main() {
 				len(base.Rows), *tol*100)
 		}
 	}
+	if *scalePath != "" {
+		if err := checkScaleFile(*scalePath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("benchcheck: scale document %s is well-formed\n", *scalePath)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkScaleFile validates an arrowbench/scale document's shape: right
+// schema, non-empty rows, positive counts. Values are machine-dependent
+// and never gated here.
+func checkScaleFile(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc analysis.ScaleDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if doc.Schema != analysis.ScaleSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, analysis.ScaleSchema)
+	}
+	if len(doc.Rows) == 0 {
+		return fmt.Errorf("%s: no rows", path)
+	}
+	for i, r := range doc.Rows {
+		if r.Protocol == "" || r.Topology == "" {
+			return fmt.Errorf("%s: row %d: missing protocol/topology", path, i)
+		}
+		if r.N <= 0 || r.Requests <= 0 || r.Events <= 0 {
+			return fmt.Errorf("%s: row %d (%s/%s): non-positive n/requests/events (%d/%d/%d)",
+				path, i, r.Protocol, r.Topology, r.N, r.Requests, r.Events)
+		}
+	}
+	return nil
 }
 
 // checkBenchFile enforces the zero-alloc invariant on a go test -bench

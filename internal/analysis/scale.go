@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/arrow"
+	"repro/internal/centralized"
+	"repro/internal/ivy"
+	"repro/internal/nta"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// ScaleConfig drives the million-node scale experiment: every protocol
+// on its implicit topology — arrow on generated binary and grid trees
+// (tree.Walker / tree.GridNav, no LCA tables), the complete-graph
+// protocols on sim.CompleteTopology (no O(n²) distance matrix) — with
+// per-cell memory and throughput accounting. Unlike the perf grid, the
+// point here is not the request distributions but whether the stack
+// holds n = 10⁶ in flat per-node state.
+type ScaleConfig struct {
+	// Sizes are the node counts; nil defaults to 10k, 100k, 1M.
+	Sizes []int
+	// PerNode fixes requests per node when positive. When 0, each size
+	// issues max(1, MaxRequests/n) per node so total work stays roughly
+	// flat across sizes instead of exploding with n.
+	PerNode int
+	// MaxRequests is the total-request budget behind the PerNode=0
+	// default; 0 defaults to 2 million.
+	MaxRequests int64
+	// Seed derives each cell's simulation seed.
+	Seed int64
+	// Workers requests the tick-windowed parallel drain inside each run
+	// (see sim.Config.Workers); results are bit-identical at any count.
+	Workers int
+}
+
+func (c *ScaleConfig) sizes() []int {
+	if len(c.Sizes) > 0 {
+		return c.Sizes
+	}
+	return []int{10_000, 100_000, 1_000_000}
+}
+
+func (c *ScaleConfig) perNode(n int) int {
+	if c.PerNode > 0 {
+		return c.PerNode
+	}
+	budget := c.MaxRequests
+	if budget <= 0 {
+		budget = 2_000_000
+	}
+	per := budget / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	return int(per)
+}
+
+// ScaleRow is one protocol × topology × size cell of the scale
+// experiment. The simulated quantities (Requests, Makespan, Events,
+// QueueHops) are deterministic for a fixed config; WallNanos and
+// AllocBytes vary run to run and exist for the throughput and
+// bytes-per-node columns only.
+type ScaleRow struct {
+	Protocol  string
+	Topology  string
+	N         int
+	PerNode   int
+	Requests  int64
+	Makespan  sim.Time
+	Events    int64
+	QueueHops int64
+	WallNanos int64
+	// AllocBytes is the cell's cumulative heap allocation
+	// (runtime.MemStats.TotalAlloc delta across the run) — the honest
+	// "does node state stay flat" number: it includes every transient,
+	// so per-request garbage would show up as growth, not hide behind
+	// the collector.
+	AllocBytes int64
+	Workers    int
+}
+
+// EventsPerSec is the cell's wall-clock simulator throughput.
+func (r ScaleRow) EventsPerSec() float64 {
+	if r.WallNanos <= 0 {
+		return 0
+	}
+	return float64(r.Events) / (float64(r.WallNanos) * 1e-9)
+}
+
+// BytesPerNode is the cell's allocation footprint per node.
+func (r ScaleRow) BytesPerNode() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.AllocBytes) / float64(r.N)
+}
+
+// scaleOut is the driver-independent slice of a closed-loop result the
+// scale rows report.
+type scaleOut struct {
+	requests  int64
+	makespan  sim.Time
+	events    int64
+	queueHops int64
+}
+
+// scaleCell is one deferred run: construction of the implicit topology
+// happens inside run() so its allocations land in the cell's measured
+// TotalAlloc delta.
+type scaleCell struct {
+	protocol string
+	topology string
+	n        int
+	perNode  int
+	run      func() (scaleOut, error)
+}
+
+// gridSide returns the comb-tree grid dimensions closest to n nodes:
+// side = round(sqrt(n)), capped so the saturated token walk (path
+// length Θ(side)) stays tractable at a million nodes.
+func gridSide(n int) int {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	return side
+}
+
+func scaleCells(cfg *ScaleConfig) []scaleCell {
+	var cells []scaleCell
+	for i, n := range cfg.sizes() {
+		n, per := n, cfg.perNode(n)
+		side := gridSide(n)
+		seed := sim.DeriveSeed(cfg.Seed, i)
+		cells = append(cells,
+			scaleCell{"arrow", "binary-tree", n, per, func() (scaleOut, error) {
+				res, err := arrow.RunClosedLoop(tree.BinaryWalker(n), arrow.LoopConfig{
+					Root: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+				})
+				if err != nil {
+					return scaleOut{}, err
+				}
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+			}},
+			scaleCell{"arrow", "grid", side * side, per, func() (scaleOut, error) {
+				res, err := arrow.RunClosedLoop(tree.GridWalker(side, side), arrow.LoopConfig{
+					Root: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+				})
+				if err != nil {
+					return scaleOut{}, err
+				}
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+			}},
+			scaleCell{"centralized", "complete", n, per, func() (scaleOut, error) {
+				res, err := centralized.RunClosedLoopTopo(sim.NewCompleteTopology(n), centralized.LoopConfig{
+					Center: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+				})
+				if err != nil {
+					return scaleOut{}, err
+				}
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+			}},
+			scaleCell{"nta", "complete", n, per, func() (scaleOut, error) {
+				res, err := nta.RunClosedLoopTopo(sim.NewCompleteTopology(n), nta.LoopConfig{
+					Root: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+				})
+				if err != nil {
+					return scaleOut{}, err
+				}
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+			}},
+			scaleCell{"ivy", "complete", n, per, func() (scaleOut, error) {
+				res, err := ivy.RunClosedLoopTopo(sim.NewCompleteTopology(n), ivy.LoopConfig{
+					Root: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+				})
+				if err != nil {
+					return scaleOut{}, err
+				}
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+			}},
+		)
+	}
+	return cells
+}
+
+// ScaleExperiment runs the scale grid. Cells run strictly sequentially —
+// unlike the other experiments there is no sweep-level parallelism,
+// because each cell's allocation delta must not include a concurrent
+// neighbor's heap traffic (intra-cell drain parallelism via
+// cfg.Workers is fine: its allocations belong to the cell).
+func ScaleExperiment(cfg ScaleConfig) ([]ScaleRow, error) {
+	cells := scaleCells(&cfg)
+	rows := make([]ScaleRow, 0, len(cells))
+	var ms runtime.MemStats
+	for _, c := range cells {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		before := ms.TotalAlloc
+		start := time.Now()
+		out, err := c.run()
+		wall := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&ms)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: scale %s/%s n=%d: %w", c.protocol, c.topology, c.n, err)
+		}
+		rows = append(rows, ScaleRow{
+			Protocol:   c.protocol,
+			Topology:   c.topology,
+			N:          c.n,
+			PerNode:    c.perNode,
+			Requests:   out.requests,
+			Makespan:   out.makespan,
+			Events:     out.events,
+			QueueHops:  out.queueHops,
+			WallNanos:  wall,
+			AllocBytes: int64(ms.TotalAlloc - before),
+			Workers:    cfg.Workers,
+		})
+	}
+	return rows, nil
+}
+
+// ScaleTable formats the scale rows: deterministic protocol work on the
+// left, the two resource columns (throughput, bytes/node) on the right.
+func ScaleTable(rows []ScaleRow) *Table {
+	t := &Table{
+		Title: "Scale — implicit topologies, closed loop (sequential cells)",
+		Headers: []string{"protocol", "topology", "n", "per-node", "reqs",
+			"makespan", "events", "qhops/req", "Mev/s", "B/node"},
+	}
+	for _, r := range rows {
+		qper := 0.0
+		if r.Requests > 0 {
+			qper = float64(r.QueueHops) / float64(r.Requests)
+		}
+		t.AddRow(r.Protocol, r.Topology, r.N, r.PerNode, r.Requests,
+			int64(r.Makespan), r.Events, qper, r.EventsPerSec()/1e6, r.BytesPerNode())
+	}
+	return t
+}
+
+// ScaleSchema versions the machine-readable scale document (see
+// PerfSchema for the bump discipline).
+const ScaleSchema = "arrowbench/scale/v1"
+
+// ScaleDocConfig records the experiment parameters inside the document.
+type ScaleDocConfig struct {
+	Sizes       []int `json:"sizes"`
+	PerNode     int   `json:"per_node"`
+	MaxRequests int64 `json:"max_requests"`
+	Seed        int64 `json:"seed"`
+	Workers     int   `json:"workers"`
+}
+
+// ScaleDocRow is one row of the scale document. Requests, Makespan,
+// Events and QueueHops are deterministic for a fixed config;
+// EventsPerSec and the byte columns are machine-dependent and reported
+// for trend reading, never gated.
+type ScaleDocRow struct {
+	Protocol     string  `json:"protocol"`
+	Topology     string  `json:"topology"`
+	N            int     `json:"n"`
+	PerNode      int     `json:"per_node"`
+	Requests     int64   `json:"requests"`
+	Makespan     int64   `json:"makespan"`
+	Events       int64   `json:"events"`
+	QueueHops    int64   `json:"queue_hops"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocBytes   int64   `json:"alloc_bytes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+	Workers      int     `json:"workers"`
+}
+
+// ScaleDoc is the stable schema of `arrowbench -exp scale -json`.
+type ScaleDoc struct {
+	Schema string         `json:"schema"`
+	Config ScaleDocConfig `json:"config"`
+	Rows   []ScaleDocRow  `json:"rows"`
+}
+
+// ScaleDocument assembles the machine-readable scale document.
+func ScaleDocument(cfg ScaleConfig, rows []ScaleRow) ScaleDoc {
+	maxReq := cfg.MaxRequests
+	if maxReq <= 0 && cfg.PerNode <= 0 {
+		maxReq = 2_000_000
+	}
+	doc := ScaleDoc{
+		Schema: ScaleSchema,
+		Config: ScaleDocConfig{
+			Sizes: cfg.sizes(), PerNode: cfg.PerNode,
+			MaxRequests: maxReq, Seed: cfg.Seed, Workers: cfg.Workers,
+		},
+		Rows: make([]ScaleDocRow, len(rows)),
+	}
+	for i, r := range rows {
+		doc.Rows[i] = ScaleDocRow{
+			Protocol:     r.Protocol,
+			Topology:     r.Topology,
+			N:            r.N,
+			PerNode:      r.PerNode,
+			Requests:     r.Requests,
+			Makespan:     int64(r.Makespan),
+			Events:       r.Events,
+			QueueHops:    r.QueueHops,
+			EventsPerSec: r.EventsPerSec(),
+			AllocBytes:   r.AllocBytes,
+			BytesPerNode: r.BytesPerNode(),
+			Workers:      r.Workers,
+		}
+	}
+	return doc
+}

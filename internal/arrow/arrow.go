@@ -213,7 +213,7 @@ func Run(t *tree.Tree, set queuing.Set, opts Options) (*Result, error) {
 
 // initialLinks points every node's link at its tree neighbour toward
 // root; the root points at itself (the unique sink).
-func initialLinks(t *tree.Tree, root graph.NodeID) []graph.NodeID {
+func initialLinks(t tree.Nav, root graph.NodeID) []graph.NodeID {
 	links := make([]graph.NodeID, t.NumNodes())
 	for v := range links {
 		node := graph.NodeID(v)
@@ -322,7 +322,7 @@ func orderFromPredecessors(cs []Completion) (queuing.Order, error) {
 
 // followLinks verifies the pointer invariant: from every node, following
 // link pointers reaches a unique sink. Returns that sink.
-func followLinks(t *tree.Tree, links []graph.NodeID) (graph.NodeID, error) {
+func followLinks(t tree.Nav, links []graph.NodeID) (graph.NodeID, error) {
 	var sink graph.NodeID = -1
 	for v := range links {
 		cur := graph.NodeID(v)
@@ -347,6 +347,6 @@ func followLinks(t *tree.Tree, links []graph.NodeID) (graph.NodeID, error) {
 
 // VerifySinkReachability re-exposes the pointer invariant check for tests
 // and examples.
-func VerifySinkReachability(t *tree.Tree, links []graph.NodeID) (graph.NodeID, error) {
+func VerifySinkReachability(t tree.Nav, links []graph.NodeID) (graph.NodeID, error) {
 	return followLinks(t, links)
 }

@@ -53,6 +53,12 @@ type LoopConfig struct {
 	// RepairObserver, when non-nil, is told each repair-protocol step
 	// (for tracing).
 	RepairObserver func(stabilize.RepairEvent)
+	// Workers > 1 requests the simulator's tick-windowed parallel drain.
+	// The driver normalizes it to serial whenever the run cannot be
+	// reproduced bit-identically in parallel (non-FIFO arbitration, the
+	// heap scheduler, or a fault plan); results are bit-identical to a
+	// serial run at any value.
+	Workers int
 }
 
 // LoopResult aggregates a closed-loop run. Counters rather than
@@ -133,15 +139,18 @@ type loopFind struct {
 // after the completion notification for its previous one, so at most one
 // request per node is in flight and all per-request bookkeeping can be
 // keyed by the issuing node — at the paper's scale (100k requests per
-// node) per-request arrays would cost hundreds of MB per sweep cell.
+// node) per-request arrays would cost hundreds of MB per sweep cell. The
+// arrays are flat struct-of-arrays slabs with narrow element types, so a
+// million-node run's driver state is a few dozen MB with zero per-node
+// boxing.
 type loopState struct {
-	t   *tree.Tree
+	t   tree.Nav
 	cfg LoopConfig
 
 	link []graph.NodeID
 
 	issueTime []sim.Time
-	hops      []int
+	hops      []int32
 
 	// Pre-boxed messages, one per node: queue and reply forwarding pass
 	// the same pointer at every hop, avoiding per-send interface boxing,
@@ -149,8 +158,14 @@ type loopState struct {
 	msgs    []loopFind
 	replies []loopReply
 
-	remaining []int
-	res       *LoopResult
+	remaining []int32
+
+	// resS has one accumulator slot per drain shard (one slot on serial
+	// runs): counters land in resS[ctx.Shard()], so no two workers share
+	// a counter; the slots merge into the returned LoopResult after the
+	// run (integer sums and a max — order-independent, hence
+	// bit-identical to serial accumulation).
+	resS []LoopResult
 
 	// fs is the fault/recovery state, nil in fault-free runs: the hot
 	// path pays one nil check per issue/completion.
@@ -184,8 +199,12 @@ type faultLoopState struct {
 	repairStart sim.Time
 }
 
-// RunClosedLoop executes the closed-loop experiment on tree t.
-func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
+// RunClosedLoop executes the closed-loop experiment on tree t — any
+// tree.Nav: the explicit lifted *tree.Tree, or an implicit navigator
+// (tree.Walker, tree.GridNav) for million-node runs. Fault plans
+// require the explicit tree (the stabilize repair engine traverses
+// adjacency the implicit navigators do not materialize).
+func RunClosedLoop(t tree.Nav, cfg LoopConfig) (*LoopResult, error) {
 	n := t.NumNodes()
 	if cfg.PerNode < 1 {
 		return nil, fmt.Errorf("arrow: PerNode must be >= 1")
@@ -199,6 +218,21 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 	if cfg.Faults != nil && !cfg.Faults.Healing() {
 		return nil, fmt.Errorf("arrow: closed loop requires a healing fault plan (every down matched by an up)")
 	}
+	var liftedTree *tree.Tree
+	if cfg.Faults != nil {
+		lt, ok := t.(*tree.Tree)
+		if !ok {
+			return nil, fmt.Errorf("arrow: fault plans require an explicit *tree.Tree (got %T)", t)
+		}
+		liftedTree = lt
+	}
+	workers := cfg.Workers
+	if workers > 1 && (cfg.Arbitration != sim.ArbFIFO || cfg.Scheduler != sim.SchedLadder || cfg.Faults != nil) {
+		workers = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	think := cfg.ThinkTime
 	if think <= 0 {
 		think = 1
@@ -209,14 +243,14 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 		cfg:       cfg,
 		link:      initialLinks(t, cfg.Root),
 		issueTime: make([]sim.Time, n),
-		hops:      make([]int, n),
+		hops:      make([]int32, n),
 		msgs:      make([]loopFind, n),
 		replies:   make([]loopReply, n),
-		remaining: make([]int, n),
-		res:       &LoopResult{N: n},
+		remaining: make([]int32, n),
+		resS:      make([]LoopResult, workers),
 	}
 	for v := range st.remaining {
-		st.remaining[v] = cfg.PerNode
+		st.remaining[v] = int32(cfg.PerNode)
 		st.msgs[v].origin = graph.NodeID(v)
 		st.replies[v].origin = graph.NodeID(v)
 	}
@@ -236,6 +270,7 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 		MaxEvents:   budget,
 		Scheduler:   cfg.Scheduler,
 		Faults:      cfg.Faults,
+		Workers:     workers,
 	})
 	if cfg.Faults != nil {
 		st.fs = &faultLoopState{
@@ -243,7 +278,7 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 			parked:   make([]bool, n),
 			affected: make([]bool, n),
 		}
-		st.fs.eng = stabilize.NewEngine(t, st.link, stabilize.EngineConfig{
+		st.fs.eng = stabilize.NewEngine(liftedTree, st.link, stabilize.EngineConfig{
 			Observer: cfg.RepairObserver,
 			OnDone:   st.repairDone,
 		})
@@ -257,15 +292,18 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 	for v := 0; v < n; v++ {
 		s.ScheduleNodeAt(0, graph.NodeID(v))
 	}
-	st.res.Makespan = s.Run()
-	st.res.Events = s.EventsProcessed()
-	st.res.Dropped = s.MessagesDropped()
-	st.res.Deferred = s.MessagesDeferred()
+	makespan := s.Run()
+	res := st.merge()
+	res.N = n
+	res.Makespan = makespan
+	res.Events = s.EventsProcessed()
+	res.Dropped = s.MessagesDropped()
+	res.Deferred = s.MessagesDeferred()
 	if fs := st.fs; fs != nil {
-		st.res.RepairEpisodes = int64(fs.eng.Episodes())
-		st.res.RepairMessages = fs.eng.Messages()
+		res.RepairEpisodes = int64(fs.eng.Episodes())
+		res.RepairMessages = fs.eng.Messages()
 	}
-	if st.res.Requests != total {
+	if res.Requests != total {
 		if fs := st.fs; fs != nil {
 			lost, parked := 0, 0
 			for v := range fs.lost {
@@ -277,14 +315,35 @@ func RunClosedLoop(t *tree.Tree, cfg LoopConfig) (*LoopResult, error) {
 				}
 			}
 			return nil, fmt.Errorf("arrow: closed loop completed %d of %d requests (lost=%d parked=%d inFlight=%d frozen=%v repairing=%v corrupted=%v)",
-				st.res.Requests, total, lost, parked, fs.inFlight, fs.frozen, fs.repairing, fs.corrupted)
+				res.Requests, total, lost, parked, fs.inFlight, fs.frozen, fs.repairing, fs.corrupted)
 		}
-		return nil, fmt.Errorf("arrow: closed loop completed %d of %d requests", st.res.Requests, total)
+		return nil, fmt.Errorf("arrow: closed loop completed %d of %d requests", res.Requests, total)
 	}
 	if _, err := followLinks(t, st.link); err != nil {
 		return nil, err
 	}
-	return st.res, nil
+	return res, nil
+}
+
+// merge folds the per-shard accumulator slots into one LoopResult.
+func (st *loopState) merge() *LoopResult {
+	res := &LoopResult{}
+	for i := range st.resS {
+		r := &st.resS[i]
+		res.Requests += r.Requests
+		res.QueueHops += r.QueueHops
+		res.ReplyHops += r.ReplyHops
+		res.LocalCompletions += r.LocalCompletions
+		res.TotalLatency += r.TotalLatency
+		res.Reissued += r.Reissued
+		res.RepliesLost += r.RepliesLost
+		res.Affected += r.Affected
+		res.RepairTime += r.RepairTime
+		if r.MaxQueueHops > res.MaxQueueHops {
+			res.MaxQueueHops = r.MaxQueueHops
+		}
+	}
+	return res
 }
 
 // onFault watches liveness transitions: once the network fully heals
@@ -319,7 +378,7 @@ func (st *loopState) onBlocked(ctx *sim.Context, from, to graph.NodeID, msg sim.
 	case *loopReply:
 		fs.affected[m.origin] = true
 		if dropped {
-			st.res.RepliesLost++
+			st.resS[ctx.Shard()].RepliesLost++
 			if upAt != sim.FaultNever {
 				// The request completed; its issuer just never heard.
 				// Resume its loop once the blocking entity recovers.
@@ -333,7 +392,7 @@ func (st *loopState) onBlocked(ctx *sim.Context, from, to graph.NodeID, msg sim.
 			// re-runs it from the current pointer state.
 			if dropped && fs.eng.Running() {
 				fs.eng.Abort()
-				st.res.RepairTime += ctx.Now() - fs.repairStart
+				st.resS[ctx.Shard()].RepairTime += ctx.Now() - fs.repairStart
 				fs.repairing = false
 			}
 		}
@@ -356,7 +415,7 @@ func (st *loopState) tryRepair(ctx *sim.Context) {
 // repaired pointer state and parked nodes resume.
 func (st *loopState) repairDone(ctx *sim.Context, converged bool) {
 	fs := st.fs
-	st.res.RepairTime += ctx.Now() - fs.repairStart
+	st.resS[ctx.Shard()].RepairTime += ctx.Now() - fs.repairStart
 	fs.repairing = false
 	fs.frozen = false
 	fs.corrupted = false
@@ -411,7 +470,7 @@ func (st *loopState) reissue(ctx *sim.Context, v graph.NodeID) {
 	fs := st.fs
 	fs.lost[v] = false
 	fs.inFlight++
-	st.res.Reissued++
+	st.resS[ctx.Shard()].Reissued++
 	st.hops[v] = 0
 	if st.link[v] == v {
 		// Repair elected v's region the survivor: the request queues
@@ -441,7 +500,7 @@ func (st *loopState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Mes
 			st.scheduleNext(ctx, at)
 			return
 		}
-		st.res.ReplyHops++
+		st.resS[ctx.Shard()].ReplyHops++
 		ctx.Send(at, st.t.NextHop(at, m.origin), m)
 	default:
 		if fs := st.fs; fs != nil && fs.eng.Owns(msg) {
@@ -453,22 +512,24 @@ func (st *loopState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Mes
 }
 
 // completeAt records the queuing of origin's current request at the sink
-// and notifies the requester so it can issue its next request.
+// and notifies the requester so it can issue its next request. Counters
+// land in the context's shard slot and the recording routes through the
+// context, which keeps the parallel drain race-free and its histogram
+// accumulation order serial.
 func (st *loopState) completeAt(ctx *sim.Context, origin, sink graph.NodeID) {
+	res := &st.resS[ctx.Shard()]
 	lat := int64(ctx.Now() - st.issueTime[origin])
-	st.res.Requests++
-	st.res.TotalLatency += lat
-	st.res.QueueHops += int64(st.hops[origin])
-	if st.hops[origin] > st.res.MaxQueueHops {
-		st.res.MaxQueueHops = st.hops[origin]
+	res.Requests++
+	res.TotalLatency += lat
+	res.QueueHops += int64(st.hops[origin])
+	if int(st.hops[origin]) > res.MaxQueueHops {
+		res.MaxQueueHops = int(st.hops[origin])
 	}
-	if st.cfg.Recorder != nil {
-		st.cfg.Recorder.RecordRequest(lat, st.hops[origin])
-	}
+	ctx.RecordRequest(st.cfg.Recorder, lat, int(st.hops[origin]))
 	if fs := st.fs; fs != nil {
 		fs.inFlight--
 		if fs.affected[origin] {
-			st.res.Affected++
+			res.Affected++
 			fs.affected[origin] = false
 		}
 		if fs.frozen {
@@ -476,11 +537,11 @@ func (st *loopState) completeAt(ctx *sim.Context, origin, sink graph.NodeID) {
 		}
 	}
 	if origin == sink {
-		st.res.LocalCompletions++
+		res.LocalCompletions++
 		st.scheduleNext(ctx, origin)
 		return
 	}
-	st.res.ReplyHops++
+	res.ReplyHops++
 	ctx.Send(sink, st.t.NextHop(sink, origin), &st.replies[origin])
 }
 

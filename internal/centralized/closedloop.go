@@ -37,6 +37,12 @@ type LoopConfig struct {
 	// FailoverDelay is the unavailability window after a center failure
 	// before the replacement center serves (0 = 8 time units).
 	FailoverDelay sim.Time
+	// Workers is accepted for config symmetry with the other protocols
+	// but always normalizes to a serial run: the center is a global
+	// serialization point (busyUntil is shared mutable state), so the
+	// tick-windowed drain has nothing to shard. Results are identical at
+	// any value.
+	Workers int
 }
 
 // LoopResult aggregates a closed-loop centralized run. Request traffic
@@ -113,7 +119,7 @@ type loopReply struct{}
 // (a request must be replied to before its issuer thinks again).
 type clState struct {
 	cfg       LoopConfig
-	topo      *sim.MetricTopology
+	topo      sim.Topology
 	center    graph.NodeID
 	service   sim.Time
 	think     sim.Time
@@ -123,7 +129,7 @@ type clState struct {
 	serving   []bool
 	msgs      []loopReq
 	rep       loopReply
-	remaining []int
+	remaining []int32
 	res       *LoopResult
 
 	// Failover state, used only under faults. epoch identifies the
@@ -142,7 +148,14 @@ type clState struct {
 
 // RunClosedLoop executes the closed-loop centralized experiment on g.
 func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
-	n := g.NumNodes()
+	return RunClosedLoopTopo(sim.NewMetricTopology(g), cfg)
+}
+
+// RunClosedLoopTopo is RunClosedLoop over an arbitrary metric topology;
+// the implicit sim.CompleteTopology keeps million-node runs free of the
+// O(n²) distance matrix.
+func RunClosedLoopTopo(topo sim.Topology, cfg LoopConfig) (*LoopResult, error) {
+	n := topo.NumNodes()
 	if cfg.PerNode < 1 {
 		return nil, fmt.Errorf("centralized: PerNode must be >= 1")
 	}
@@ -160,14 +173,14 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 	total := int64(cfg.PerNode) * int64(n)
 	st := &clState{
 		cfg:       cfg,
-		topo:      sim.NewMetricTopology(g),
+		topo:      topo,
 		center:    cfg.Center,
 		service:   service,
 		think:     think,
 		issued:    make([]sim.Time, n),
 		serving:   make([]bool, n),
 		msgs:      make([]loopReq, n),
-		remaining: make([]int, n),
+		remaining: make([]int32, n),
 		res:       &LoopResult{N: n},
 	}
 	if err := cfg.Faults.Validate(st.topo); err != nil {
@@ -177,7 +190,7 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		return nil, fmt.Errorf("centralized: closed loop requires a healing fault plan (every down matched by an up)")
 	}
 	for v := range st.remaining {
-		st.remaining[v] = cfg.PerNode
+		st.remaining[v] = int32(cfg.PerNode)
 		st.msgs[v].origin = graph.NodeID(v)
 	}
 

@@ -136,6 +136,7 @@ func (p Arrow) Run(inst Instance) (Cost, error) {
 			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
 			Faults:      inst.Faults,
+			Workers:     inst.Workers,
 		})
 		if err != nil {
 			return Cost{}, err
@@ -213,6 +214,7 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 			Scheduler:     inst.Scheduler,
 			Recorder:      inst.Recorder,
 			Faults:        inst.Faults,
+			Workers:       inst.Workers,
 		})
 		if err != nil {
 			return Cost{}, err
@@ -281,6 +283,7 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
 			Faults:      inst.Faults,
+			Workers:     inst.Workers,
 		})
 		if err != nil {
 			return Cost{}, err
@@ -351,6 +354,7 @@ func (p Ivy) Run(inst Instance) (Cost, error) {
 			Scheduler:   inst.Scheduler,
 			Recorder:    inst.Recorder,
 			Faults:      inst.Faults,
+			Workers:     inst.Workers,
 		})
 		if err != nil {
 			return Cost{}, err

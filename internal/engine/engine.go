@@ -117,6 +117,13 @@ type Instance struct {
 	// protocol column (the copies would race under Sweep) — grids that
 	// record build one Instance per cell (as analysis.PerfExperiment does).
 	Recorder stats.Recorder
+	// Workers requests the tick-windowed parallel event drain inside each
+	// closed-loop run (see sim.Config.Workers). Results are bit-identical
+	// at any worker count: drivers that cannot shard safely (Ivy's
+	// directory, the centralized coordinator) and configs outside the
+	// drain's support (faults, non-FIFO arbitration, heap scheduler)
+	// normalize back to a serial run. Static workloads ignore it.
+	Workers int
 }
 
 // Cost is the standard result of one protocol run: the cost metrics the

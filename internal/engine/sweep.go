@@ -3,10 +3,8 @@ package engine
 import (
 	"fmt"
 	"reflect"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -98,49 +96,15 @@ func Grid(instances []Instance, protocols ...Protocol) []Cell {
 // finished. Calls are claimed dynamically, so uneven cell costs balance
 // across workers; fn must write its result into its own index of a
 // pre-sized slice (no two calls share an index, so no locking is needed).
-func ParallelMap(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
+// It is a thin re-export of par.ParallelMap, the shared primitive the
+// simulator's tick-windowed parallel drain also runs on.
+func ParallelMap(n, workers int, fn func(i int)) { par.ParallelMap(n, workers, fn) }
 
 // ParallelMapErr is ParallelMap for fallible work: it collects every
 // call's error and returns the first one in index order (nil when all
 // succeeded).
 func ParallelMapErr(n, workers int, fn func(i int) error) error {
-	errs := make([]error, n)
-	ParallelMap(n, workers, func(i int) { errs[i] = fn(i) })
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return par.ParallelMapErr(n, workers, fn)
 }
 
 // DeriveSeed decorrelates per-cell seeds from a base seed: cells seeded

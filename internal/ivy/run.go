@@ -214,6 +214,11 @@ type LoopConfig struct {
 	Scheduler sim.SchedulerKind
 	// Faults is the deterministic liveness schedule (see loop.Config).
 	Faults *sim.FaultPlan
+	// Workers is accepted for config symmetry with the other protocols
+	// but always normalizes to a serial run: Directory accumulates
+	// cross-node chain statistics on every step, so it is not
+	// loop.ShardSafe. Results are identical at any value.
+	Workers int
 }
 
 // LoopResult aggregates a closed-loop Ivy run — the shared closed-loop
@@ -226,11 +231,18 @@ type LoopResult = loop.Result
 // metric, with Directory (via its step-wise StartFind/ForwardFind face)
 // as the loop harness's pointer discipline.
 func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
-	n := g.NumNodes()
+	return RunClosedLoopTopo(sim.NewMetricTopology(g), cfg)
+}
+
+// RunClosedLoopTopo is RunClosedLoop over an arbitrary metric topology;
+// the implicit sim.CompleteTopology keeps million-node runs free of the
+// O(n²) distance matrix.
+func RunClosedLoopTopo(topo sim.Topology, cfg LoopConfig) (*LoopResult, error) {
+	n := topo.NumNodes()
 	if int(cfg.Root) < 0 || int(cfg.Root) >= n {
 		return nil, fmt.Errorf("ivy: root %d out of range", cfg.Root)
 	}
-	return loop.Run(g, NewDirectory(n, cfg.Root), "ivy", loop.Config{
+	return loop.RunTopo(topo, NewDirectory(n, cfg.Root), "ivy", loop.Config{
 		PerNode:     cfg.PerNode,
 		ThinkTime:   cfg.ThinkTime,
 		Latency:     cfg.Latency,
@@ -239,5 +251,6 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		Recorder:    cfg.Recorder,
 		Scheduler:   cfg.Scheduler,
 		Faults:      cfg.Faults,
+		Workers:     cfg.Workers,
 	})
 }

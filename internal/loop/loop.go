@@ -33,6 +33,18 @@ type Stepper interface {
 	ForwardFind(at, origin graph.NodeID, hops int) (next graph.NodeID, done bool)
 }
 
+// ShardSafe marks a Stepper whose pointer state is partitioned by node:
+// StartFind(v) touches only state keyed by v, ForwardFind(at, ...) only
+// state keyed by at. Such a stepper may run under the simulator's
+// tick-windowed parallel drain, where same-tick events at different
+// nodes execute on different workers — the node-keyed partition is
+// exactly the drain's shard boundary. Steppers with cross-node shared
+// state (Ivy's directory statistics, for example) must not opt in; the
+// driver runs them serially regardless of Config.Workers.
+type ShardSafe interface {
+	ShardSafeStepper()
+}
+
 // Config drives a closed-loop run (the Section 5 regime).
 type Config struct {
 	// PerNode is the number of requests each node issues.
@@ -64,6 +76,12 @@ type Config struct {
 	// way. The plan must be Healing: a permanently dead entity leaves
 	// requests unservable and the run errors at drain.
 	Faults *sim.FaultPlan
+	// Workers > 1 requests the simulator's tick-windowed parallel drain.
+	// The driver normalizes it to serial whenever the run cannot be
+	// reproduced bit-identically in parallel: a stepper that is not
+	// ShardSafe, non-FIFO arbitration, the heap scheduler, or a fault
+	// plan. Results are bit-identical to a serial run either way.
+	Workers int
 }
 
 // Result aggregates a closed-loop run with the same counters as
@@ -134,22 +152,31 @@ type reply struct{}
 // so per-request bookkeeping can be keyed by the issuing node and the
 // pre-boxed message reused across a node's successive requests — at the
 // paper's scale (100k requests per node) per-request arrays would cost
-// hundreds of MB per sweep cell.
+// hundreds of MB per sweep cell. The per-node arrays are flat
+// struct-of-arrays slabs with narrow element types (hop and remaining
+// counts fit int32 up to n = 2³¹ forwarding steps), so a million-node
+// state costs ~24 MB and zero per-node boxing.
 type state struct {
 	cfg   Config
 	step  Stepper
 	proto string
 
 	issueTime []sim.Time
-	hops      []int
+	hops      []int32
 
 	// Pre-boxed messages, one per node: forwarding passes the same
 	// pointer at every hop, avoiding per-send interface boxing.
 	msgs []find
 	rep  reply
 
-	remaining []int
-	res       *Result
+	remaining []int32
+
+	// resS has one accumulator slot per drain shard (one slot on serial
+	// runs): completions land in resS[ctx.Shard()], so no two workers
+	// share a counter; the slots merge into the returned Result after
+	// the run. Every merged field is order-independent (integer sums and
+	// a max), so the merge is bit-identical to serial accumulation.
+	resS []Result
 
 	// lost/affected are the fault-recovery state, nil in fault-free
 	// runs: lost marks nodes whose current find was dropped (re-issued
@@ -162,30 +189,54 @@ type state struct {
 // Run executes the closed-loop experiment for the given pointer
 // discipline over graph g's metric. proto prefixes error messages.
 func Run(g *graph.Graph, step Stepper, proto string, cfg Config) (*Result, error) {
-	n := g.NumNodes()
+	return RunTopo(sim.NewMetricTopology(g), step, proto, cfg)
+}
+
+// effectiveWorkers normalizes cfg.Workers against everything the
+// parallel drain cannot reproduce bit-identically; the returned count is
+// safe to hand to sim.New.
+func effectiveWorkers(step Stepper, cfg Config) int {
+	if cfg.Workers <= 1 {
+		return 1
+	}
+	if _, ok := step.(ShardSafe); !ok {
+		return 1
+	}
+	if cfg.Arbitration != sim.ArbFIFO || cfg.Scheduler != sim.SchedLadder || cfg.Faults != nil {
+		return 1
+	}
+	return cfg.Workers
+}
+
+// RunTopo is Run over an arbitrary metric topology — in particular the
+// implicit sim.CompleteTopology, which is how million-node complete-
+// graph runs avoid the O(n²) distance matrix Run's materialized metric
+// would build.
+func RunTopo(topo sim.Topology, step Stepper, proto string, cfg Config) (*Result, error) {
+	n := topo.NumNodes()
 	if cfg.PerNode < 1 {
 		return nil, fmt.Errorf("%s: PerNode must be >= 1", proto)
 	}
-	topo := sim.NewMetricTopology(g)
 	if err := cfg.Faults.Validate(topo); err != nil {
 		return nil, fmt.Errorf("%s: %w", proto, err)
 	}
 	if cfg.Faults != nil && !cfg.Faults.Healing() {
 		return nil, fmt.Errorf("%s: closed loop requires a healing fault plan (every down matched by an up)", proto)
 	}
+	workers := effectiveWorkers(step, cfg)
 	total := int64(cfg.PerNode) * int64(n)
 	st := &state{
 		cfg:       cfg,
 		step:      step,
 		proto:     proto,
 		issueTime: make([]sim.Time, n),
-		hops:      make([]int, n),
+		hops:      make([]int32, n),
 		msgs:      make([]find, n),
-		remaining: make([]int, n),
-		res:       &Result{N: n},
+		remaining: make([]int32, n),
+		resS:      make([]Result, workers),
 	}
 	for v := range st.remaining {
-		st.remaining[v] = cfg.PerNode
+		st.remaining[v] = int32(cfg.PerNode)
 		st.msgs[v].origin = graph.NodeID(v)
 	}
 
@@ -201,6 +252,7 @@ func Run(g *graph.Graph, step Stepper, proto string, cfg Config) (*Result, error
 		MaxEvents:   budget,
 		Scheduler:   cfg.Scheduler,
 		Faults:      cfg.Faults,
+		Workers:     workers,
 	})
 	if cfg.Faults != nil {
 		st.lost = make([]bool, n)
@@ -214,14 +266,37 @@ func Run(g *graph.Graph, step Stepper, proto string, cfg Config) (*Result, error
 	for v := 0; v < n; v++ {
 		s.ScheduleNodeAt(0, graph.NodeID(v))
 	}
-	st.res.Makespan = s.Run()
-	st.res.Events = s.EventsProcessed()
-	st.res.Dropped = s.MessagesDropped()
-	st.res.Deferred = s.MessagesDeferred()
-	if st.res.Requests != total {
-		return nil, fmt.Errorf("%s: closed loop completed %d of %d requests", proto, st.res.Requests, total)
+	makespan := s.Run()
+	res := st.merge()
+	res.N = n
+	res.Makespan = makespan
+	res.Events = s.EventsProcessed()
+	res.Dropped = s.MessagesDropped()
+	res.Deferred = s.MessagesDeferred()
+	if res.Requests != total {
+		return nil, fmt.Errorf("%s: closed loop completed %d of %d requests", proto, res.Requests, total)
 	}
-	return st.res, nil
+	return res, nil
+}
+
+// merge folds the per-shard accumulator slots into one Result.
+func (st *state) merge() *Result {
+	res := &Result{}
+	for i := range st.resS {
+		r := &st.resS[i]
+		res.Requests += r.Requests
+		res.QueueHops += r.QueueHops
+		res.ReplyHops += r.ReplyHops
+		res.LocalCompletions += r.LocalCompletions
+		res.TotalLatency += r.TotalLatency
+		res.Reissued += r.Reissued
+		res.RepliesLost += r.RepliesLost
+		res.Affected += r.Affected
+		if r.MaxQueueHops > res.MaxQueueHops {
+			res.MaxQueueHops = r.MaxQueueHops
+		}
+	}
+	return res
 }
 
 // onBlocked is told each message a fault dropped or stalled. A dropped
@@ -242,7 +317,7 @@ func (st *state) onBlocked(ctx *sim.Context, from, to graph.NodeID, msg sim.Mess
 		// destination.
 		st.affected[to] = true
 		if dropped {
-			st.res.RepliesLost++
+			st.resS[ctx.Shard()].RepliesLost++
 			st.retryAt(ctx, to, upAt)
 		}
 	}
@@ -274,7 +349,7 @@ func (st *state) issue(ctx *sim.Context, v graph.NodeID) {
 		// partial path reversal of the lost attempt left every touched
 		// pointer aimed at v, so chains still terminate.
 		st.lost[v] = false
-		st.res.Reissued++
+		st.resS[ctx.Shard()].Reissued++
 		target, local := st.step.StartFind(v)
 		if local {
 			st.hops[v] = 0
@@ -304,7 +379,7 @@ func (st *state) issue(ctx *sim.Context, v graph.NodeID) {
 func (st *state) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
 	switch m := msg.(type) {
 	case *find:
-		next, done := st.step.ForwardFind(at, m.origin, st.hops[m.origin])
+		next, done := st.step.ForwardFind(at, m.origin, int(st.hops[m.origin]))
 		if done {
 			st.completeAt(ctx, m.origin, at)
 			return
@@ -319,28 +394,30 @@ func (st *state) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Message
 }
 
 // completeAt records the queuing of origin's current request at sink and
-// notifies the requester so it can issue its next request.
+// notifies the requester so it can issue its next request. Counters land
+// in the context's shard slot and the recording routes through the
+// context, which keeps the parallel drain race-free and its histogram
+// accumulation order serial.
 func (st *state) completeAt(ctx *sim.Context, origin, sink graph.NodeID) {
+	res := &st.resS[ctx.Shard()]
 	lat := int64(ctx.Now() - st.issueTime[origin])
-	st.res.Requests++
-	st.res.TotalLatency += lat
-	st.res.QueueHops += int64(st.hops[origin])
-	if st.hops[origin] > st.res.MaxQueueHops {
-		st.res.MaxQueueHops = st.hops[origin]
+	res.Requests++
+	res.TotalLatency += lat
+	res.QueueHops += int64(st.hops[origin])
+	if int(st.hops[origin]) > res.MaxQueueHops {
+		res.MaxQueueHops = int(st.hops[origin])
 	}
-	if st.cfg.Recorder != nil {
-		st.cfg.Recorder.RecordRequest(lat, st.hops[origin])
-	}
+	ctx.RecordRequest(st.cfg.Recorder, lat, int(st.hops[origin]))
 	if st.affected != nil && st.affected[origin] {
-		st.res.Affected++
+		res.Affected++
 		st.affected[origin] = false
 	}
 	if origin == sink {
-		st.res.LocalCompletions++
+		res.LocalCompletions++
 		st.scheduleNext(ctx, origin)
 		return
 	}
-	st.res.ReplyHops++
+	res.ReplyHops++
 	ctx.Send(sink, origin, &st.rep)
 }
 

@@ -37,6 +37,9 @@ type LoopConfig struct {
 	Scheduler sim.SchedulerKind
 	// Faults is the deterministic liveness schedule (see loop.Config).
 	Faults *sim.FaultPlan
+	// Workers requests the tick-windowed parallel drain (see
+	// loop.Config.Workers); results are bit-identical at any count.
+	Workers int
 }
 
 // LoopResult aggregates a closed-loop NTA run — the shared closed-loop
@@ -76,12 +79,24 @@ func (s *reversalStepper) ForwardFind(at, origin graph.NodeID, hops int) (graph.
 	return next, false
 }
 
+// ShardSafeStepper marks the reversal discipline safe for the parallel
+// drain: StartFind(v) touches only last[v] and ForwardFind(at, ...)
+// only last[at] — state partitioned exactly by the drain's node shards.
+func (s *reversalStepper) ShardSafeStepper() {}
+
 // RunClosedLoop executes the closed-loop NTA experiment over graph g's
 // metric: requests follow last pointers as real simulator messages, each
 // visited node redirects its pointer to the requester, and the node
 // holding the tail notifies the requester directly.
 func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
-	n := g.NumNodes()
+	return RunClosedLoopTopo(sim.NewMetricTopology(g), cfg)
+}
+
+// RunClosedLoopTopo is RunClosedLoop over an arbitrary metric topology;
+// the implicit sim.CompleteTopology keeps million-node runs free of the
+// O(n²) distance matrix.
+func RunClosedLoopTopo(topo sim.Topology, cfg LoopConfig) (*LoopResult, error) {
+	n := topo.NumNodes()
 	if int(cfg.Root) < 0 || int(cfg.Root) >= n {
 		return nil, fmt.Errorf("nta: root %d out of range", cfg.Root)
 	}
@@ -90,7 +105,7 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		st.last[v] = cfg.Root
 	}
 	st.last[cfg.Root] = cfg.Root
-	return loop.Run(g, st, "nta", loop.Config{
+	return loop.RunTopo(topo, st, "nta", loop.Config{
 		PerNode:     cfg.PerNode,
 		ThinkTime:   cfg.ThinkTime,
 		Latency:     cfg.Latency,
@@ -99,5 +114,6 @@ func RunClosedLoop(g *graph.Graph, cfg LoopConfig) (*LoopResult, error) {
 		Recorder:    cfg.Recorder,
 		Scheduler:   cfg.Scheduler,
 		Faults:      cfg.Faults,
+		Workers:     cfg.Workers,
 	})
 }

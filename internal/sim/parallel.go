@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// This file is the tick-windowed conservative parallel drain. Unit (and
+// uniformly scaled) latency gives every message a lookahead of at least
+// one tick, so all events sharing a timestamp are causally independent
+// *inputs*: none of them can schedule work at its own tick for a node
+// that also has an event in the batch — new work lands at least one
+// tick later, or (for zero-delay timers) behind the batch in sequence
+// order. That makes one ladder-queue tick bucket the natural parallel
+// unit:
+//
+//  1. peekTime finds the next tick t; every event at t is popped into a
+//     batch (no handler has run yet, so nothing new can appear at t
+//     ahead of it);
+//  2. the batch is sharded by destination node (to % workers) and each
+//     shard's handlers run concurrently — driver state is keyed by
+//     node, so shards touch disjoint state — with every mutating
+//     Context call buffered into the worker's op log;
+//  3. the coordinator replays the op logs in batch (= serial event)
+//     order through the real send/schedule/record paths.
+//
+// Sequence numbers, latency-RNG draws, FIFO clamps and recorder
+// accumulation all happen in the replay, in exactly the order the
+// serial loop would have produced, so the run is bit-identical to
+// Workers <= 1 — histogram floating-point included. Batches containing
+// closure timers or fault events, and batches too small to amortize the
+// fan-out, fall back to the serial dispatch path (same order again).
+
+// op kinds of the worker-side effect log.
+const (
+	opSend uint8 = iota
+	opTimer
+	opNodeTimer
+	opRecord
+)
+
+// emitOp is one buffered side effect of a handler run inside a worker.
+// idx is the batch index of the event that emitted it, which is all the
+// coordinator needs to interleave the per-worker logs back into serial
+// order.
+type emitOp struct {
+	idx  int32
+	kind uint8
+	u, v graph.NodeID
+	t    Time // absolute fire time (timers) or latency (records)
+	h    int  // hops (records)
+	msg  Message
+	rec  stats.Recorder
+	fn   TimerFunc
+}
+
+// opBuffer is one worker's effect log for the current batch. idx is the
+// batch index the worker is currently processing; Context's mutating
+// methods stamp it into each op.
+type opBuffer struct {
+	ops []emitOp
+	idx int32
+	cur int // replay cursor
+}
+
+func (b *opBuffer) add(op emitOp) { b.ops = append(b.ops, op) }
+
+func (b *opBuffer) reset() {
+	// Drop reference fields so recycled capacity doesn't pin payloads.
+	for i := range b.ops {
+		b.ops[i] = emitOp{}
+	}
+	b.ops = b.ops[:0]
+	b.cur = 0
+}
+
+// runParallel is Run for workers > 1. New has already rejected configs
+// the drain cannot reproduce bit-identically (non-FIFO arbitration, the
+// heap scheduler, fault plans).
+func (s *Simulator) runParallel() Time {
+	w := s.workers
+	wctx := make([]*Context, w)
+	for i := range wctx {
+		wctx[i] = &Context{s: s, shard: i, buf: &opBuffer{}}
+	}
+	// Below this, goroutine fan-out costs more than it buys; the batch
+	// runs on the serial-fallback path instead.
+	minBatch := 2*w + 8
+	var (
+		batch  []event
+		shards = make([][]int32, w)
+	)
+	for {
+		t, ok := s.lq.peekTime()
+		if !ok {
+			break
+		}
+		if t < s.now {
+			panic("sim: time went backwards")
+		}
+		// Gather the whole tick: drain the base bucket peekTime just
+		// landed on. Handlers have not run, so nothing can be scheduled
+		// at t ahead of what is already queued; events pushed at t during
+		// this batch's processing are behind every batch member in
+		// sequence order and form the next batch. The bucket probe never
+		// advances the window, so those pushes (at t, t+1, ...) stay
+		// legal.
+		batch = batch[:0]
+		serialOnly := false
+		for {
+			var e event
+			if !s.lq.pop(&e) || e.at != t {
+				// Unreachable: each pop is guarded by a probe that saw an
+				// event at t.
+				panic("sim: tick batch popped an event off its tick")
+			}
+			if e.kind == evTimer || e.kind == evFault {
+				serialOnly = true
+			}
+			batch = append(batch, e)
+			if !s.lq.curBucketNonEmpty() {
+				break
+			}
+		}
+		s.now = t
+		if serialOnly || len(batch) < minBatch {
+			for i := range batch {
+				s.processed++
+				if s.cfg.MaxEvents > 0 && s.processed > s.cfg.MaxEvents {
+					panic(fmt.Sprintf("sim: exceeded MaxEvents=%d — protocol likely diverged", s.cfg.MaxEvents))
+				}
+				s.dispatch(s.ctx, &batch[i])
+			}
+			continue
+		}
+		s.processed += int64(len(batch))
+		if s.cfg.MaxEvents > 0 && s.processed > s.cfg.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d — protocol likely diverged", s.cfg.MaxEvents))
+		}
+		// Shard by destination node: driver state is keyed by node, so
+		// two workers never touch the same state, and a fixed node→shard
+		// map keeps any per-node ordering within one worker.
+		for i := range shards {
+			shards[i] = shards[i][:0]
+		}
+		for i := range batch {
+			sh := int(batch[i].to) % w
+			shards[sh] = append(shards[sh], int32(i))
+		}
+		par.ParallelMap(w, w, func(wi int) {
+			ctx := wctx[wi]
+			ctx.buf.reset()
+			for _, bi := range shards[wi] {
+				e := &batch[bi]
+				ctx.buf.idx = bi
+				switch e.kind {
+				case evNodeTimer:
+					h := s.timerH
+					if h == nil {
+						panic(fmt.Sprintf("sim: node timer for node %d with no TimerHandler", e.to))
+					}
+					h(ctx, e.to)
+				case evMessage:
+					h := s.handler(e.to)
+					if h == nil {
+						panic(fmt.Sprintf("sim: message for node %d with no handler", e.to))
+					}
+					h(ctx, e.to, e.from, e.msg)
+				}
+			}
+		})
+		// Replay the effect logs in batch order. Each worker emitted its
+		// ops with ascending batch indices, so a per-buffer cursor and an
+		// idx match suffice to merge the logs into the exact serial
+		// interleaving.
+		for i := range batch {
+			buf := wctx[int(batch[i].to)%w].buf
+			for buf.cur < len(buf.ops) && buf.ops[buf.cur].idx == int32(i) {
+				op := &buf.ops[buf.cur]
+				buf.cur++
+				switch op.kind {
+				case opSend:
+					s.send(op.u, op.v, op.msg)
+				case opTimer:
+					s.scheduleTimer(op.t, op.fn)
+				case opNodeTimer:
+					s.push(event{at: op.t, kind: evNodeTimer, to: op.v})
+				case opRecord:
+					op.rec.RecordRequest(op.t, op.h)
+				}
+			}
+		}
+	}
+	return s.now
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// tokenRun drives a self-contained token-bouncing protocol — every node
+// fires a timer, sends a token to the root, the root bounces it back,
+// and the origin records the round trip — and returns everything a
+// worker count could perturb: makespan, counters and the recorded
+// distributions.
+func tokenRun(t *testing.T, n, rounds, workers int, lat LatencyModel) (Time, int64, int64, int64, stats.Dist, stats.Dist) {
+	t.Helper()
+	nav := tree.BinaryWalker(n)
+	rec := stats.NewDistRecorder()
+	s := New(Config{
+		Topology: TreeTopology{T: nav},
+		Latency:  lat,
+		Seed:     7,
+		Workers:  workers,
+	})
+	issue := make([]Time, n)
+	left := make([]int, n)
+	for i := range left {
+		left[i] = rounds
+	}
+	s.SetTimerHandler(func(ctx *Context, v graph.NodeID) {
+		issue[v] = ctx.Now()
+		ctx.Send(v, nav.Parent(v), find{origin: v, up: true})
+	})
+	s.SetAllHandlers(func(ctx *Context, at, from graph.NodeID, msg Message) {
+		m := msg.(find)
+		if m.up {
+			if at == nav.Root() {
+				ctx.Send(at, nav.NextHop(at, m.origin), find{origin: m.origin})
+				return
+			}
+			ctx.Send(at, nav.Parent(at), m)
+			return
+		}
+		if at != m.origin {
+			ctx.Send(at, nav.NextHop(at, m.origin), m)
+			return
+		}
+		ctx.RecordRequest(rec, int64(ctx.Now()-issue[at]), int(nav.Depth(at))*2)
+		left[at]--
+		if left[at] > 0 {
+			ctx.AfterNode(1, at)
+		}
+	})
+	for v := 1; v < n; v++ {
+		s.ScheduleNodeAt(Time(1+v%3), graph.NodeID(v))
+	}
+	mk := s.Run()
+	return mk, s.Messages(), s.Hops(), s.EventsProcessed(), rec.Latency.Snapshot(), rec.Hops.Snapshot()
+}
+
+type find struct {
+	origin graph.NodeID
+	up     bool
+}
+
+// TestParallelDrainBitIdentical pins the tick-windowed parallel drain
+// against the serial loop: every observable — makespan, message/hop/
+// event counters, and the recorded latency and hop distributions down
+// to their floating-point means — must match for every worker count,
+// under both synchronous and per-message random latency.
+func TestParallelDrainBitIdentical(t *testing.T) {
+	models := map[string]func() LatencyModel{
+		"sync":   func() LatencyModel { return Synchronous() },
+		"async4": func() LatencyModel { return AsyncUniform(4) },
+	}
+	for name, model := range models {
+		mk0, msg0, hop0, ev0, lat0, hops0 := tokenRun(t, 300, 4, 0, model())
+		for _, w := range []int{2, 3, 8} {
+			mk, msg, hop, ev, lat, hops := tokenRun(t, 300, 4, w, model())
+			if mk != mk0 || msg != msg0 || hop != hop0 || ev != ev0 {
+				t.Fatalf("%s workers=%d: (mk=%d msg=%d hop=%d ev=%d), serial (mk=%d msg=%d hop=%d ev=%d)",
+					name, w, mk, msg, hop, ev, mk0, msg0, hop0, ev0)
+			}
+			if !reflect.DeepEqual(lat, lat0) || !reflect.DeepEqual(hops, hops0) {
+				t.Fatalf("%s workers=%d: distributions diverged\nlat: %+v\nwant %+v\nhops: %+v\nwant %+v",
+					name, w, lat, lat0, hops, hops0)
+			}
+		}
+	}
+}
+
+// TestParallelConfigGuards pins the New-time rejections: the drain can
+// only reproduce serial order under FIFO arbitration on the ladder
+// scheduler without faults.
+func TestParallelConfigGuards(t *testing.T) {
+	topo := TreeTopology{T: tree.BinaryWalker(8)}
+	expectPanic := func(name string, cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: New did not panic", name)
+			}
+		}()
+		New(cfg)
+	}
+	expectPanic("lifo", Config{Topology: topo, Workers: 2, Arbitration: ArbLIFO})
+	expectPanic("random", Config{Topology: topo, Workers: 2, Arbitration: ArbRandom})
+	expectPanic("heap", Config{Topology: topo, Workers: 2, Scheduler: SchedHeap})
+	expectPanic("faults", Config{Topology: topo, Workers: 2, Faults: &FaultPlan{}})
+}
+
+// TestCompleteTopologyMatchesMetric pins the implicit complete metric
+// against the materialized one on the pairs both can answer.
+func TestCompleteTopologyMatchesMetric(t *testing.T) {
+	n := 9
+	m := NewMetricTopology(graph.Complete(n))
+	c := NewCompleteTopology(n)
+	if c.NumNodes() != m.NumNodes() || c.NumLinks() != m.NumLinks() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", c.NumNodes(), c.NumLinks(), m.NumNodes(), m.NumLinks())
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			uu, vv := graph.NodeID(u), graph.NodeID(v)
+			cw, cok := c.Latency(uu, vv)
+			mw, mok := m.Latency(uu, vv)
+			if cw != mw || cok != mok {
+				t.Fatalf("Latency(%d,%d) = (%d,%v), want (%d,%v)", u, v, cw, cok, mw, mok)
+			}
+			if cok {
+				if c.Hops(uu, vv) != m.Hops(uu, vv) {
+					t.Fatalf("Hops(%d,%d) mismatch", u, v)
+				}
+				if c.LinkIndex(uu, vv) != m.LinkIndex(uu, vv) {
+					t.Fatalf("LinkIndex(%d,%d) mismatch", u, v)
+				}
+			}
+			if c.Dist(uu, vv) != m.Dist(uu, vv) {
+				t.Fatalf("Dist(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+}

@@ -368,6 +368,38 @@ func (q *ladderQueue) pop(out *event) bool {
 	}
 }
 
+// peekTime returns the timestamp of the earliest pending event without
+// popping it. It advances the ring window exactly as pop would (base
+// moves, empty rings refill from overflow), so the pops that follow
+// stay O(1); the pending set and its order are untouched. The parallel
+// drain uses it to delimit one tick's batch.
+func (q *ladderQueue) peekTime() (Time, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	for {
+		idx := int(q.base) & ringMask
+		if q.ring[idx].head != nilSlot {
+			return q.base, true
+		}
+		q.curPrepared = false
+		if q.ringCnt > 0 {
+			q.base += Time(q.nextOccupiedDelta(idx))
+			continue
+		}
+		q.refill()
+	}
+}
+
+// curBucketNonEmpty reports whether the tick at the window base still
+// holds events. Valid right after peekTime returned that tick; unlike
+// another peekTime call it never advances the window, which matters to
+// the parallel drain — events the current tick's handlers schedule must
+// still be allowed at base+1 and later.
+func (q *ladderQueue) curBucketNonEmpty() bool {
+	return q.size > 0 && q.ring[int(q.base)&ringMask].head != nilSlot
+}
+
 // nextOccupiedDelta returns the circular distance from slot idx to the
 // next occupied slot — equal to the tick gap, since all ring events lie
 // within one window. Callers guarantee ringCnt > 0 and slot idx itself

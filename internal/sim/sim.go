@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/stats"
 )
 
 // Time is a simulated timestamp. The synchronous model of the paper uses
@@ -124,6 +125,15 @@ type Config struct {
 	// drivers that accept plans from callers run FaultPlan.Validate first
 	// and return the error).
 	Faults *FaultPlan
+	// Workers > 1 enables the tick-windowed parallel drain: each tick's
+	// event bucket is processed by that many workers over disjoint node
+	// shards, and the side effects are replayed in the serial event
+	// order, so results stay bit-identical to Workers <= 1 (the
+	// equivalence tests pin this, histograms included). It requires FIFO
+	// arbitration, the ladder scheduler and a fault-free plan — New
+	// panics otherwise; drivers normalize incompatible configs to serial
+	// instead.
+	Workers int
 }
 
 // Simulator is a deterministic discrete-event engine.
@@ -132,7 +142,9 @@ type Simulator struct {
 	now      Time
 	seq      uint64
 	handlers []Handler
+	allH     Handler // single handler for every node (SetAllHandlers)
 	timerH   TimerHandler
+	workers  int
 
 	// f is the compiled fault state (nil without a plan — the hot paths
 	// gate every fault check on that nil). ctx is the one Context handed
@@ -150,11 +162,18 @@ type Simulator struct {
 	heap    eventHeap
 	lq      ladderQueue
 
-	// Per-directed-link FIFO state: the dense slice is used when the
-	// topology implements LinkIndexer, the map otherwise.
-	linkIdx  LinkIndexer
-	linkFIFO []Time
-	lastArr  map[linkKey]Time
+	// Per-directed-link FIFO state, in tiers: none at all when fifoFree
+	// proves the clamp can never bind (synchronous latency, no faults —
+	// per-link arrivals are then monotone by construction); a dense
+	// slice when the topology implements LinkIndexer with a modest link
+	// count; lazily allocated pages when the LinkIndexer is huge (the
+	// implicit complete metric at 10⁶ nodes indexes 10¹² links — only
+	// the touched pages materialize); the map otherwise.
+	linkIdx   LinkIndexer
+	fifoFree  bool
+	linkFIFO  []Time
+	linkPages map[int64][]Time
+	lastArr   map[linkKey]Time
 
 	// Independent seeded streams: rng is the protocol-visible stream
 	// (Context.Rand), latRNG drives the latency model and arbRNG random
@@ -179,6 +198,17 @@ type Simulator struct {
 
 type linkKey struct{ u, v graph.NodeID }
 
+const (
+	// fifoDenseMax caps the flat per-link FIFO slice: a LinkIndexer
+	// reporting more slots (the implicit complete metric's n² explodes
+	// past this around 2k nodes) switches to lazily allocated pages.
+	fifoDenseMax = 1 << 22
+	// fifoPageBits sizes one FIFO page (2^12 slots = 32 KB); pages are
+	// keyed by linkIndex >> fifoPageBits and materialize on first touch.
+	fifoPageBits = 12
+	fifoPageMask = 1<<fifoPageBits - 1
+)
+
 // DeriveSeed derives an independent stream seed from a base seed via a
 // splitmix64 step, so streams are decorrelated even for adjacent base
 // seeds or stream indices. The simulator uses it for its internal
@@ -201,9 +231,25 @@ func New(cfg Config) *Simulator {
 		cfg.Latency = Synchronous()
 	}
 	s := &Simulator{
-		cfg:      cfg,
-		handlers: make([]Handler, cfg.Topology.NumNodes()),
-		useHeap:  cfg.Scheduler == SchedHeap,
+		cfg:     cfg,
+		useHeap: cfg.Scheduler == SchedHeap,
+		workers: cfg.Workers,
+	}
+	if cfg.Workers > 1 {
+		// The parallel drain replays a tick's side effects in (pri, seq)
+		// = scheduling order, which is the realized order only under
+		// FIFO arbitration; the batch boundary comes from the ladder's
+		// tick buckets; and fault gating consults mutable shared state
+		// mid-tick. Anything else must run serially.
+		if cfg.Arbitration != ArbFIFO {
+			panic(fmt.Sprintf("sim: Workers=%d requires FIFO arbitration, got %v", cfg.Workers, cfg.Arbitration))
+		}
+		if cfg.Scheduler != SchedLadder {
+			panic(fmt.Sprintf("sim: Workers=%d requires the ladder scheduler, got %v", cfg.Workers, cfg.Scheduler))
+		}
+		if cfg.Faults != nil {
+			panic(fmt.Sprintf("sim: Workers=%d is incompatible with a fault plan", cfg.Workers))
+		}
 	}
 	if m, ok := cfg.Latency.(syncModel); ok {
 		s.syncScale = m.scale
@@ -212,10 +258,21 @@ func New(cfg Config) *Simulator {
 		s.arbRNG = rand.New(rand.NewSource(DeriveSeed(cfg.Seed, 2)))
 	}
 	s.lq.init(cfg.Arbitration)
+	// Synchronous latency without faults makes per-link arrivals monotone
+	// by construction (send times never decrease and the per-link delay
+	// is a constant), so the FIFO clamp can never bind and no per-link
+	// state is kept at all.
+	s.fifoFree = s.syncScale != 0 && cfg.Faults == nil
 	if li, ok := cfg.Topology.(LinkIndexer); ok {
 		s.linkIdx = li
-		s.linkFIFO = make([]Time, li.NumLinks())
-	} else {
+		if !s.fifoFree {
+			if nl := li.NumLinks(); nl <= fifoDenseMax {
+				s.linkFIFO = make([]Time, nl)
+			} else {
+				s.linkPages = make(map[int64][]Time)
+			}
+		}
+	} else if !s.fifoFree {
 		s.lastArr = make(map[linkKey]Time)
 	}
 	s.ctx = &Context{s: s}
@@ -224,15 +281,29 @@ func New(cfg Config) *Simulator {
 	return s
 }
 
-// SetHandler installs the message handler for one node.
-func (s *Simulator) SetHandler(v graph.NodeID, h Handler) { s.handlers[v] = h }
+// SetHandler installs the message handler for one node, materializing
+// the per-node handler array on first use (a prior SetAllHandlers
+// handler is spread over it, so mixing the two keeps working).
+func (s *Simulator) SetHandler(v graph.NodeID, h Handler) {
+	if s.handlers == nil {
+		s.handlers = make([]Handler, s.cfg.Topology.NumNodes())
+		if s.allH != nil {
+			for i := range s.handlers {
+				s.handlers[i] = s.allH
+			}
+			s.allH = nil
+		}
+	}
+	s.handlers[v] = h
+}
 
 // SetAllHandlers installs the same handler on every node; protocols that
-// keep state in arrays indexed by node typically use this.
+// keep state in arrays indexed by node typically use this. It stores
+// one Handler rather than n copies — at a million nodes the per-node
+// array alone would be 8 MB of identical words.
 func (s *Simulator) SetAllHandlers(h Handler) {
-	for i := range s.handlers {
-		s.handlers[i] = h
-	}
+	s.allH = h
+	s.handlers = nil
 }
 
 // SetTimerHandler installs the handler for per-node timers (AfterNode /
@@ -262,29 +333,81 @@ func (s *Simulator) Hops() int64 { return s.hops }
 func (s *Simulator) EventsProcessed() int64 { return s.processed }
 
 // Context is handed to handlers and timers; it exposes the simulator
-// operations that are legal during event processing.
-type Context struct{ s *Simulator }
+// operations that are legal during event processing. Under the parallel
+// drain each worker gets its own Context whose mutating operations
+// buffer into an op log instead of touching the simulator; the
+// coordinator replays the logs in serial event order.
+type Context struct {
+	s     *Simulator
+	shard int
+	buf   *opBuffer // nil on the serial context
+}
 
 // Now returns the current simulated time.
 func (c *Context) Now() Time { return c.s.now }
 
+// Shard identifies which worker shard this context serves: 0 on a
+// serial run, the worker index under the parallel drain. Drivers use it
+// to index per-shard accumulator slots so result counting stays
+// race-free without locks.
+func (c *Context) Shard() int { return c.shard }
+
 // Send transmits msg from u to v. The pair must be connected in the
 // topology. Delivery preserves per-link FIFO order.
-func (c *Context) Send(u, v graph.NodeID, msg Message) { c.s.send(u, v, msg) }
+func (c *Context) Send(u, v graph.NodeID, msg Message) {
+	if c.buf != nil {
+		c.buf.add(emitOp{idx: c.buf.idx, kind: opSend, u: u, v: v, msg: msg})
+		return
+	}
+	c.s.send(u, v, msg)
+}
 
 // After schedules fn to run at node-local time Now()+d.
-func (c *Context) After(d Time, fn TimerFunc) { c.s.scheduleTimer(c.s.now+d, fn) }
+func (c *Context) After(d Time, fn TimerFunc) {
+	if c.buf != nil {
+		c.buf.add(emitOp{idx: c.buf.idx, kind: opTimer, t: c.s.now + d, fn: fn})
+		return
+	}
+	c.s.scheduleTimer(c.s.now+d, fn)
+}
 
 // AfterNode schedules a timer for node v at time Now()+d, dispatched to
 // the simulator's registered TimerHandler. Unlike After it captures no
 // closure: the hot-path timer of a closed-loop run costs zero
 // allocations.
 func (c *Context) AfterNode(d Time, v graph.NodeID) {
+	if c.buf != nil {
+		c.buf.add(emitOp{idx: c.buf.idx, kind: opNodeTimer, t: c.s.now + d, v: v})
+		return
+	}
 	c.s.push(event{at: c.s.now + d, kind: evNodeTimer, to: v})
 }
 
-// Rand returns the simulator's seeded RNG (deterministic per run).
+// RecordRequest forwards one completed request to rec (a no-op when rec
+// is nil). Drivers must route recordings through the context rather
+// than calling the recorder directly: under the parallel drain the call
+// is deferred to the serial replay, which keeps the histogram's
+// accumulation order — and hence its floating-point mean/variance —
+// bit-identical to a serial run.
+func (c *Context) RecordRequest(rec stats.Recorder, latency int64, hops int) {
+	if rec == nil {
+		return
+	}
+	if c.buf != nil {
+		c.buf.add(emitOp{idx: c.buf.idx, kind: opRecord, rec: rec, t: latency, h: hops})
+		return
+	}
+	rec.RecordRequest(latency, hops)
+}
+
+// Rand returns the simulator's seeded RNG (deterministic per run). It is
+// unavailable inside the parallel drain — a shared stream consumed from
+// concurrent workers could not stay deterministic — so protocols that
+// draw from it must run with Workers <= 1.
 func (c *Context) Rand() *rand.Rand {
+	if c.buf != nil {
+		panic("sim: Context.Rand is unavailable under the parallel drain (run with Workers <= 1)")
+	}
 	if c.s.rng == nil {
 		c.s.rng = rand.New(rand.NewSource(c.s.cfg.Seed))
 	}
@@ -334,19 +457,37 @@ func (s *Simulator) send(u, v graph.NodeID, msg Message) {
 		arrive = healAt + delay
 	}
 	// FIFO: never overtake an earlier message on this link. Arrivals are
-	// always >= 1, so a zero slot means "no prior message".
-	if s.linkFIFO != nil {
-		idx := s.linkIdx.LinkIndex(u, v)
-		if last := s.linkFIFO[idx]; arrive < last {
-			arrive = last
+	// always >= 1, so a zero slot means "no prior message". fifoFree runs
+	// (synchronous latency, no faults) skip the bookkeeping outright —
+	// arrivals are monotone per link by construction, so the clamp is
+	// provably a no-op there.
+	if !s.fifoFree {
+		switch {
+		case s.linkFIFO != nil:
+			idx := s.linkIdx.LinkIndex(u, v)
+			if last := s.linkFIFO[idx]; arrive < last {
+				arrive = last
+			}
+			s.linkFIFO[idx] = arrive
+		case s.linkPages != nil:
+			idx := int64(s.linkIdx.LinkIndex(u, v))
+			page := s.linkPages[idx>>fifoPageBits]
+			if page == nil {
+				page = make([]Time, 1<<fifoPageBits)
+				s.linkPages[idx>>fifoPageBits] = page
+			}
+			slot := &page[idx&fifoPageMask]
+			if arrive < *slot {
+				arrive = *slot
+			}
+			*slot = arrive
+		default:
+			key := linkKey{u, v}
+			if last, ok := s.lastArr[key]; ok && arrive < last {
+				arrive = last
+			}
+			s.lastArr[key] = arrive
 		}
-		s.linkFIFO[idx] = arrive
-	} else {
-		key := linkKey{u, v}
-		if last, ok := s.lastArr[key]; ok && arrive < last {
-			arrive = last
-		}
-		s.lastArr[key] = arrive
 	}
 	s.messages++
 	s.hops += int64(s.cfg.Topology.Hops(u, v))
@@ -398,6 +539,9 @@ func (s *Simulator) push(e event) {
 // Run processes events until the queue is empty and returns the final
 // simulated time (the makespan).
 func (s *Simulator) Run() Time {
+	if s.workers > 1 {
+		return s.runParallel()
+	}
 	ctx := s.ctx
 	var e event
 	for {
@@ -417,60 +561,77 @@ func (s *Simulator) Run() Time {
 		if s.cfg.MaxEvents > 0 && s.processed > s.cfg.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d — protocol likely diverged", s.cfg.MaxEvents))
 		}
-		switch e.kind {
-		case evTimer:
-			e.fn(ctx)
-		case evNodeTimer:
-			// Per-node liveness gating: a down node does not process
-			// local timers; they are deferred to its recovery instant
-			// (and lost with the node on a permanent failure).
-			if s.f != nil {
-				if upAt := s.f.nodeUpAt[e.to]; upAt != 0 {
-					if upAt == FaultNever {
-						s.f.timerDropped++
-						continue
-					}
-					s.f.timerDeferred++
-					s.push(event{at: upAt, kind: evNodeTimer, to: e.to})
-					continue
-				}
-			}
-			h := s.timerH
-			if h == nil {
-				panic(fmt.Sprintf("sim: node timer for node %d with no TimerHandler", e.to))
-			}
-			h(ctx, e.to)
-		case evMessage:
-			// A destination that died while the message was in flight
-			// blocks delivery: dropped, or redelivered at recovery under
-			// FaultQueue (send-time checks cover everything else).
-			if s.f != nil {
-				if upAt := s.f.nodeUpAt[e.to]; upAt != 0 {
-					if s.f.policy == FaultDrop || upAt == FaultNever {
-						s.f.dropped++
-						if s.blockedH != nil {
-							s.blockedH(ctx, e.from, e.to, e.msg, upAt, true)
-						}
-						continue
-					}
-					s.f.deferred++
-					if s.blockedH != nil {
-						s.blockedH(ctx, e.from, e.to, e.msg, upAt, false)
-					}
-					s.push(event{at: upAt, kind: evMessage, to: e.to, from: e.from, msg: e.msg})
-					continue
-				}
-			}
-			h := s.handlers[e.to]
-			if h == nil {
-				panic(fmt.Sprintf("sim: message for node %d with no handler", e.to))
-			}
-			h(ctx, e.to, e.from, e.msg)
-		case evFault:
-			s.applyFault(ctx, e.msg.(*compiledFault))
-		}
+		s.dispatch(ctx, &e)
 	}
 	return s.now
+}
+
+// dispatch routes one already-clocked event to its handler. Shared by
+// the serial loop and the parallel drain's serial-fallback path.
+func (s *Simulator) dispatch(ctx *Context, e *event) {
+	switch e.kind {
+	case evTimer:
+		e.fn(ctx)
+	case evNodeTimer:
+		// Per-node liveness gating: a down node does not process
+		// local timers; they are deferred to its recovery instant
+		// (and lost with the node on a permanent failure).
+		if s.f != nil {
+			if upAt := s.f.nodeUpAt[e.to]; upAt != 0 {
+				if upAt == FaultNever {
+					s.f.timerDropped++
+					return
+				}
+				s.f.timerDeferred++
+				s.push(event{at: upAt, kind: evNodeTimer, to: e.to})
+				return
+			}
+		}
+		h := s.timerH
+		if h == nil {
+			panic(fmt.Sprintf("sim: node timer for node %d with no TimerHandler", e.to))
+		}
+		h(ctx, e.to)
+	case evMessage:
+		// A destination that died while the message was in flight
+		// blocks delivery: dropped, or redelivered at recovery under
+		// FaultQueue (send-time checks cover everything else).
+		if s.f != nil {
+			if upAt := s.f.nodeUpAt[e.to]; upAt != 0 {
+				if s.f.policy == FaultDrop || upAt == FaultNever {
+					s.f.dropped++
+					if s.blockedH != nil {
+						s.blockedH(ctx, e.from, e.to, e.msg, upAt, true)
+					}
+					return
+				}
+				s.f.deferred++
+				if s.blockedH != nil {
+					s.blockedH(ctx, e.from, e.to, e.msg, upAt, false)
+				}
+				s.push(event{at: upAt, kind: evMessage, to: e.to, from: e.from, msg: e.msg})
+				return
+			}
+		}
+		h := s.handler(e.to)
+		if h == nil {
+			panic(fmt.Sprintf("sim: message for node %d with no handler", e.to))
+		}
+		h(ctx, e.to, e.from, e.msg)
+	case evFault:
+		s.applyFault(ctx, e.msg.(*compiledFault))
+	}
+}
+
+// handler resolves node v's message handler under either storage form.
+func (s *Simulator) handler(v graph.NodeID) Handler {
+	if s.allH != nil {
+		return s.allH
+	}
+	if s.handlers != nil {
+		return s.handlers[v]
+	}
+	return nil
 }
 
 // SatMul returns a*b for non-negative operands, saturating at

@@ -7,8 +7,10 @@ import (
 
 // TreeTopology restricts communication to spanning-tree neighbours — the
 // arrow protocol's constraint ("the pointers can point only to a neighbor
-// in the spanning tree").
-type TreeTopology struct{ T *tree.Tree }
+// in the spanning tree"). Any tree.Nav works: the explicit lifted
+// *tree.Tree, or the implicit Walker/GridNav navigators the scale tier
+// uses to avoid materializing LCA tables at millions of nodes.
+type TreeTopology struct{ T tree.Nav }
 
 // Latency implements Topology: only tree edges are legal. The check uses
 // the parent relation — O(1) per send, exactly as LinkIndex does —
@@ -136,3 +138,55 @@ func (m *MetricTopology) LinkIndex(u, v graph.NodeID) int {
 // Dist exposes the precomputed distance matrix (shared with analysis
 // code to avoid recomputing all-pairs shortest paths).
 func (m *MetricTopology) Dist(u, v graph.NodeID) graph.Weight { return m.dist[u][v] }
+
+// CompleteTopology is the implicit counterpart of
+// NewMetricTopology(graph.Complete(n)): every ordered pair of distinct
+// nodes is connected by a direct link of weight W, with no O(n²)
+// distance matrix behind it. It is what lets the complete-graph
+// protocols (centralized, NTA, Ivy) run at a million nodes — the dense
+// metric tables alone would be terabytes. NumLinks is still nominally
+// n², so the simulator stores the per-link FIFO state in lazily
+// allocated pages rather than a flat slice at that scale.
+type CompleteTopology struct {
+	N int
+	W graph.Weight
+}
+
+// NewCompleteTopology returns the implicit complete metric on n nodes
+// with unit edge weights.
+func NewCompleteTopology(n int) CompleteTopology { return CompleteTopology{N: n, W: 1} }
+
+// Latency implements Topology. Like the materialized metric it reports
+// u == v as connected at distance 0 (drivers guard self-sends
+// themselves), so the two are interchangeable pair for pair.
+func (c CompleteTopology) Latency(u, v graph.NodeID) (graph.Weight, bool) {
+	if u == v {
+		return 0, true
+	}
+	return c.W, true
+}
+
+// Hops implements Topology: every distinct pair is one physical link.
+func (c CompleteTopology) Hops(u, v graph.NodeID) int {
+	if u == v {
+		return 0
+	}
+	return 1
+}
+
+// NumNodes implements Topology.
+func (c CompleteTopology) NumNodes() int { return c.N }
+
+// NumLinks implements LinkIndexer.
+func (c CompleteTopology) NumLinks() int { return c.N * c.N }
+
+// LinkIndex implements LinkIndexer.
+func (c CompleteTopology) LinkIndex(u, v graph.NodeID) int { return int(u)*c.N + int(v) }
+
+// Dist mirrors MetricTopology.Dist for analysis code.
+func (c CompleteTopology) Dist(u, v graph.NodeID) graph.Weight {
+	if u == v {
+		return 0
+	}
+	return c.W
+}

@@ -1,0 +1,58 @@
+// Scale-tier memory pin: the whole point of the implicit topologies and
+// the flat (SoA) driver state is that per-node memory stays constant as
+// n grows — no LCA tables (O(n log n)), no distance matrices (O(n²)),
+// no per-node closures. This test turns that claim into a regression
+// gate on allocated bytes per node.
+package repro
+
+import (
+	gort "runtime"
+	"testing"
+
+	"repro/internal/arrow"
+	"repro/internal/tree"
+)
+
+// allocPerNode measures cumulative heap allocation (TotalAlloc delta)
+// of one serial closed-loop arrow run on an implicit binary tree,
+// divided by the node count. TotalAlloc is the honest metric: transient
+// garbage counts, so a per-request allocation would scale the number
+// with PerNode·n instead of n and blow the gate.
+func allocPerNode(t *testing.T, n, perNode int) float64 {
+	t.Helper()
+	var ms gort.MemStats
+	gort.GC()
+	gort.ReadMemStats(&ms)
+	before := ms.TotalAlloc
+	res, err := arrow.RunClosedLoop(tree.BinaryWalker(n), arrow.LoopConfig{
+		Root: 0, PerNode: perNode,
+	})
+	gort.ReadMemStats(&ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * int64(perNode); res.Requests != want {
+		t.Fatalf("n=%d: completed %d of %d requests", n, res.Requests, want)
+	}
+	return float64(ms.TotalAlloc-before) / float64(n)
+}
+
+// TestScaleBytesPerNodeFlat pins the fixed-memory property from 10k to
+// 100k nodes: bytes/node may not grow by more than 50% across the
+// decade (allocator size-class and slice-growth rounding move it a
+// little), and stays under an absolute per-node budget that a single
+// stray O(n log n) table would immediately break (the lifted tree alone
+// costs ~8·log₂(n) ≈ 136 bytes/node in parent tables at 100k).
+func TestScaleBytesPerNodeFlat(t *testing.T) {
+	const perNode = 4
+	small := allocPerNode(t, 10_001, perNode)
+	big := allocPerNode(t, 100_001, perNode)
+	t.Logf("bytes/node: n=10001 %.1f, n=100001 %.1f", small, big)
+	if big > small*1.5 {
+		t.Errorf("bytes/node grew from %.1f (10k) to %.1f (100k): not flat", small, big)
+	}
+	const budget = 1024
+	if big > budget {
+		t.Errorf("bytes/node at 100k = %.1f exceeds the %d-byte budget", big, budget)
+	}
+}
