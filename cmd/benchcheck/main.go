@@ -21,6 +21,14 @@
 //     the documents fails immediately: a delta between runs with
 //     different parameters is noise.
 //
+//   - -hotpath DIR (with -bench): cross-check the //arrow:hotpath
+//     annotations in the source tree against the benchmarks that
+//     actually ran. Every annotated package must map, through the
+//     hotpathBenchmarks manifest, to a benchmark present in the bench
+//     output — so a hot-path claim without a measurement, a stale
+//     manifest entry, or a benchmark silently dropped from the sweep
+//     all fail CI.
+//
 //   - -scale FILE: structurally validate an arrowbench/scale document
 //     (`arrowbench -exp scale -json`): the schema string must match
 //     analysis.ScaleSchema, the row set must be non-empty, and every
@@ -36,7 +44,7 @@
 //	go test -run '^$' -bench BenchmarkSimSendDispatch -benchtime 200000x -benchmem . | tee -a bench.txt
 //	arrowbench -exp perf -json -sizes 64,76 -pernode 500 -seed 1 > BENCH_perf.ci.json
 //	arrowbench -exp scale -json -sizes 2000,5000 -pernode 20 -seed 1 > BENCH_scale.ci.json
-//	benchcheck -bench bench.txt -baseline BENCH_perf.json -current BENCH_perf.ci.json -scale BENCH_scale.ci.json
+//	benchcheck -bench bench.txt -hotpath . -baseline BENCH_perf.json -current BENCH_perf.ci.json -scale BENCH_scale.ci.json
 package main
 
 import (
@@ -61,9 +69,14 @@ func main() {
 	basePath := flag.String("baseline", "", "committed arrowbench/perf baseline document")
 	curPath := flag.String("current", "", "freshly generated arrowbench/perf document")
 	scalePath := flag.String("scale", "", "arrowbench/scale document to validate structurally")
+	hotpathRoot := flag.String("hotpath", "", "repo root to cross-check //arrow:hotpath annotations against the bench output (requires -bench)")
 	tol := flag.Float64("tol", 0.20, "allowed relative regression of pinned metrics")
 	flag.Parse()
 
+	if *hotpathRoot != "" && *benchPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -hotpath needs -bench to know which benchmarks ran")
+		os.Exit(2)
+	}
 	if *benchPath == "" && *scalePath == "" && (*basePath == "" || *curPath == "") {
 		fmt.Fprintln(os.Stderr, "benchcheck: nothing to do; pass -bench, -scale and/or -baseline with -current")
 		os.Exit(2)
@@ -75,6 +88,14 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("benchcheck: %s allocs/op is zero\n", allocBenchmark)
+		}
+	}
+	if *hotpathRoot != "" {
+		if err := checkHotpathCoverage(*hotpathRoot, *benchPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("benchcheck: every //arrow:hotpath package is covered by the bench set\n")
 		}
 	}
 	if *basePath != "" || *curPath != "" {

@@ -63,6 +63,11 @@ type Result struct {
 	Makespan     sim.Time
 }
 
+// seqMsg is the static (request-set) run's message family, distinct
+// from the closed-loop family in closedloop.go; the marker method lets
+// arrowlint's msgswitch analyzer check switch exhaustiveness.
+type seqMsg interface{ isSeqMsg() }
+
 type reqMsg struct {
 	reqID  int
 	origin graph.NodeID
@@ -72,6 +77,9 @@ type replyMsg struct {
 	reqID  int
 	predID int
 }
+
+func (reqMsg) isSeqMsg()   {}
+func (replyMsg) isSeqMsg() {}
 
 // engine holds the central node's serialization state, shared by static
 // and closed-loop runs.

@@ -105,9 +105,16 @@ func (r *LoopResult) AvgHops() float64 {
 	return float64(r.QueueHops+r.ReplyHops) / float64(r.Requests)
 }
 
+// clMsg is the closed-loop driver's message family; the marker method
+// lets arrowlint's msgswitch analyzer check switch exhaustiveness.
+type clMsg interface{ isClMsg() }
+
 type loopReq struct{ origin graph.NodeID }
 
 type loopReply struct{}
+
+func (*loopReq) isClMsg()   {}
+func (*loopReply) isClMsg() {}
 
 // clState is the closed-loop driver state, O(n) like the other
 // protocols' loops: at most one request per node is in flight, so issue
@@ -346,6 +353,7 @@ func (st *clState) timer(ctx *sim.Context, v graph.NodeID) {
 	st.issue(ctx, v)
 }
 
+//arrow:hotpath one call per delivered request/reply message
 func (st *clState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
 	switch m := msg.(type) {
 	case *loopReq:
@@ -367,6 +375,7 @@ func (st *clState) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Messa
 	}
 }
 
+//arrow:hotpath one call per request issued
 func (st *clState) issue(ctx *sim.Context, v graph.NodeID) {
 	if st.lost != nil && st.lost[v] {
 		// Re-issue the lost request against the current center, keeping

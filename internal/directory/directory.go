@@ -76,7 +76,10 @@ func (r *Result) AvgObjectHops() float64 {
 	return float64(r.ObjectHops) / float64(r.Acquires)
 }
 
-// Messages used by the arrow directory.
+// Messages used by the arrow directory. The dirMsg marker method lets
+// arrowlint's msgswitch analyzer check switch exhaustiveness.
+type dirMsg interface{ isDirMsg() }
+
 type (
 	findMsg struct{ reqID int }
 	objMsg  struct {
@@ -84,6 +87,9 @@ type (
 		reqID  int          // request being satisfied
 	}
 )
+
+func (findMsg) isDirMsg() {}
+func (objMsg) isDirMsg()  {}
 
 type arrowDirState struct {
 	t   *tree.Tree

@@ -15,6 +15,11 @@ import (
 // pays two object trips through the home plus the request message —
 // compared with arrow's single direct predecessor-to-successor transfer.
 
+// homeMsg is the home-based protocol's message family; the marker
+// method lets arrowlint's msgswitch analyzer check switch
+// exhaustiveness.
+type homeMsg interface{ isHomeMsg() }
+
 type (
 	homeReq struct {
 		origin graph.NodeID
@@ -25,6 +30,9 @@ type (
 		grant  bool     // true: home -> requester; false: return to home
 	}
 )
+
+func (homeReq) isHomeMsg() {}
+func (homeObj) isHomeMsg() {}
 
 type homeState struct {
 	cfg       Config

@@ -65,7 +65,13 @@ func Costs(outs []Outcome) []Cost {
 // conflated distributions even sequentially. Grids that record build
 // one Instance (and recorder) per cell (as analysis.PerfExperiment does).
 func Grid(instances []Instance, protocols ...Protocol) []Cell {
-	seen := make(map[stats.Recorder]bool)
+	// seen is a slice scan, not a map: instance counts are tiny, the
+	// scan's order is the deterministic instance order by construction,
+	// and an interface-keyed map would be one refactor away from a
+	// nondeterministic range (and panics at insert on a non-comparable
+	// dynamic type, where == against a distinct comparable value never
+	// does).
+	var seen []stats.Recorder
 	for _, inst := range instances {
 		if inst.Recorder == nil {
 			continue
@@ -75,11 +81,13 @@ func Grid(instances []Instance, protocols ...Protocol) []Cell {
 				inst.Label, len(protocols)))
 		}
 		if reflect.TypeOf(inst.Recorder).Comparable() {
-			if seen[inst.Recorder] {
-				panic(fmt.Sprintf("engine: Grid instances share one Recorder (seen again at %q); give each instance its own",
-					inst.Label))
+			for _, r := range seen {
+				if r == inst.Recorder {
+					panic(fmt.Sprintf("engine: Grid instances share one Recorder (seen again at %q); give each instance its own",
+						inst.Label))
+				}
 			}
-			seen[inst.Recorder] = true
+			seen = append(seen, inst.Recorder)
 		}
 	}
 	cells := make([]Cell, 0, len(instances)*len(protocols))

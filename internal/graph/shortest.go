@@ -1,5 +1,6 @@
 package graph
 
+//arrow:allow schedorder Dijkstra's priority queue orders graph distances, not simulator events
 import "container/heap"
 
 // ShortestFrom returns the single-source shortest-path distances dG(src, ·)

@@ -1,0 +1,25 @@
+// Package dirfix exercises the directive validator: malformed
+// directives are findings, well-formed ones are not.
+package dirfix
+
+//arrow:frobnicate nonsense verb — want `unknown arrowlint directive arrow:frobnicate`
+var a = 1
+
+//arrow:allow notacheck the check name is bogus so this is a finding — want `arrow:allow references unknown check "notacheck"`
+var b = 2
+
+// want+2 `arrow:allow determinism needs a reason`
+//
+//arrow:allow determinism
+var c = 3
+
+// want+2 `arrow:allow needs a check name and a reason`
+//
+//arrow:allow
+var d = 4
+
+//arrow:allow determinism a well-formed allow with a reason is fine
+var e = 5
+
+//arrow:deterministic
+var f = 6

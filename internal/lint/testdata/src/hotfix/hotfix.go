@@ -1,0 +1,80 @@
+// Package hotfix exercises the hotpath analyzer: each annotated
+// function commits one of the four allocation sins, and the clean
+// variants prove the exemptions (panic formatting, pre-sized slices,
+// pointer-shaped interface values).
+package hotfix
+
+import "fmt"
+
+//arrow:hotpath
+func Fmt(x int) {
+	fmt.Println(x) // want `fmt\.Println in hotpath Fmt`
+}
+
+//arrow:hotpath
+func Closure(x int) func() int {
+	return func() int { return x } // want `capturing closure in hotpath Closure`
+}
+
+//arrow:hotpath
+func Box(x int) any {
+	return x // want `int value boxed into interface in hotpath Box`
+}
+
+//arrow:hotpath
+func Grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to unsized local slice out in hotpath Grow`
+	}
+	return out
+}
+
+// Presized allocates once up front and only panics on the cold path:
+// no findings.
+//
+//arrow:hotpath
+func Presized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	if len(out) != len(xs) {
+		panic(fmt.Sprintf("hotfix: lost %d elements", len(xs)-len(out)))
+	}
+	return out
+}
+
+// PointerShaped returns a pointer through an interface: the iface word
+// holds the pointer directly, no allocation, no finding.
+//
+//arrow:hotpath
+func PointerShaped(p *int) any {
+	return p
+}
+
+// NonCapturing uses a closure that touches nothing from the enclosing
+// frame: nothing escapes, no finding.
+//
+//arrow:hotpath
+func NonCapturing() func() int {
+	return func() int { return 42 }
+}
+
+// Amortized proves decl-scoped suppression of an intentional unsized
+// grow (the freelist idiom).
+//
+//arrow:allow hotpath fixture: amortized freelist growth, measured zero-alloc at steady state
+//arrow:hotpath
+func Amortized(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want:allowed `append to unsized local slice out`
+	}
+	return out
+}
+
+func cold() {
+	//arrow:hotpath misplaced, does nothing here — want `arrow:hotpath must be in the doc comment of a function declaration`
+	_ = 0
+}

@@ -1,0 +1,92 @@
+// Package msgfix exercises the msgswitch analyzer: a marker-method
+// message family with an incomplete and a complete type switch, and a
+// declared enum with an incomplete and a complete value switch.
+package msgfix
+
+type wireMsg interface{ isWireMsg() }
+
+type pingMsg struct{ seq int }
+type pongMsg struct{ seq int }
+type ackMsg struct{ seq int }
+
+func (pingMsg) isWireMsg() {}
+func (pongMsg) isWireMsg() {}
+func (ackMsg) isWireMsg()  {}
+
+// incomplete forgets ackMsg; the default clause does not excuse it.
+func incomplete(m wireMsg) int {
+	switch m.(type) { // want `type switch over message family wireMsg is missing cases for ackMsg`
+	case pingMsg:
+		return 1
+	case pongMsg:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func complete(m wireMsg) int {
+	switch v := m.(type) {
+	case pingMsg:
+		return v.seq
+	case pongMsg:
+		return v.seq
+	case ackMsg:
+		return v.seq
+	}
+	return 0
+}
+
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseBusy
+	phaseDone
+)
+
+func enumIncomplete(p phase) string {
+	switch p { // want `switch over enum phase is missing cases for phaseDone`
+	case phaseIdle:
+		return "idle"
+	case phaseBusy:
+		return "busy"
+	}
+	return "?"
+}
+
+func enumComplete(p phase) string {
+	switch p {
+	case phaseIdle:
+		return "idle"
+	case phaseBusy:
+		return "busy"
+	case phaseDone:
+		return "done"
+	}
+	return "?"
+}
+
+// enumAllowed proves decl-scoped suppression for a deliberate partial
+// dispatch.
+//
+//arrow:allow msgswitch fixture: phaseDone handled by the caller's fallthrough
+func enumAllowed(p phase) string {
+	switch p { // want:allowed `switch over enum phase is missing cases for phaseDone`
+	case phaseIdle:
+		return "idle"
+	case phaseBusy:
+		return "busy"
+	}
+	return "?"
+}
+
+// rangeStyle switches on non-constant cases: not an enum dispatch, no
+// finding.
+func rangeStyle(p phase, cut phase) string {
+	switch p {
+	case cut:
+		return "cut"
+	}
+	return "?"
+}

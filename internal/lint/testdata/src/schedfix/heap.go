@@ -1,0 +1,3 @@
+package schedfix
+
+import _ "container/heap" // want `container/heap in deterministic package schedfix`

@@ -1,0 +1,66 @@
+// Package schedfix exercises the schedorder analyzer against the
+// fixture sim package: direct construction of scheduler-owned types,
+// context stores that outlive the handler call, and wall-clock timers
+// in a deterministic package.
+//
+//arrow:deterministic
+package schedfix
+
+import (
+	"time"
+
+	"sim"
+)
+
+type node struct {
+	id  int
+	ctx *sim.Context
+}
+
+var saved *sim.Context
+
+func construct() *sim.Simulator {
+	return &sim.Simulator{} // want `direct construction of sim\.Simulator outside internal/sim`
+}
+
+func allocate() *sim.Context {
+	return new(sim.Context) // want `direct construction of sim\.Context outside internal/sim`
+}
+
+func stash(n *node, c *sim.Context) {
+	n.ctx = c // want `storing \*sim\.Context in a field`
+}
+
+func stashGlobal(c *sim.Context) {
+	saved = c // want `storing \*sim\.Context in package variable saved`
+}
+
+func stashSlice(dst []*sim.Context, c *sim.Context) {
+	dst[0] = c // want `storing \*sim\.Context in a container`
+}
+
+func stashChan(ch chan *sim.Context, c *sim.Context) {
+	ch <- c // want `sending \*sim\.Context on a channel`
+}
+
+func stashLit(c *sim.Context) node {
+	return node{id: 1, ctx: c} // want `storing \*sim\.Context in a composite literal`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in deterministic package schedfix`
+}
+
+// sanctioned goes through the sim API and only uses the context inside
+// the handler frame: no findings.
+func sanctioned() int64 {
+	s := sim.New(8)
+	return s.Ctx().Now()
+}
+
+// watchdog proves decl-scoped suppression of a wall-clock timer.
+//
+//arrow:allow schedorder fixture: coarse watchdog outside the event loop
+func watchdog() {
+	time.Sleep(time.Second) // want:allowed `wall-clock time\.Sleep`
+}

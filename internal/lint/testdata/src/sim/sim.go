@@ -1,0 +1,16 @@
+// Package sim is the fixture stand-in for the scheduler package.
+// schedorder recognizes scheduler-owned types by package name, so this
+// fixture exercises the exact code path the real internal/sim takes:
+// construction in here is sanctioned, construction anywhere else is a
+// finding.
+package sim
+
+type Simulator struct{ n int }
+
+type Context struct{ now int64 }
+
+func New(n int) *Simulator { return &Simulator{n: n} }
+
+func (s *Simulator) Ctx() *Context { return &Context{} }
+
+func (c *Context) Now() int64 { return c.now }

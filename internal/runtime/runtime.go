@@ -37,6 +37,11 @@ type Options struct {
 	// HopDelay, if positive, delays each message hop to emulate network
 	// latency in demonstrations.
 	HopDelay time.Duration
+	// Clock supplies Completion.At timestamps; nil defaults to time.Now.
+	// Tests inject a fixed clock here so completion records compare
+	// deterministically; the live network is wall-clock by design
+	// everywhere else (see the runtime-vs-sim agreement check).
+	Clock func() time.Time
 }
 
 // Network runs the arrow protocol over a spanning tree with one goroutine
@@ -65,7 +70,10 @@ type Network struct {
 	wg      sync.WaitGroup
 }
 
-type message any
+// message is the node-loop message family. The marker method makes the
+// family checkable: arrowlint's msgswitch analyzer requires every type
+// switch over it to list all three members.
+type message interface{ isRuntimeMsg() }
 
 type queueMsg struct {
 	reqID  int64
@@ -81,6 +89,10 @@ type issueMsg struct {
 
 type stopMsg struct{}
 
+func (queueMsg) isRuntimeMsg() {}
+func (issueMsg) isRuntimeMsg() {}
+func (stopMsg) isRuntimeMsg()  {}
+
 type node struct {
 	id      graph.NodeID
 	link    graph.NodeID
@@ -95,6 +107,9 @@ func New(t *tree.Tree, root graph.NodeID, opts Options) *Network {
 	n := t.NumNodes()
 	if int(root) < 0 || int(root) >= n {
 		panic(fmt.Sprintf("runtime: root %d out of range", root))
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
 	}
 	net := &Network{
 		t:           t,
@@ -342,7 +357,7 @@ func (nd *node) initiate(msg issueMsg) {
 		pred := nd.lastReq
 		nd.lastReq = msg.reqID
 		nd.complete(Completion{
-			ReqID: msg.reqID, PredID: pred, Origin: nd.id, Sink: nd.id, At: time.Now(),
+			ReqID: msg.reqID, PredID: pred, Origin: nd.id, Sink: nd.id, At: nd.net.opts.Clock(),
 		})
 		return
 	}
@@ -368,7 +383,7 @@ func (nd *node) pathReversal(msg queueMsg) {
 		Origin: msg.origin,
 		Sink:   nd.id,
 		Hops:   msg.hops,
-		At:     time.Now(),
+		At:     nd.net.opts.Clock(),
 	})
 }
 

@@ -169,6 +169,11 @@ func (s *Simulator) runParallel() Time {
 						panic(fmt.Sprintf("sim: message for node %d with no handler", e.to))
 					}
 					h(ctx, e.to, e.from, e.msg)
+				case evTimer, evFault:
+					// The serialOnly probe routed every batch containing
+					// these to the serial dispatch above; reaching here
+					// means the routing broke, not the protocol.
+					panic("sim: serial-only event kind in parallel batch")
 				}
 			}
 		})

@@ -97,6 +97,10 @@ type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool { return h[i].before(&h[j]) }
 
+// push sift-ups into the value-typed heap; the append is the amortized
+// backing-array grow, zero-alloc at steady state.
+//
+//arrow:hotpath heap-scheduler enqueue
 func (h *eventHeap) push(e event) {
 	*h = append(*h, e)
 	a := *h
@@ -111,6 +115,7 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+//arrow:hotpath sift-down on the value-typed heap
 func (h *eventHeap) pop() event {
 	a := *h
 	n := len(a) - 1
@@ -227,6 +232,8 @@ func (q *ladderQueue) init(arb Arbitration) {
 
 // alloc returns a free arena slot, growing the arena at a new pending
 // peak.
+//
+//arrow:hotpath one slot per enqueue; the arena append grows only at a new pending peak
 func (q *ladderQueue) alloc() int32 {
 	if s := q.free; s != nilSlot {
 		q.free = q.arena[s].next
@@ -236,6 +243,7 @@ func (q *ladderQueue) alloc() int32 {
 	return int32(len(q.arena) - 1)
 }
 
+//arrow:hotpath O(1) enqueue: tick bucket or overflow heap
 func (q *ladderQueue) push(e *event) {
 	if e.at < q.base {
 		panic("sim: scheduling into the past")
@@ -252,6 +260,8 @@ func (q *ladderQueue) push(e *event) {
 // pushes (which see arbitration-specific placement) from refill pours,
 // which always append: the overflow heap emits each tick's events in
 // ascending (pri, seq) order already.
+//
+//arrow:hotpath list-link into the tick bucket
 func (q *ladderQueue) bucketPush(e *event, direct bool) {
 	idx := int(e.at) & ringMask
 	b := &q.ring[idx]
@@ -277,6 +287,9 @@ func (q *ladderQueue) bucketPush(e *event, direct bool) {
 				q.insertSorted(b, s)
 				return
 			}
+		case ArbFIFO:
+			// Largest seq pops last: the tail append below is already
+			// FIFO placement.
 		}
 	}
 	q.arena[s].next = nilSlot
@@ -329,6 +342,8 @@ func (q *ladderQueue) prepareRandom(b *tickBucket) {
 
 // pop writes the earliest pending event into out, avoiding intermediate
 // copies of the (several-word) event struct on the hottest path.
+//
+//arrow:hotpath O(1) dequeue
 func (q *ladderQueue) pop(out *event) bool {
 	if q.size == 0 {
 		return false

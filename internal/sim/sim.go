@@ -354,6 +354,8 @@ func (c *Context) Shard() int { return c.shard }
 
 // Send transmits msg from u to v. The pair must be connected in the
 // topology. Delivery preserves per-link FIFO order.
+//
+//arrow:hotpath every protocol message crosses here (BenchmarkSimSendDispatch)
 func (c *Context) Send(u, v graph.NodeID, msg Message) {
 	if c.buf != nil {
 		c.buf.add(emitOp{idx: c.buf.idx, kind: opSend, u: u, v: v, msg: msg})
@@ -375,6 +377,8 @@ func (c *Context) After(d Time, fn TimerFunc) {
 // the simulator's registered TimerHandler. Unlike After it captures no
 // closure: the hot-path timer of a closed-loop run costs zero
 // allocations.
+//
+//arrow:hotpath the closed loop's per-completion timer
 func (c *Context) AfterNode(d Time, v graph.NodeID) {
 	if c.buf != nil {
 		c.buf.add(emitOp{idx: c.buf.idx, kind: opNodeTimer, t: c.s.now + d, v: v})
@@ -389,6 +393,8 @@ func (c *Context) AfterNode(d Time, v graph.NodeID) {
 // is deferred to the serial replay, which keeps the histogram's
 // accumulation order — and hence its floating-point mean/variance —
 // bit-identical to a serial run.
+//
+//arrow:hotpath runs once per completed request
 func (c *Context) RecordRequest(rec stats.Recorder, latency int64, hops int) {
 	if rec == nil {
 		return
@@ -414,6 +420,10 @@ func (c *Context) Rand() *rand.Rand {
 	return c.s.rng
 }
 
+// send is the serial-path delivery: fault gating, latency lookup, and
+// the event push.
+//
+//arrow:hotpath one call per message on the serial drain
 func (s *Simulator) send(u, v graph.NodeID, msg Message) {
 	w, ok := s.cfg.Topology.Latency(u, v)
 	if !ok {
@@ -514,10 +524,15 @@ func (s *Simulator) ScheduleNodeAt(t Time, v graph.NodeID) {
 	s.push(event{at: t, kind: evNodeTimer, to: v})
 }
 
+//arrow:hotpath timer scheduling rides the same event push as sends
 func (s *Simulator) scheduleTimer(t Time, fn TimerFunc) {
 	s.push(event{at: t, kind: evTimer, fn: fn})
 }
 
+// push stamps the event's (pri, seq) arbitration order and hands it to
+// the active queue implementation.
+//
+//arrow:hotpath every event enqueue lands here
 func (s *Simulator) push(e event) {
 	s.seq++
 	e.seq = s.seq
@@ -568,6 +583,9 @@ func (s *Simulator) Run() Time {
 
 // dispatch routes one already-clocked event to its handler. Shared by
 // the serial loop and the parallel drain's serial-fallback path.
+// dispatch routes one popped event to its handler.
+//
+//arrow:hotpath every event dequeue lands here
 func (s *Simulator) dispatch(ctx *Context, e *event) {
 	switch e.kind {
 	case evTimer:

@@ -169,6 +169,18 @@ type (
 	}
 )
 
+// repairMsg is the repair protocol's message family; the marker method
+// lets arrowlint's msgswitch analyzer check switch exhaustiveness
+// (Owns and Handle below must each list every member).
+type repairMsg interface{ isRepairMsg() }
+
+func (*probeMsg) isRepairMsg()  {}
+func (*waveMsg) isRepairMsg()   {}
+func (*regionMsg) isRepairMsg() {}
+func (*claimMsg) isRepairMsg()  {}
+func (*grantMsg) isRepairMsg()  {}
+func (*tokenMsg) isRepairMsg()  {}
+
 // NewEngine builds an engine repairing links (in place) over tree t.
 func NewEngine(t *tree.Tree, links []graph.NodeID, cfg EngineConfig) *Engine {
 	n := t.NumNodes()

@@ -30,8 +30,8 @@ package stabilize
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/det"
 	"repro/internal/graph"
 	"repro/internal/tree"
 )
@@ -236,12 +236,9 @@ func electBoundaryIssuers(t *tree.Tree, links []graph.NodeID, sinkOf []graph.Nod
 			}
 		}
 	}
-	// Deterministic issue order keeps runs reproducible.
-	regions := make([]graph.NodeID, 0, len(best))
-	for r := range best {
-		regions = append(regions, r)
-	}
-	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	// Deterministic issue order keeps runs reproducible: sorted keys,
+	// never raw map order (TestMergeTokenOrderPinned pins this).
+	regions := det.SortedKeys(best)
 	var tokens []mergeToken
 	for _, r := range regions {
 		c := best[r]

@@ -185,3 +185,43 @@ func TestSinks(t *testing.T) {
 		t.Errorf("sinks = %v, want [0 2]", s)
 	}
 }
+
+// TestMergeTokenOrderPinned pins the merge-token issue order that
+// electBoundaryIssuers promises: tokens come out in ascending region-sink
+// order (det.SortedKeys over the candidate map), never in raw map order.
+// Five three-node regions on a path give 4! = 24 possible raw orders, so a
+// regression to map iteration fails this test almost immediately.
+func TestMergeTokenOrderPinned(t *testing.T) {
+	tr := tree.PathTree(15)
+	// Five regions of three nodes each, sinks at 2, 5, 8, 11, 14.
+	links := make([]graph.NodeID, 15)
+	for v := range links {
+		if v%3 == 2 {
+			links[v] = graph.NodeID(v) // sink
+		} else {
+			links[v] = graph.NodeID(v + 1) // points up-path toward its sink
+		}
+	}
+	sinkOf, _ := regionWave(tr, links)
+	tokens, merges := electBoundaryIssuers(tr, links, sinkOf)
+	if merges != 4 {
+		t.Fatalf("merges = %d, want 4 (every region but the minimal one)", merges)
+	}
+	// Each non-minimal region's boundary issuer is its down-path node
+	// 3k, redirected across to 3k-1; its token starts at the old link
+	// target 3k+1 with the flip aimed back at 3k.
+	want := []mergeToken{{at: 4, from: 3}, {at: 7, from: 6}, {at: 10, from: 9}, {at: 13, from: 12}}
+	if len(tokens) != len(want) {
+		t.Fatalf("tokens = %v, want %v", tokens, want)
+	}
+	for i := range want {
+		if tokens[i] != want[i] {
+			t.Fatalf("token[%d] = %+v, want %+v (issue order must be sorted by region sink)", i, tokens[i], want[i])
+		}
+	}
+	for _, issuer := range []int{3, 6, 9, 12} {
+		if links[issuer] != graph.NodeID(issuer-1) {
+			t.Errorf("issuer %d redirected to %d, want %d (across the boundary)", issuer, links[issuer], issuer-1)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	//arrow:allow schedorder Prim/Dijkstra priority queues order graph edges, not simulator events
 	"container/heap"
 	"sort"
 
