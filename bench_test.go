@@ -19,9 +19,11 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ivy"
+	"repro/internal/loop"
 	"repro/internal/opt"
 	"repro/internal/queuing"
 	"repro/internal/runtime"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/stabilize"
 	"repro/internal/stats"
@@ -39,7 +41,7 @@ func BenchmarkFig10Arrow(b *testing.B) {
 			t := tree.BalancedBinary(n)
 			var makespan sim.Time
 			for i := 0; i < b.N; i++ {
-				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: 500})
+				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Spec: loop.Spec{PerNode: 500}, Root: 0})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -58,7 +60,7 @@ func BenchmarkFig10Centralized(b *testing.B) {
 			g := graph.Complete(n)
 			var makespan sim.Time
 			for i := 0; i < b.N; i++ {
-				res, err := centralized.RunClosedLoop(g, centralized.LoopConfig{Center: 0, PerNode: 500})
+				res, err := centralized.RunClosedLoop(g, centralized.LoopConfig{Spec: loop.Spec{PerNode: 500}, Center: 0})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -77,7 +79,7 @@ func BenchmarkFig11Hops(b *testing.B) {
 			t := tree.BalancedBinary(n)
 			var hops float64
 			for i := 0; i < b.N; i++ {
-				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: 500})
+				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Spec: loop.Spec{PerNode: 500}, Root: 0})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -173,7 +175,7 @@ func BenchmarkArrowProtocolStep(b *testing.B) {
 			perNode := 16
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: perNode}); err != nil {
+				if _, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Spec: loop.Spec{PerNode: perNode}, Root: 0}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -260,7 +262,7 @@ func BenchmarkBaselines(b *testing.B) {
 		Graph:    graph.Complete(n),
 		Tree:     tree.BalancedBinary(n),
 		Root:     0,
-		Workload: engine.Static(workload.Poisson(n, 1.0, 200, 1)),
+		Workload: engine.NewStatic(workload.Poisson(n, 1.0, 200, 1)).MustBuild(),
 	}
 	for _, p := range []engine.Protocol{
 		engine.Arrow{}, engine.NTA{}, engine.Centralized{}, engine.Ivy{},
@@ -285,7 +287,7 @@ func BenchmarkBaselinesClosedLoop(b *testing.B) {
 		Graph:    graph.Complete(n),
 		Tree:     tree.BalancedBinary(n),
 		Root:     0,
-		Workload: engine.ClosedLoop(perNode, 0),
+		Workload: engine.NewClosedLoop(perNode).MustBuild(),
 	}
 	for _, p := range []engine.Protocol{
 		engine.Arrow{}, engine.NTA{}, engine.Centralized{}, engine.Ivy{},
@@ -403,9 +405,7 @@ func BenchmarkClosedLoopObserved(b *testing.B) {
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := arrow.RunClosedLoop(t, arrow.LoopConfig{
-					Root: 0, PerNode: perNode, Recorder: c.rec,
-				}); err != nil {
+				if _, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Spec: loop.Spec{PerNode: perNode, Recorder: c.rec}, Root: 0}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -429,7 +429,7 @@ func BenchmarkClosedLoopScale10k(b *testing.B) {
 	var events int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: perNode})
+		res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Spec: loop.Spec{PerNode: perNode}, Root: 0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -460,9 +460,7 @@ func benchClosedLoopScale(b *testing.B, n, perNode int) {
 			var events int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{
-					Root: 0, PerNode: perNode, Workers: workers,
-				})
+				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Spec: loop.Spec{PerNode: perNode, Workers: workers}, Root: 0})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -664,7 +662,7 @@ func BenchmarkChurnRecovery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: 30, Faults: plan})
+		res, err = arrow.RunClosedLoop(t, arrow.LoopConfig{Spec: loop.Spec{PerNode: 30, Faults: plan}, Root: 0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -675,4 +673,38 @@ func BenchmarkChurnRecovery(b *testing.B) {
 	b.ReportMetric(float64(res.RepairMessages), "repair-msgs")
 	b.ReportMetric(float64(res.RepairTime), "repair-time")
 	b.ReportMetric(float64(res.Reissued), "reissued")
+}
+
+// BenchmarkShardClosedLoop measures the multi-object shard driver — the
+// hot issue/forward path shared by all four protocol steppers — with k
+// arrow instances contending on one capacity-1 complete network. The
+// reported ops/s is completed requests over wall clock; run with
+// -benchmem to watch the driver's flat per-run allocation profile.
+func BenchmarkShardClosedLoop(b *testing.B) {
+	const n, perNode = 32, 16
+	for _, k := range []int{16, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			topo := sim.NewCompleteTopology(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step, err := arrow.NewShardForest(n, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := shard.Run(topo, step, "arrow", shard.Spec{
+					Spec:    loop.Spec{PerNode: perNode, Seed: 1, LinkTxTime: 1},
+					Objects: k,
+					Skew:    1.1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Agg.Requests != n*perNode {
+					b.Fatalf("completed %d requests, want %d", res.Agg.Requests, n*perNode)
+				}
+			}
+			b.ReportMetric(float64(n*perNode)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
 }

@@ -22,6 +22,7 @@
 //	arrowbench -exp stabilize    # self-stabilization: round oracle vs message-driven repair
 //	arrowbench -exp churn        # dynamic topology: availability/latency vs fault rate, all protocols
 //	arrowbench -exp scale        # million-node tier: implicit topologies, bytes/node, events/s
+//	arrowbench -exp shard        # multi-object sharding: k objects on one shared capacity-1 network
 //	arrowbench -exp all          # everything above except scale (opt in: minutes of runtime)
 //
 // The -pernode, -seed and -sizes flags scale the Section 5 experiments;
@@ -46,6 +47,17 @@
 // -workers selects the tick-windowed intra-run drain (results are
 // bit-identical at any count). With -json it emits the versioned
 // arrowbench/scale document.
+//
+// -exp shard is the multi-object tier: every protocol serving k
+// independent objects on one shared 32-node network with per-link
+// capacity 1, across an objects × Zipf-skew grid (default k in
+// {16, 128, 1024}, skew in {0, 1.1}; override the object counts with
+// -objects). Each row reports the aggregate cost of the combined
+// traffic plus a fairness summary across objects. Its per-node default
+// is 250 requests unless -pernode is passed explicitly, and -workers
+// fans both the sweep and each run's drain — the output, including the
+// versioned arrowbench/shard JSON document under -json, is
+// byte-identical at any worker count.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the
 // selected experiment (the memory profile is written at exit, after a
@@ -89,6 +101,7 @@ func main() {
 	perNode := flag.Int("pernode", 2000, "closed-loop requests per node (paper: 100000)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	sizes := flag.String("sizes", "2,4,8,16,24,32,48,64,76", "comma-separated node counts for fig10/fig11 and baselines")
+	objects := flag.String("objects", "", "comma-separated object counts for -exp shard (default 16,128,1024)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
@@ -169,12 +182,27 @@ func main() {
 			}
 			return runScale(cfg)
 		},
+		"shard": func() error {
+			cfg := analysis.ShardConfig{Seed: *seed, Workers: *workers, PerNode: 250}
+			if perNodeSet {
+				cfg.PerNode = *perNode
+			}
+			if *objects != "" {
+				ks, err := parseSizes(*objects)
+				if err != nil {
+					return err
+				}
+				cfg.Objects = ks
+			}
+			return runShard(cfg)
+		},
 	}
 	if *exp == "all" {
 		order := []string{
 			"fig10", "fig11", "lowerbound", "adversarial", "ratio", "sequential",
 			"trees", "arbitration", "async", "stretch", "nnapprox", "baselines",
 			"perf", "oneshot", "directory", "commtree", "stabilize", "churn",
+			"shard",
 		}
 		for _, name := range order {
 			if name == "fig10" {
@@ -362,7 +390,7 @@ func runBaselines(ns []int, perNode int, seed int64, workers int) error {
 		Graph:    g,
 		Tree:     t,
 		Root:     0,
-		Workload: engine.Static(set),
+		Workload: engine.NewStatic(set).MustBuild(),
 		Seed:     seed,
 	}
 	cells := engine.Grid([]engine.Instance{inst},
@@ -420,6 +448,22 @@ func runScale(cfg analysis.ScaleConfig) error {
 		return emitDoc(analysis.ScaleDocument(cfg, rows))
 	}
 	emit(analysis.ScaleTable(rows))
+	return nil
+}
+
+// runShard runs the multi-object sharding tier: k protocol instances on
+// one shared capacity-1 network, across an objects × skew grid. With
+// -json it emits the versioned arrowbench/shard document, byte-identical
+// at any -workers count.
+func runShard(cfg analysis.ShardConfig) error {
+	rows, err := analysis.ShardExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitDoc(analysis.ShardDocument(cfg, rows))
+	}
+	emit(analysis.ShardTable(rows))
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/arrow"
 	"repro/internal/graph"
+	"repro/internal/loop"
 	"repro/internal/queuing"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -129,9 +130,8 @@ func runChaos(w io.Writer) error {
 	fmt.Fprintln(w, "Chaos episode: 6-node path, closed loop (3 reqs/node), link v2--v3 fails at t=4, heals at t=25")
 	fmt.Fprintln(w)
 	res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{
+		Spec:           loop.Spec{PerNode: 3, Faults: plan},
 		Root:           0,
-		PerNode:        3,
-		Faults:         plan,
 		FaultObserver:  log.OnFault,
 		RepairObserver: log.OnRepair,
 	})

@@ -22,6 +22,7 @@ var hotpathBenchmarks = map[string][]string{
 	"repro/internal/arrow":       {"BenchmarkClosedLoopObserved"},
 	"repro/internal/loop":        {"BenchmarkBaselinesClosedLoop"},
 	"repro/internal/centralized": {"BenchmarkBaselinesClosedLoop"},
+	"repro/internal/shard":       {"BenchmarkShardClosedLoop"},
 }
 
 // modulePath is the import-path prefix for packages under the repo root.

@@ -85,6 +85,7 @@ func TestCheckHotpathCoverageClean(t *testing.T) {
 		"BenchmarkSimSendDispatch/star-8 100 10 ns/op 0 B/op 0 allocs/op",
 		"BenchmarkClosedLoopObserved/none-8 100 10 ns/op",
 		"BenchmarkBaselinesClosedLoop/arrow-8 100 10 ns/op",
+		"BenchmarkShardClosedLoop/k=16-8 100 10 ns/op",
 	)
 	if err := checkHotpathCoverage(root, bench); err != nil {
 		t.Fatalf("clean tree flagged: %v", err)
@@ -96,6 +97,7 @@ func TestCheckHotpathCoverageMissingBenchmark(t *testing.T) {
 	bench := writeBenchFile(t,
 		"BenchmarkSimSendDispatch/star-8 100 10 ns/op",
 		"BenchmarkBaselinesClosedLoop/arrow-8 100 10 ns/op",
+		"BenchmarkShardClosedLoop/k=16-8 100 10 ns/op",
 		// BenchmarkClosedLoopObserved dropped from the sweep.
 	)
 	err := checkHotpathCoverage(root, bench)
@@ -118,6 +120,7 @@ func TestCheckHotpathCoverageUnmappedPackage(t *testing.T) {
 		"BenchmarkSimSendDispatch/star-8 100 10 ns/op",
 		"BenchmarkClosedLoopObserved/none-8 100 10 ns/op",
 		"BenchmarkBaselinesClosedLoop/arrow-8 100 10 ns/op",
+		"BenchmarkShardClosedLoop/k=16-8 100 10 ns/op",
 	)
 	err := checkHotpathCoverage(root, bench)
 	if err == nil || !strings.Contains(err.Error(), "repro/internal/rogue") {
@@ -136,6 +139,7 @@ func TestCheckHotpathCoverageStaleManifestEntry(t *testing.T) {
 		"BenchmarkSimSendDispatch/star-8 100 10 ns/op",
 		"BenchmarkClosedLoopObserved/none-8 100 10 ns/op",
 		"BenchmarkBaselinesClosedLoop/arrow-8 100 10 ns/op",
+		"BenchmarkShardClosedLoop/k=16-8 100 10 ns/op",
 	)
 	err := checkHotpathCoverage(root, bench)
 	if err == nil || !strings.Contains(err.Error(), "no //arrow:hotpath annotations left") {

@@ -38,13 +38,23 @@
 //     regressions of the memory property are pinned by the repo's own
 //     TestScaleBytesPerNodeFlat instead.
 //
+//   - -shard FILE: structurally validate an arrowbench/shard document
+//     (`arrowbench -exp shard -json`): schema match, non-empty rows,
+//     positive counts, per-row conservation (every object's request
+//     share summing through the fairness bounds), and ordered fairness
+//     extremes (min <= p99 <= max). Shard metrics are fully simulated
+//     and deterministic; the cross-worker byte-identity of the document
+//     itself is pinned by the repo's TestShardDocumentWorkerIdentity,
+//     so this gate checks the shape CI captured as an artifact.
+//
 // Usage (what CI runs):
 //
 //	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | tee bench.txt
 //	go test -run '^$' -bench BenchmarkSimSendDispatch -benchtime 200000x -benchmem . | tee -a bench.txt
 //	arrowbench -exp perf -json -sizes 64,76 -pernode 500 -seed 1 > BENCH_perf.ci.json
 //	arrowbench -exp scale -json -sizes 2000,5000 -pernode 20 -seed 1 > BENCH_scale.ci.json
-//	benchcheck -bench bench.txt -hotpath . -baseline BENCH_perf.json -current BENCH_perf.ci.json -scale BENCH_scale.ci.json
+//	arrowbench -exp shard -json -pernode 50 -seed 1 > BENCH_shard.ci.json
+//	benchcheck -bench bench.txt -hotpath . -baseline BENCH_perf.json -current BENCH_perf.ci.json -scale BENCH_scale.ci.json -shard BENCH_shard.ci.json
 package main
 
 import (
@@ -69,6 +79,7 @@ func main() {
 	basePath := flag.String("baseline", "", "committed arrowbench/perf baseline document")
 	curPath := flag.String("current", "", "freshly generated arrowbench/perf document")
 	scalePath := flag.String("scale", "", "arrowbench/scale document to validate structurally")
+	shardPath := flag.String("shard", "", "arrowbench/shard document to validate structurally")
 	hotpathRoot := flag.String("hotpath", "", "repo root to cross-check //arrow:hotpath annotations against the bench output (requires -bench)")
 	tol := flag.Float64("tol", 0.20, "allowed relative regression of pinned metrics")
 	flag.Parse()
@@ -77,8 +88,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck: -hotpath needs -bench to know which benchmarks ran")
 		os.Exit(2)
 	}
-	if *benchPath == "" && *scalePath == "" && (*basePath == "" || *curPath == "") {
-		fmt.Fprintln(os.Stderr, "benchcheck: nothing to do; pass -bench, -scale and/or -baseline with -current")
+	if *benchPath == "" && *scalePath == "" && *shardPath == "" && (*basePath == "" || *curPath == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: nothing to do; pass -bench, -scale, -shard and/or -baseline with -current")
 		os.Exit(2)
 	}
 	failed := false
@@ -132,9 +143,73 @@ func main() {
 			fmt.Printf("benchcheck: scale document %s is well-formed\n", *scalePath)
 		}
 	}
+	if *shardPath != "" {
+		if err := checkShardFile(*shardPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("benchcheck: shard document %s is well-formed\n", *shardPath)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkShardFile validates an arrowbench/shard document: right schema,
+// non-empty rows, positive counts, conservation of each row's requests
+// against its fairness bounds, and ordered fairness extremes. All shard
+// metrics are simulated and deterministic, but this gate still checks
+// only invariants, not values — value changes are deliberate baseline
+// updates, not CI failures.
+func checkShardFile(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc analysis.ShardDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if doc.Schema != analysis.ShardSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, analysis.ShardSchema)
+	}
+	if len(doc.Rows) == 0 {
+		return fmt.Errorf("%s: no rows", path)
+	}
+	for i, r := range doc.Rows {
+		id := fmt.Sprintf("%s row %d (%s/k=%d/s=%g)", path, i, r.Protocol, r.Objects, r.Skew)
+		if r.Protocol == "" {
+			return fmt.Errorf("%s row %d: missing protocol", path, i)
+		}
+		if r.N <= 0 || r.Objects <= 0 || r.Requests <= 0 || r.Events <= 0 {
+			return fmt.Errorf("%s: non-positive n/objects/requests/events (%d/%d/%d/%d)",
+				id, r.N, r.Objects, r.Requests, r.Events)
+		}
+		if r.Requests != int64(r.N)*int64(r.PerNode) {
+			return fmt.Errorf("%s: %d requests completed, workload issued %d",
+				id, r.Requests, int64(r.N)*int64(r.PerNode))
+		}
+		if r.Latency.Count != r.Requests {
+			return fmt.Errorf("%s: latency distribution counted %d of %d requests",
+				id, r.Latency.Count, r.Requests)
+		}
+		f := r.Fairness
+		if f.Objects != r.Objects {
+			return fmt.Errorf("%s: fairness ranges over %d objects", id, f.Objects)
+		}
+		if f.MinRequests > f.MaxRequests ||
+			f.MinRequests*int64(f.Objects) > r.Requests ||
+			f.MaxRequests*int64(f.Objects) < r.Requests {
+			return fmt.Errorf("%s: fairness request bounds [%d, %d] cannot partition %d requests over %d objects",
+				id, f.MinRequests, f.MaxRequests, r.Requests, f.Objects)
+		}
+		if f.MinAvgLatency > f.P99AvgLatency || f.P99AvgLatency > f.MaxAvgLatency {
+			return fmt.Errorf("%s: fairness latency extremes unordered (min %g, p99 %g, max %g)",
+				id, f.MinAvgLatency, f.P99AvgLatency, f.MaxAvgLatency)
+		}
+	}
+	return nil
 }
 
 // checkScaleFile validates an arrowbench/scale document's shape: right

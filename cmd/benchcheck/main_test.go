@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -166,6 +170,70 @@ func TestComparePerfThroughputNotGated(t *testing.T) {
 	}
 	if msgs := comparePerf(perfDoc(), cur, 0.2); len(msgs) != 0 {
 		t.Errorf("wall-clock throughput drop flagged: %v", msgs)
+	}
+}
+
+func shardDoc() analysis.ShardDoc {
+	return analysis.ShardDoc{
+		Schema: analysis.ShardSchema,
+		Config: analysis.ShardDocConfig{N: 32, PerNode: 50, Objects: []int{16}, Skews: []float64{0}, Seed: 1, LinkTxTime: 1},
+		Rows: []analysis.ShardDocRow{
+			{
+				Protocol: "arrow", N: 32, Objects: 16, Skew: 0, PerNode: 50,
+				Requests: 1600, QueueHops: 6400, Events: 20000, Makespan: 500,
+				Latency: stats.Dist{Count: 1600, Mean: 4, P50: 4, P99: 9, Max: 12},
+				Hops:    stats.Dist{Count: 1600, Mean: 4, P50: 4, P99: 9, Max: 12},
+				Fairness: engine.Fairness{
+					Objects: 16, MinRequests: 90, MaxRequests: 110,
+					MinAvgLatency: 3.5, MaxAvgLatency: 4.5, P99AvgLatency: 4.4,
+					MinAvailability: 1, MaxAvailability: 1, P1Availability: 1,
+				},
+			},
+		},
+	}
+}
+
+// TestCheckShardFile covers the shard document's structural gate: a
+// well-formed document passes, and each invariant violation fails with
+// a message naming the broken property.
+func TestCheckShardFile(t *testing.T) {
+	write := func(t *testing.T, doc analysis.ShardDoc) string {
+		t.Helper()
+		b, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "shard.json")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := checkShardFile(write(t, shardDoc())); err != nil {
+		t.Errorf("well-formed document failed: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*analysis.ShardDoc)
+		want   string
+	}{
+		{"wrong schema", func(d *analysis.ShardDoc) { d.Schema = "arrowbench/shard/v0" }, "schema"},
+		{"no rows", func(d *analysis.ShardDoc) { d.Rows = nil }, "no rows"},
+		{"conservation", func(d *analysis.ShardDoc) { d.Rows[0].Requests = 1599 }, "issued"},
+		{"dist decoupled", func(d *analysis.ShardDoc) { d.Rows[0].Latency.Count = 7 }, "latency distribution"},
+		{"fairness objects", func(d *analysis.ShardDoc) { d.Rows[0].Fairness.Objects = 3 }, "fairness ranges"},
+		{"request bounds", func(d *analysis.ShardDoc) { d.Rows[0].Fairness.MinRequests = 101 }, "partition"},
+		{"latency extremes", func(d *analysis.ShardDoc) { d.Rows[0].Fairness.P99AvgLatency = 9 }, "unordered"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := shardDoc()
+			tc.mutate(&doc)
+			err := checkShardFile(write(t, doc))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("got %v, want error containing %q", err, tc.want)
+			}
+		})
 	}
 }
 

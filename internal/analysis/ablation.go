@@ -51,7 +51,7 @@ func TreeChoiceExperiment(n, requests int, seed int64) ([]TreeChoiceRow, error) 
 			Graph:    g,
 			Tree:     t,
 			Root:     t.Root(),
-			Workload: engine.Static(set),
+			Workload: engine.NewStatic(set).MustBuild(),
 			Seed:     seed,
 		}
 	}
@@ -128,7 +128,7 @@ func AsyncExperiment(n, requests int, scale int64, seed int64) ([]AsyncRow, erro
 			Graph:    g,
 			Tree:     t,
 			Root:     0,
-			Workload: engine.Static(sset),
+			Workload: engine.NewStatic(sset).MustBuild(),
 			Latency:  m,
 			Seed:     seed,
 		}
@@ -185,7 +185,7 @@ func ArbitrationExperiment(n int, seed int64) ([]ArbitrationRow, error) {
 			Label:       a.String(),
 			Tree:        t,
 			Root:        0,
-			Workload:    engine.Static(set),
+			Workload:    engine.NewStatic(set).MustBuild(),
 			Arbitration: a,
 			Seed:        seed,
 		}
@@ -251,7 +251,7 @@ func StretchExperiment(logDOverS int, stretches []int) ([]StretchRow, error) {
 		}
 		set := queuing.NewSet(mapped)
 		cost, err := engine.Arrow{}.Run(engine.Instance{
-			Graph: g, Tree: t, Root: 0, Workload: engine.Static(set),
+			Graph: g, Tree: t, Root: 0, Workload: engine.NewStatic(set).MustBuild(),
 		})
 		if err != nil {
 			return fmt.Errorf("analysis: stretch %d: %w", s, err)

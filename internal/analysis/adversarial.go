@@ -38,7 +38,7 @@ func AdversarialSearch(d, nReq, iterations int, seed int64) (AdversarialResult, 
 
 	score := func(set queuing.Set) (float64, error) {
 		cost, err := engine.Arrow{}.Run(engine.Instance{
-			Graph: g, Tree: t, Root: 0, Workload: engine.Static(set),
+			Graph: g, Tree: t, Root: 0, Workload: engine.NewStatic(set).MustBuild(),
 		})
 		if err != nil {
 			return 0, err

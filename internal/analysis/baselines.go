@@ -52,7 +52,7 @@ func BaselinesClosedLoopGrid(ns []int, perNode int, seed int64) []engine.Cell {
 			Graph:    graph.Complete(n),
 			Tree:     tree.BalancedBinary(n),
 			Root:     0,
-			Workload: engine.ClosedLoop(perNode, 0),
+			Workload: engine.NewClosedLoop(perNode).MustBuild(),
 			Seed:     engine.DeriveSeed(seed, i),
 		})
 	}

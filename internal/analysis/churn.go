@@ -81,7 +81,7 @@ func churnCells(n, perNode int, rates []float64, seed int64) (cells []engine.Cel
 						Graph:    g,
 						Tree:     t,
 						Root:     0,
-						Workload: engine.ClosedLoop(perNode, w.Think),
+						Workload: engine.NewClosedLoop(perNode).Think(w.Think).MustBuild(),
 						Seed:     engine.DeriveSeed(seed, i*len(workloads)+j),
 						Faults:   plan,
 						Recorder: stats.NewDistRecorder(),

@@ -44,7 +44,7 @@ func SP2Grid(ns []int, perNode int, seed int64) []engine.Cell {
 			Graph:    graph.Complete(n),
 			Tree:     tree.BalancedBinary(n),
 			Root:     0,
-			Workload: engine.ClosedLoop(perNode, 0),
+			Workload: engine.NewClosedLoop(perNode).MustBuild(),
 			Seed:     seed,
 		})
 	}
@@ -138,7 +138,7 @@ func LowerBoundSweep(logDs []int) ([]LowerBoundRow, error) {
 		g := graph.Path(inst.D + 1)
 		t := tree.PathTree(inst.D + 1)
 		cost, err := engine.Arrow{}.Run(engine.Instance{
-			Graph: g, Tree: t, Root: inst.Root, Workload: engine.Static(inst.Set),
+			Graph: g, Tree: t, Root: inst.Root, Workload: engine.NewStatic(inst.Set).MustBuild(),
 		})
 		if err != nil {
 			return fmt.Errorf("analysis: lower bound logD=%d: %w", logD, err)
@@ -219,7 +219,7 @@ func MeasureRatio(cfg RatioConfig) (RatioRow, error) {
 		Graph:    cfg.Graph,
 		Tree:     t,
 		Root:     t.Root(),
-		Workload: engine.Static(cfg.Set),
+		Workload: engine.NewStatic(cfg.Set).MustBuild(),
 		Seed:     cfg.Seed,
 	})
 	if err != nil {
@@ -332,7 +332,7 @@ func SequentialExperiment(ns []int, requests int, seed int64) ([]SequentialRow, 
 		d := t.Diameter()
 		set := workload.Sequential(n, requests, sim.Time(3*d+3), seed)
 		cost, err := engine.Arrow{}.Run(engine.Instance{
-			Graph: g, Tree: t, Root: 0, Workload: engine.Static(set),
+			Graph: g, Tree: t, Root: 0, Workload: engine.NewStatic(set).MustBuild(),
 		})
 		if err != nil {
 			return err

@@ -42,7 +42,7 @@ func OneShotExperiment(n int, rs []int, seed int64) ([]OneShotRow, error) {
 		r := rs[i]
 		set := workload.OneShot(n, r, seed+int64(r))
 		cost, err := engine.Arrow{}.Run(engine.Instance{
-			Graph: g, Tree: t, Root: 0, Workload: engine.Static(set),
+			Graph: g, Tree: t, Root: 0, Workload: engine.NewStatic(set).MustBuild(),
 		})
 		if err != nil {
 			return err

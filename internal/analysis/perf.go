@@ -92,7 +92,7 @@ func perfCells(ns []int, perNode int, seed int64) (cells []engine.Cell, names []
 						Graph:    g,
 						Tree:     t,
 						Root:     0,
-						Workload: engine.ClosedLoop(perNode, w.Think),
+						Workload: engine.NewClosedLoop(perNode).Think(w.Think).MustBuild(),
 						Latency:  w.Latency,
 						Seed:     engine.DeriveSeed(seed, i*len(workloads)+j),
 						Recorder: stats.NewDistRecorder(),

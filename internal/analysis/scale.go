@@ -9,6 +9,7 @@ import (
 	"repro/internal/arrow"
 	"repro/internal/centralized"
 	"repro/internal/ivy"
+	"repro/internal/loop"
 	"repro/internal/nta"
 	"repro/internal/sim"
 	"repro/internal/tree"
@@ -140,7 +141,7 @@ func scaleCells(cfg *ScaleConfig) []scaleCell {
 		cells = append(cells,
 			scaleCell{"arrow", "binary-tree", n, per, func() (scaleOut, error) {
 				res, err := arrow.RunClosedLoop(tree.BinaryWalker(n), arrow.LoopConfig{
-					Root: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
 				})
 				if err != nil {
 					return scaleOut{}, err
@@ -149,7 +150,7 @@ func scaleCells(cfg *ScaleConfig) []scaleCell {
 			}},
 			scaleCell{"arrow", "grid", side * side, per, func() (scaleOut, error) {
 				res, err := arrow.RunClosedLoop(tree.GridWalker(side, side), arrow.LoopConfig{
-					Root: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
 				})
 				if err != nil {
 					return scaleOut{}, err
@@ -158,7 +159,7 @@ func scaleCells(cfg *ScaleConfig) []scaleCell {
 			}},
 			scaleCell{"centralized", "complete", n, per, func() (scaleOut, error) {
 				res, err := centralized.RunClosedLoopTopo(sim.NewCompleteTopology(n), centralized.LoopConfig{
-					Center: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
 				})
 				if err != nil {
 					return scaleOut{}, err
@@ -167,7 +168,7 @@ func scaleCells(cfg *ScaleConfig) []scaleCell {
 			}},
 			scaleCell{"nta", "complete", n, per, func() (scaleOut, error) {
 				res, err := nta.RunClosedLoopTopo(sim.NewCompleteTopology(n), nta.LoopConfig{
-					Root: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
 				})
 				if err != nil {
 					return scaleOut{}, err
@@ -176,7 +177,7 @@ func scaleCells(cfg *ScaleConfig) []scaleCell {
 			}},
 			scaleCell{"ivy", "complete", n, per, func() (scaleOut, error) {
 				res, err := ivy.RunClosedLoopTopo(sim.NewCompleteTopology(n), ivy.LoopConfig{
-					Root: 0, PerNode: per, Seed: seed, Workers: cfg.Workers,
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
 				})
 				if err != nil {
 					return scaleOut{}, err

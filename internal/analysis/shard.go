@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ShardConfig drives the multi-object sharding experiment: every
+// protocol serving k objects on one shared n-node network, across an
+// objects × skew grid. The network has unit per-link capacity
+// (LinkTxTime 1) unless overridden, so the k instances genuinely
+// contend — cross-object interference shows up in the latency
+// distributions instead of superposing for free.
+type ShardConfig struct {
+	// N is the shared network's node count; 0 defaults to 32.
+	N int
+	// PerNode is the closed-loop requests per node in every cell.
+	PerNode int
+	// Objects are the object counts of the grid; nil defaults to
+	// 16, 128, 1024.
+	Objects []int
+	// Skews are the Zipf popularity exponents of the grid; nil defaults
+	// to 0 (uniform) and 1.1 (the classic hot-object regime).
+	Skews []float64
+	// Seed derives each cell's simulation seed.
+	Seed int64
+	// LinkTxTime is the shared network's per-link serialization time;
+	// 0 defaults to 1 (pass a negative value for the infinite-capacity
+	// model, which the config normalizes back to 0).
+	LinkTxTime sim.Time
+	// Workers sets both the sweep pool and each run's tick-windowed
+	// drain. Results — including the JSON document — are byte-identical
+	// at any worker count; the field is deliberately absent from the
+	// document for exactly that reason.
+	Workers int
+}
+
+func (c *ShardConfig) n() int {
+	if c.N > 0 {
+		return c.N
+	}
+	return 32
+}
+
+func (c *ShardConfig) objects() []int {
+	if len(c.Objects) > 0 {
+		return c.Objects
+	}
+	return []int{16, 128, 1024}
+}
+
+func (c *ShardConfig) skews() []float64 {
+	if len(c.Skews) > 0 {
+		return c.Skews
+	}
+	return []float64{0, 1.1}
+}
+
+func (c *ShardConfig) linkTxTime() sim.Time {
+	if c.LinkTxTime < 0 {
+		return 0
+	}
+	if c.LinkTxTime == 0 {
+		return 1
+	}
+	return c.LinkTxTime
+}
+
+// ShardRow is one protocol × objects × skew cell: the aggregate cost of
+// the combined traffic, its latency distribution, and the fairness
+// summary across the objects. Every field is a simulated quantity —
+// deterministic for a fixed config, no wall-clock anywhere — so the
+// rows gate reliably in CI.
+type ShardRow struct {
+	Protocol string
+	N        int
+	Objects  int
+	Skew     float64
+	PerNode  int
+	Cost     engine.Cost
+	Fairness engine.Fairness
+}
+
+// shardProtocols returns the experiment's protocol columns in
+// deterministic order.
+func shardProtocols() []engine.MultiProtocol {
+	return []engine.MultiProtocol{
+		engine.Arrow{},
+		engine.Centralized{},
+		engine.NTA{},
+		engine.Ivy{},
+	}
+}
+
+// ShardExperiment runs the sharding grid. Cells fan across the worker
+// pool with results written in deterministic cell order, and each cell
+// also drains its own run on cfg.Workers simulator workers; both levels
+// of parallelism leave every row byte-identical.
+func ShardExperiment(cfg ShardConfig) ([]ShardRow, error) {
+	if cfg.PerNode < 1 {
+		return nil, fmt.Errorf("analysis: shard experiment needs PerNode >= 1, got %d", cfg.PerNode)
+	}
+	n := cfg.n()
+	protos := shardProtocols()
+	type cell struct {
+		proto   engine.MultiProtocol
+		objects int
+		skew    float64
+		seed    int64
+	}
+	var cells []cell
+	for _, k := range cfg.objects() {
+		for _, s := range cfg.skews() {
+			for _, p := range protos {
+				cells = append(cells, cell{p, k, s, sim.DeriveSeed(cfg.Seed, len(cells))})
+			}
+		}
+	}
+	rows := make([]ShardRow, len(cells))
+	err := engine.ParallelMapErr(len(cells), cfg.Workers, func(i int) error {
+		c := cells[i]
+		mc, err := c.proto.RunMulti(engine.MultiInstance{
+			Label:      fmt.Sprintf("n=%d/k=%d/s=%g", n, c.objects, c.skew),
+			Nodes:      n,
+			Workload:   engine.NewClosedLoop(cfg.PerNode).Objects(c.objects).Zipf(c.skew).MustBuild(),
+			Seed:       c.seed,
+			Workers:    cfg.Workers,
+			LinkTxTime: cfg.linkTxTime(),
+			Recorder:   stats.NewDistRecorder(),
+		})
+		if err != nil {
+			return fmt.Errorf("analysis: shard %s k=%d s=%g: %w", c.proto.Name(), c.objects, c.skew, err)
+		}
+		rows[i] = ShardRow{
+			Protocol: c.proto.Name(),
+			N:        n,
+			Objects:  c.objects,
+			Skew:     c.skew,
+			PerNode:  cfg.PerNode,
+			Cost:     mc.Aggregate,
+			Fairness: mc.Fairness,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// ShardTable formats the shard rows: aggregate traffic on the left,
+// the fairness spread across objects on the right.
+func ShardTable(rows []ShardRow) *Table {
+	t := &Table{
+		Title: "Multi-object sharding — shared network, per-link capacity 1",
+		Headers: []string{"protocol", "k", "skew", "reqs", "qhops/req",
+			"lat p50", "lat p99", "makespan", "req min/max", "avglat max", "avglat p99"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Protocol, r.Objects, r.Skew, r.Cost.Requests, r.Cost.AvgQueueHops(),
+			r.Cost.Latency.P50, r.Cost.Latency.P99, int64(r.Cost.Makespan),
+			fmt.Sprintf("%d/%d", r.Fairness.MinRequests, r.Fairness.MaxRequests),
+			r.Fairness.MaxAvgLatency, r.Fairness.P99AvgLatency)
+	}
+	return t
+}
+
+// ShardSchema versions the machine-readable shard document (see
+// PerfSchema for the bump discipline).
+const ShardSchema = "arrowbench/shard/v1"
+
+// ShardDocConfig records the experiment parameters inside the document.
+// Workers is deliberately absent: the document is byte-identical at any
+// worker count, and including it would break exactly that property.
+type ShardDocConfig struct {
+	N          int       `json:"n"`
+	PerNode    int       `json:"per_node"`
+	Objects    []int     `json:"objects"`
+	Skews      []float64 `json:"skews"`
+	Seed       int64     `json:"seed"`
+	LinkTxTime int64     `json:"link_tx_time"`
+}
+
+// ShardDocRow is one row of the shard document. Every field is
+// deterministic for a fixed config — no wall-clock quantities.
+type ShardDocRow struct {
+	Protocol     string          `json:"protocol"`
+	N            int             `json:"n"`
+	Objects      int             `json:"objects"`
+	Skew         float64         `json:"skew"`
+	PerNode      int             `json:"per_node"`
+	Requests     int64           `json:"requests"`
+	QueueHops    int64           `json:"queue_hops"`
+	ReplyHops    int64           `json:"reply_hops"`
+	LocalComps   int64           `json:"local_completions"`
+	TotalLatency int64           `json:"total_latency"`
+	Makespan     int64           `json:"makespan"`
+	Events       int64           `json:"events"`
+	Latency      stats.Dist      `json:"latency"`
+	Hops         stats.Dist      `json:"hops"`
+	Fairness     engine.Fairness `json:"fairness"`
+}
+
+// ShardDoc is the stable schema of `arrowbench -exp shard -json`.
+type ShardDoc struct {
+	Schema string         `json:"schema"`
+	Config ShardDocConfig `json:"config"`
+	Rows   []ShardDocRow  `json:"rows"`
+}
+
+// ShardDocument assembles the machine-readable shard document.
+func ShardDocument(cfg ShardConfig, rows []ShardRow) ShardDoc {
+	doc := ShardDoc{
+		Schema: ShardSchema,
+		Config: ShardDocConfig{
+			N:          cfg.n(),
+			PerNode:    cfg.PerNode,
+			Objects:    cfg.objects(),
+			Skews:      cfg.skews(),
+			Seed:       cfg.Seed,
+			LinkTxTime: int64(cfg.linkTxTime()),
+		},
+		Rows: make([]ShardDocRow, len(rows)),
+	}
+	for i, r := range rows {
+		doc.Rows[i] = ShardDocRow{
+			Protocol:     r.Protocol,
+			N:            r.N,
+			Objects:      r.Objects,
+			Skew:         r.Skew,
+			PerNode:      r.PerNode,
+			Requests:     r.Cost.Requests,
+			QueueHops:    r.Cost.QueueHops,
+			ReplyHops:    r.Cost.ReplyHops,
+			LocalComps:   r.Cost.LocalCompletions,
+			TotalLatency: r.Cost.TotalLatency,
+			Makespan:     int64(r.Cost.Makespan),
+			Events:       r.Cost.Events,
+			Latency:      r.Cost.Latency,
+			Hops:         r.Cost.Hops,
+			Fairness:     r.Fairness,
+		}
+	}
+	return doc
+}

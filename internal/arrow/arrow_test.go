@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/loop"
 	"repro/internal/queuing"
 	"repro/internal/sim"
 	"repro/internal/tree"
@@ -323,7 +324,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 
 func TestClosedLoopSmall(t *testing.T) {
 	tr := tree.BalancedBinary(8)
-	res, err := RunClosedLoop(tr, LoopConfig{Root: 0, PerNode: 10})
+	res, err := RunClosedLoop(tr, LoopConfig{Spec: loop.Spec{PerNode: 10}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestClosedLoopSmall(t *testing.T) {
 
 func TestClosedLoopSingleNode(t *testing.T) {
 	tr := tree.BalancedBinary(1)
-	res, err := RunClosedLoop(tr, LoopConfig{Root: 0, PerNode: 5})
+	res, err := RunClosedLoop(tr, LoopConfig{Spec: loop.Spec{PerNode: 5}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

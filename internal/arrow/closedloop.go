@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/loop"
 	"repro/internal/sim"
 	"repro/internal/stabilize"
-	"repro/internal/stats"
 	"repro/internal/tree"
 )
 
@@ -16,49 +16,28 @@ import (
 // previous one is known to be complete. Completion is signalled to the
 // requester by a reply message routed over the tree, except when the
 // request finds its predecessor locally.
+//
+// The shared run knobs (PerNode, ThinkTime, Latency, Arbitration, Seed,
+// Recorder, Scheduler, Faults, Workers, LinkTxTime) live in the embedded
+// loop.Spec; only arrow-specific extensions are declared here.
+//
+// Arrow's fault semantics refine loop.Spec.Faults: a queue message
+// dropped by a fault corrupts the pointer state (the loser's region
+// splits off); once the network heals, the driver freezes new issues,
+// drains in-flight requests, runs the message-driven self-stabilizing
+// repair (stabilize.Engine) over the same simulator, and re-issues every
+// lost request. The plan must be Healing: a permanently dead entity
+// leaves requests unservable and the run errors at drain.
 type LoopConfig struct {
+	loop.Spec
 	// Root is the initial sink.
 	Root graph.NodeID
-	// PerNode is the number of requests each node issues.
-	PerNode int
-	// ThinkTime is the delay between learning completion and issuing the
-	// next request; 0 defaults to 1 (one local processing step).
-	ThinkTime sim.Time
-	// Latency is the delay model (nil = synchronous).
-	Latency sim.LatencyModel
-	// Arbitration orders simultaneous messages.
-	Arbitration sim.Arbitration
-	// Seed drives random latency/arbitration.
-	Seed int64
-	// Recorder, when non-nil, receives every completed request's queuing
-	// latency and hop count as it completes (fixed-memory streaming
-	// observability at any request count). The completion hot path does
-	// no recording work when nil.
-	Recorder stats.Recorder
-	// Scheduler selects the simulator's event-queue implementation
-	// (semantically inert; see sim.SchedulerKind).
-	Scheduler sim.SchedulerKind
-	// Faults, when non-nil, is the deterministic liveness schedule the
-	// run executes under. A queue message dropped by a fault corrupts
-	// the pointer state (the loser's region splits off); once the
-	// network heals, the driver freezes new issues, drains in-flight
-	// requests, runs the message-driven self-stabilizing repair
-	// (stabilize.Engine) over the same simulator, and re-issues every
-	// lost request. The plan must be Healing: a permanently dead entity
-	// leaves requests unservable and the run errors at drain.
-	Faults *sim.FaultPlan
 	// FaultObserver, when non-nil, is told each fault transition (for
 	// tracing).
 	FaultObserver func(sim.FaultEvent)
 	// RepairObserver, when non-nil, is told each repair-protocol step
 	// (for tracing).
 	RepairObserver func(stabilize.RepairEvent)
-	// Workers > 1 requests the simulator's tick-windowed parallel drain.
-	// The driver normalizes it to serial whenever the run cannot be
-	// reproduced bit-identically in parallel (non-FIFO arbitration, the
-	// heap scheduler, or a fault plan); results are bit-identical to a
-	// serial run at any value.
-	Workers int
 }
 
 // LoopResult aggregates a closed-loop run. Counters rather than
@@ -279,6 +258,7 @@ func RunClosedLoop(t tree.Nav, cfg LoopConfig) (*LoopResult, error) {
 		Scheduler:   cfg.Scheduler,
 		Faults:      cfg.Faults,
 		Workers:     workers,
+		LinkTxTime:  cfg.LinkTxTime,
 	})
 	if cfg.Faults != nil {
 		st.fs = &faultLoopState{

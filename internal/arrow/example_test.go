@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/arrow"
+	"repro/internal/loop"
 	"repro/internal/queuing"
 	"repro/internal/sim"
 	"repro/internal/tree"
@@ -38,7 +39,7 @@ func ExampleRun() {
 // makespan of a saturated closed-loop run.
 func ExampleRunClosedLoop() {
 	t := tree.BalancedBinary(4)
-	res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Root: 0, PerNode: 3})
+	res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{Spec: loop.Spec{PerNode: 3}, Root: 0})
 	if err != nil {
 		panic(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/loop"
 	"repro/internal/sim"
 	"repro/internal/stabilize"
 	"repro/internal/tree"
@@ -14,7 +15,7 @@ import (
 // state is legal, and the counters are internally consistent.
 func faultLoop(t *testing.T, tr *tree.Tree, plan *sim.FaultPlan, perNode int) *LoopResult {
 	t.Helper()
-	res, err := RunClosedLoop(tr, LoopConfig{Root: 0, PerNode: perNode, Faults: plan})
+	res, err := RunClosedLoop(tr, LoopConfig{Spec: loop.Spec{PerNode: perNode, Faults: plan}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestClosedLoopFaultRunsDeterministic(t *testing.T) {
 // the pinned BENCH_perf metrics.
 func TestClosedLoopEmptyPlanBitIdentical(t *testing.T) {
 	tr := tree.BalancedBinary(31)
-	base, err := RunClosedLoop(tr, LoopConfig{Root: 0, PerNode: 50})
+	base, err := RunClosedLoop(tr, LoopConfig{Spec: loop.Spec{PerNode: 50}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	empty, err := RunClosedLoop(tr, LoopConfig{Root: 0, PerNode: 50, Faults: &sim.FaultPlan{}})
+	empty, err := RunClosedLoop(tr, LoopConfig{Spec: loop.Spec{PerNode: 50, Faults: &sim.FaultPlan{}}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestClosedLoopEmptyPlanBitIdentical(t *testing.T) {
 func TestClosedLoopRejectsNonHealingPlan(t *testing.T) {
 	tr := tree.PathTree(4)
 	plan := &sim.FaultPlan{Events: []sim.FaultEvent{{At: 5, Kind: sim.NodeDown, U: 2}}}
-	if _, err := RunClosedLoop(tr, LoopConfig{Root: 0, PerNode: 3, Faults: plan}); err == nil {
+	if _, err := RunClosedLoop(tr, LoopConfig{Spec: loop.Spec{PerNode: 3, Faults: plan}, Root: 0}); err == nil {
 		t.Fatal("non-healing plan accepted")
 	}
 }
@@ -137,13 +138,7 @@ func TestClosedLoopScriptedOutage(t *testing.T) {
 	}}
 	var faults []sim.FaultEvent
 	var repairs []stabilize.RepairEvent
-	res, err := RunClosedLoop(tr, LoopConfig{
-		Root:           0,
-		PerNode:        10,
-		Faults:         plan,
-		FaultObserver:  func(ev sim.FaultEvent) { faults = append(faults, ev) },
-		RepairObserver: func(ev stabilize.RepairEvent) { repairs = append(repairs, ev) },
-	})
+	res, err := RunClosedLoop(tr, LoopConfig{Spec: loop.Spec{PerNode: 10, Faults: plan}, Root: 0, FaultObserver: func(ev sim.FaultEvent) { faults = append(faults, ev) }, RepairObserver: func(ev stabilize.RepairEvent) { repairs = append(repairs, ev) }})
 	if err != nil {
 		t.Fatal(err)
 	}

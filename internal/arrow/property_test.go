@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
+	"repro/internal/loop"
 	"repro/internal/queuing"
 	"repro/internal/sim"
 	"repro/internal/tree"
@@ -238,12 +239,7 @@ func TestPropertyClosedLoopConservation(t *testing.T) {
 		n := 2 + rng.Intn(30)
 		per := 1 + rng.Intn(12)
 		tr := tree.BalancedBinary(n)
-		res, err := RunClosedLoop(tr, LoopConfig{
-			Root:    graph.NodeID(rng.Intn(n)),
-			PerNode: per,
-			Latency: sim.AsyncUniform(2),
-			Seed:    seed,
-		})
+		res, err := RunClosedLoop(tr, LoopConfig{Spec: loop.Spec{PerNode: per, Latency: sim.AsyncUniform(2), Seed: seed}, Root: graph.NodeID(rng.Intn(n))})
 		if err != nil {
 			return false
 		}

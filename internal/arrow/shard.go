@@ -1,0 +1,89 @@
+package arrow
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ShardForest is arrow's multi-object pointer state: k independent
+// arrow instances, each running the protocol on its own balanced binary
+// spanning tree over the same n nodes. Object o's tree is object 0's
+// tree rotated by o's root — node v plays the role of label
+// (v - root_o) mod n in a binary heap rooted at root_o = o mod n — so
+// the k trees share no root and spread both the root hotspot and the
+// per-link traffic across the whole network, while every tree keeps the
+// O(log n) depth the protocol's competitive bound charges.
+//
+// The flat link array is keyed by (object, node); each entry is the
+// node's arrow for that object and is touched only by events at that
+// node, which is what makes the stepper shard-safe (see
+// shard.ShardSafe).
+type ShardForest struct {
+	n    int
+	link []graph.NodeID
+}
+
+// NewShardForest builds the k rotated trees with every arrow pointing
+// toward the object's root (the initial tail holder). O(k·n) space.
+func NewShardForest(n, k int) (*ShardForest, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("arrow: shard forest needs n >= 1, got %d", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("arrow: shard forest needs k >= 1 objects, got %d", k)
+	}
+	f := &ShardForest{n: n, link: make([]graph.NodeID, k*n)}
+	for o := 0; o < k; o++ {
+		root := o % n
+		base := o * n
+		for v := 0; v < n; v++ {
+			l := v - root
+			if l < 0 {
+				l += n
+			}
+			if l == 0 {
+				// The root's arrow points to itself: it holds the tail.
+				f.link[base+v] = graph.NodeID(v)
+				continue
+			}
+			p := (l-1)/2 + root
+			if p >= n {
+				p -= n
+			}
+			f.link[base+v] = graph.NodeID(p)
+		}
+	}
+	return f, nil
+}
+
+// StartFind begins a request for obj at v: a self arrow means v already
+// holds the object's tail; otherwise the request follows the arrow and
+// v's arrow flips to self (the new pending tail direction).
+func (f *ShardForest) StartFind(obj int32, v graph.NodeID) (graph.NodeID, bool) {
+	i := int(obj)*f.n + int(v)
+	if f.link[i] == v {
+		return v, true
+	}
+	target := f.link[i]
+	f.link[i] = v
+	return target, false
+}
+
+// ForwardFind applies arrow's path reversal for obj at node at: the
+// arrow flips back toward the previous hop, and a self arrow means the
+// chase found the tail here.
+func (f *ShardForest) ForwardFind(obj int32, at, from, origin graph.NodeID) (graph.NodeID, bool) {
+	i := int(obj)*f.n + int(at)
+	next := f.link[i]
+	f.link[i] = from
+	if next == at {
+		return at, true
+	}
+	return next, false
+}
+
+// ShardSafeStepper marks the forest safe for the parallel drain: every
+// link entry is keyed by the node whose events touch it, across all
+// objects.
+func (f *ShardForest) ShardSafeStepper() {}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/loop"
 	"repro/internal/queuing"
 	"repro/internal/workload"
 )
@@ -96,7 +97,7 @@ func TestClosedLoopScalesLinearly(t *testing.T) {
 	var prev int64
 	for _, n := range []int{4, 8, 16, 32} {
 		g := graph.Complete(n)
-		res, err := RunClosedLoop(g, LoopConfig{Center: 0, PerNode: per})
+		res, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: per}, Center: 0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func TestClosedLoopScalesLinearly(t *testing.T) {
 
 func TestClosedLoopAveragesAndValidation(t *testing.T) {
 	g := graph.Complete(8)
-	res, err := RunClosedLoop(g, LoopConfig{Center: 0, PerNode: 20})
+	res, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 20}, Center: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestClosedLoopAveragesAndValidation(t *testing.T) {
 	if res.AvgHops() <= 0 || res.AvgHops() > 2 {
 		t.Errorf("avg hops = %f, want in (0,2]", res.AvgHops())
 	}
-	if _, err := RunClosedLoop(g, LoopConfig{Center: 0, PerNode: 0}); err == nil {
+	if _, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 0}, Center: 0}); err == nil {
 		t.Error("expected PerNode validation error")
 	}
 }

@@ -4,45 +4,37 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/loop"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // LoopConfig drives the closed-loop centralized experiment matching
 // arrow.RunClosedLoop: every node issues PerNode requests, each issued
-// ThinkTime after the reply for the previous one arrives.
+// ThinkTime after the reply for the previous one arrives. The shared run
+// knobs live in the embedded loop.Spec, with centralized-specific
+// refinements:
+//
+//   - Recorder receives the queue-side hop count (0 for requests issued
+//     at the center) alongside each queuing latency.
+//   - Faults runs with coordinator-failure semantics: when the center
+//     dies the system is unavailable until a deterministic failover —
+//     after FailoverDelay the smallest live node becomes the new
+//     (sticky) center, requests caught at the old center re-issue there,
+//     and dropped requests/replies retry once the blocking entity or the
+//     failover completes. The plan must be Healing.
+//   - Workers is accepted for config symmetry but always normalizes to a
+//     serial run: the center is a global serialization point (busyUntil
+//     is shared mutable state), so the tick-windowed drain has nothing
+//     to shard. Results are identical at any value.
 type LoopConfig struct {
-	Center      graph.NodeID
-	PerNode     int
-	ThinkTime   sim.Time
+	loop.Spec
+	// Center is the coordinator node.
+	Center graph.NodeID
+	// ServiceTime is the center's per-request serialization time (0 = 1).
 	ServiceTime sim.Time
-	Latency     sim.LatencyModel
-	Arbitration sim.Arbitration
-	Seed        int64
-	// Recorder, when non-nil, receives every completed request's queuing
-	// latency and queue-side hop count (0 for requests issued at the
-	// center) as it queues. The hot path does no recording work when nil.
-	Recorder stats.Recorder
-	// Scheduler selects the simulator's event-queue implementation
-	// (semantically inert; see sim.SchedulerKind).
-	Scheduler sim.SchedulerKind
-	// Faults, when non-nil, is the deterministic liveness schedule the
-	// run executes under, with coordinator-failure semantics: when the
-	// center dies the system is unavailable until a deterministic
-	// failover — after FailoverDelay the smallest live node becomes the
-	// new (sticky) center, requests caught at the old center re-issue
-	// there, and dropped requests/replies retry once the blocking entity
-	// or the failover completes. The plan must be Healing.
-	Faults *sim.FaultPlan
 	// FailoverDelay is the unavailability window after a center failure
 	// before the replacement center serves (0 = 8 time units).
 	FailoverDelay sim.Time
-	// Workers is accepted for config symmetry with the other protocols
-	// but always normalizes to a serial run: the center is a global
-	// serialization point (busyUntil is shared mutable state), so the
-	// tick-windowed drain has nothing to shard. Results are identical at
-	// any value.
-	Workers int
 }
 
 // LoopResult aggregates a closed-loop centralized run. Request traffic
@@ -213,6 +205,7 @@ func RunClosedLoopTopo(topo sim.Topology, cfg LoopConfig) (*LoopResult, error) {
 		MaxEvents:   budget,
 		Scheduler:   cfg.Scheduler,
 		Faults:      cfg.Faults,
+		LinkTxTime:  cfg.LinkTxTime,
 	})
 	if cfg.Faults != nil {
 		st.lost = make([]bool, n)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/loop"
 	"repro/internal/sim"
 )
 
@@ -19,7 +20,7 @@ func TestClosedLoopCoordinatorFailover(t *testing.T) {
 		{At: 20, Kind: sim.NodeDown, U: 0},
 		{At: 90, Kind: sim.NodeUp, U: 0},
 	}}
-	res, err := RunClosedLoop(g, LoopConfig{Center: 0, PerNode: perNode, Faults: plan, FailoverDelay: 6})
+	res, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: perNode, Faults: plan}, Center: 0, FailoverDelay: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestClosedLoopCoordinatorFailover(t *testing.T) {
 		t.Fatalf("failover touched no requests: %+v", res)
 	}
 	// Determinism.
-	again, err := RunClosedLoop(g, LoopConfig{Center: 0, PerNode: perNode, Faults: plan, FailoverDelay: 6})
+	again, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: perNode, Faults: plan}, Center: 0, FailoverDelay: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestClosedLoopNonCenterChurn(t *testing.T) {
 	g := graph.Complete(n)
 	keep := func(v graph.NodeID) bool { return v != 0 }
 	plan := &sim.FaultPlan{Events: sim.NodeChurn(n, keep, 1.5, 25, 20, 500, 11)}
-	res, err := RunClosedLoop(g, LoopConfig{Center: 0, PerNode: perNode, Faults: plan})
+	res, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: perNode, Faults: plan}, Center: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +67,11 @@ func TestClosedLoopNonCenterChurn(t *testing.T) {
 // the centralized driver.
 func TestClosedLoopEmptyFaultPlanBitIdentical(t *testing.T) {
 	g := graph.Complete(10)
-	base, err := RunClosedLoop(g, LoopConfig{Center: 0, PerNode: 20})
+	base, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 20}, Center: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	empty, err := RunClosedLoop(g, LoopConfig{Center: 0, PerNode: 20, Faults: &sim.FaultPlan{}})
+	empty, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 20, Faults: &sim.FaultPlan{}}, Center: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestFailoverReelectsWhenReplacementDiesAtTakeover(t *testing.T) {
 		{At: 60, Kind: sim.NodeUp, U: 1},
 		{At: 80, Kind: sim.NodeUp, U: 0},
 	}}
-	res, err := RunClosedLoop(g, LoopConfig{Center: 0, PerNode: perNode, Faults: plan, FailoverDelay: 6})
+	res, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: perNode, Faults: plan}, Center: 0, FailoverDelay: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,10 +6,29 @@ import (
 	"repro/internal/arrow"
 	"repro/internal/centralized"
 	"repro/internal/ivy"
+	"repro/internal/loop"
 	"repro/internal/nta"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// loopSpec projects an Instance onto the shared closed-loop run spec
+// every protocol's LoopConfig embeds — the one place the mapping exists,
+// so a new shared knob is threaded to all four drivers by one edit.
+func loopSpec(inst Instance) loop.Spec {
+	return loop.Spec{
+		PerNode:     inst.Workload.PerNode,
+		ThinkTime:   inst.Workload.ThinkTime,
+		Latency:     inst.Latency,
+		Arbitration: inst.Arbitration,
+		Seed:        inst.Seed,
+		Scheduler:   inst.Scheduler,
+		Recorder:    inst.Recorder,
+		Faults:      inst.Faults,
+		Workers:     inst.Workers,
+		LinkTxTime:  inst.LinkTxTime,
+	}
+}
 
 // loopCounters is the closed-loop counter shape shared field for field
 // by arrow.LoopResult, loop.Result (NTA, Ivy) and
@@ -107,6 +126,24 @@ func validateFaults(inst Instance) error {
 	return nil
 }
 
+// validateMulti rejects the instance fields the object dimension and
+// the single-object tier do not share: per-object recorders only make
+// sense with Objects > 1, and the multi-object tier runs no fault
+// plans (a plan on a multi instance would otherwise be dropped
+// silently by the dispatch).
+func validateMulti(inst Instance) error {
+	if !inst.Workload.Multi() {
+		if inst.ObjectRecorders != nil {
+			return fmt.Errorf("engine: Instance.ObjectRecorders requires a multi-object workload (Workload.Objects > 1)")
+		}
+		return nil
+	}
+	if inst.Faults != nil {
+		return fmt.Errorf("engine: multi-object workloads do not support fault plans")
+	}
+	return nil
+}
+
 // Arrow runs the arrow protocol on the instance's spanning tree. It
 // supports both static-set and closed-loop workloads.
 type Arrow struct{}
@@ -122,21 +159,23 @@ func (p Arrow) Run(inst Instance) (Cost, error) {
 	if err := validateFaults(inst); err != nil {
 		return Cost{}, err
 	}
+	if err := validateMulti(inst); err != nil {
+		return Cost{}, err
+	}
 	if inst.Tree == nil {
 		return Cost{}, fmt.Errorf("engine: arrow requires Instance.Tree")
 	}
+	if inst.Workload.Multi() {
+		mc, err := p.RunMulti(multiFromInstance(inst, inst.Tree.NumNodes()))
+		if err != nil {
+			return Cost{}, err
+		}
+		return mc.Aggregate, nil
+	}
 	if inst.Workload.Closed() {
 		res, err := arrow.RunClosedLoop(inst.Tree, arrow.LoopConfig{
-			Root:        inst.Root,
-			PerNode:     inst.Workload.PerNode,
-			ThinkTime:   inst.Workload.ThinkTime,
-			Latency:     inst.Latency,
-			Arbitration: inst.Arbitration,
-			Seed:        inst.Seed,
-			Scheduler:   inst.Scheduler,
-			Recorder:    inst.Recorder,
-			Faults:      inst.Faults,
-			Workers:     inst.Workers,
+			Spec: loopSpec(inst),
+			Root: inst.Root,
 		})
 		if err != nil {
 			return Cost{}, err
@@ -198,23 +237,25 @@ func (p Centralized) Run(inst Instance) (Cost, error) {
 	if err := validateFaults(inst); err != nil {
 		return Cost{}, err
 	}
+	if err := validateMulti(inst); err != nil {
+		return Cost{}, err
+	}
 	if inst.Graph == nil {
 		return Cost{}, fmt.Errorf("engine: centralized requires Instance.Graph")
 	}
+	if inst.Workload.Multi() {
+		mc, err := p.RunMulti(multiFromInstance(inst, inst.Graph.NumNodes()))
+		if err != nil {
+			return Cost{}, err
+		}
+		return mc.Aggregate, nil
+	}
 	if inst.Workload.Closed() {
 		res, err := centralized.RunClosedLoop(inst.Graph, centralized.LoopConfig{
+			Spec:          loopSpec(inst),
 			Center:        inst.Root,
-			PerNode:       inst.Workload.PerNode,
-			ThinkTime:     inst.Workload.ThinkTime,
 			ServiceTime:   p.ServiceTime,
 			FailoverDelay: p.FailoverDelay,
-			Latency:       inst.Latency,
-			Arbitration:   inst.Arbitration,
-			Seed:          inst.Seed,
-			Scheduler:     inst.Scheduler,
-			Recorder:      inst.Recorder,
-			Faults:        inst.Faults,
-			Workers:       inst.Workers,
 		})
 		if err != nil {
 			return Cost{}, err
@@ -269,21 +310,23 @@ func (p NTA) Run(inst Instance) (Cost, error) {
 	if err := validateFaults(inst); err != nil {
 		return Cost{}, err
 	}
+	if err := validateMulti(inst); err != nil {
+		return Cost{}, err
+	}
 	if inst.Graph == nil {
 		return Cost{}, fmt.Errorf("engine: nta requires Instance.Graph")
 	}
+	if inst.Workload.Multi() {
+		mc, err := p.RunMulti(multiFromInstance(inst, inst.Graph.NumNodes()))
+		if err != nil {
+			return Cost{}, err
+		}
+		return mc.Aggregate, nil
+	}
 	if inst.Workload.Closed() {
 		res, err := nta.RunClosedLoop(inst.Graph, nta.LoopConfig{
-			Root:        inst.Root,
-			PerNode:     inst.Workload.PerNode,
-			ThinkTime:   inst.Workload.ThinkTime,
-			Latency:     inst.Latency,
-			Arbitration: inst.Arbitration,
-			Seed:        inst.Seed,
-			Scheduler:   inst.Scheduler,
-			Recorder:    inst.Recorder,
-			Faults:      inst.Faults,
-			Workers:     inst.Workers,
+			Spec: loopSpec(inst),
+			Root: inst.Root,
 		})
 		if err != nil {
 			return Cost{}, err
@@ -340,21 +383,23 @@ func (p Ivy) Run(inst Instance) (Cost, error) {
 	if err := validateFaults(inst); err != nil {
 		return Cost{}, err
 	}
+	if err := validateMulti(inst); err != nil {
+		return Cost{}, err
+	}
 	if inst.Graph == nil {
 		return Cost{}, fmt.Errorf("engine: ivy requires Instance.Graph")
 	}
+	if inst.Workload.Multi() {
+		mc, err := p.RunMulti(multiFromInstance(inst, inst.Graph.NumNodes()))
+		if err != nil {
+			return Cost{}, err
+		}
+		return mc.Aggregate, nil
+	}
 	if inst.Workload.Closed() {
 		res, err := ivy.RunClosedLoop(inst.Graph, ivy.LoopConfig{
-			Root:        inst.Root,
-			PerNode:     inst.Workload.PerNode,
-			ThinkTime:   inst.Workload.ThinkTime,
-			Latency:     inst.Latency,
-			Arbitration: inst.Arbitration,
-			Seed:        inst.Seed,
-			Scheduler:   inst.Scheduler,
-			Recorder:    inst.Recorder,
-			Faults:      inst.Faults,
-			Workers:     inst.Workers,
+			Spec: loopSpec(inst),
+			Root: inst.Root,
 		})
 		if err != nil {
 			return Cost{}, err

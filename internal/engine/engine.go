@@ -24,7 +24,15 @@ import (
 // Workload selects what traffic an instance carries: a static request
 // set (the paper's analytic setting) or a closed-loop load where every
 // node keeps PerNode requests in flight one at a time (the Section 5
-// experimental setting).
+// experimental setting). Closed-loop workloads additionally carry the
+// multi-object dimension: Objects > 1 shards the run across that many
+// protocol instances on one shared network, with per-request object
+// choice drawn from a Zipf popularity law of exponent Skew.
+//
+// Construct workloads through the WorkloadSpec builder (NewClosedLoop /
+// NewStatic), which rejects ambiguous combinations at construction; the
+// zero-value-literal route remains open for tests but is validated only
+// when a run starts.
 type Workload struct {
 	// Set is the static request set; leave nil (with a positive
 	// PerNode) for a closed-loop run.
@@ -35,35 +43,161 @@ type Workload struct {
 	// ThinkTime is the closed-loop delay between learning completion and
 	// issuing the next request (0 = one local step).
 	ThinkTime sim.Time
+	// Objects is the number of independent protocol instances the
+	// closed-loop traffic spreads over (0 and 1 both mean the classic
+	// single-object run). Each request draws its object independently;
+	// all objects' traffic shares one network. Requires a closed-loop
+	// workload.
+	Objects int
+	// Skew is the Zipf exponent of object popularity when Objects > 1:
+	// object o (0-based) is drawn with weight (o+1)^-Skew. 0 means
+	// uniform popularity; larger values concentrate load on low-numbered
+	// objects (s = 1.1 is the classic hot-object regime).
+	Skew float64
 }
 
 // Closed reports whether the workload is closed-loop: no static set and
 // a positive PerNode. A generator that legitimately produced no requests
-// is not reclassified as a closed-loop run (Static normalizes nil), and
-// the ambiguous combination — nil set with PerNode < 1, e.g. a
+// is not reclassified as a closed-loop run (NewStatic normalizes nil),
+// and the ambiguous combination — nil set with PerNode < 1, e.g. a
 // closed-loop experiment invoked with PerNode 0 — is rejected by every
 // adapter via validate instead of silently running an empty static set.
 func (w Workload) Closed() bool { return w.Set == nil && w.PerNode > 0 }
 
+// Multi reports whether the workload carries the object dimension.
+func (w Workload) Multi() bool { return w.Objects > 1 }
+
 // validate rejects the ambiguous workload that is neither a static set
-// nor a well-formed closed loop.
+// nor a well-formed closed loop, and malformed object dimensions.
 func (w Workload) validate() error {
 	if w.Set == nil && w.PerNode < 1 {
 		return fmt.Errorf("engine: workload has neither a static request set nor a positive closed-loop PerNode")
 	}
+	if w.Objects < 0 {
+		return fmt.Errorf("engine: workload Objects must be >= 0, got %d", w.Objects)
+	}
+	if w.Objects > 1 && w.Set != nil {
+		return fmt.Errorf("engine: multi-object workloads require a closed loop (static sets carry no object dimension)")
+	}
+	if w.Skew != 0 {
+		if w.Skew < 0 {
+			return fmt.Errorf("engine: workload Skew must be >= 0, got %g", w.Skew)
+		}
+		if w.Objects <= 1 {
+			return fmt.Errorf("engine: workload Skew %g without Objects > 1 has nothing to skew", w.Skew)
+		}
+	}
 	return nil
 }
 
-// Static returns a static-set workload. A nil set is normalized to an
-// empty one, so empty generator output stays in static mode.
-func Static(set queuing.Set) Workload {
+// WorkloadSpec builds a validated Workload. It replaces the positional
+// Static / ClosedLoop constructors: every knob is named, the chain reads
+// as the experiment it describes, and Build rejects ambiguous or
+// contradictory specs at construction time rather than when a run
+// starts.
+//
+//	w, err := engine.NewClosedLoop(2000).Think(16).Objects(1000).Zipf(1.1).Build()
+type WorkloadSpec struct {
+	w   Workload
+	err error
+}
+
+// NewClosedLoop starts a closed-loop spec where every node issues
+// perNode requests one at a time. perNode < 1 is reported by Build.
+func NewClosedLoop(perNode int) *WorkloadSpec {
+	s := &WorkloadSpec{w: Workload{PerNode: perNode}}
+	if perNode < 1 {
+		s.err = fmt.Errorf("engine: closed-loop PerNode must be >= 1, got %d", perNode)
+	}
+	return s
+}
+
+// NewStatic starts a static-set spec replaying the given request set. A
+// nil set is normalized to an empty one, so empty generator output stays
+// in static mode.
+func NewStatic(set queuing.Set) *WorkloadSpec {
 	if set == nil {
 		set = queuing.Set{}
 	}
-	return Workload{Set: set}
+	return &WorkloadSpec{w: Workload{Set: set}}
+}
+
+// Think sets the closed-loop think time (delay between learning
+// completion and issuing the next request; 0 = one local step).
+func (s *WorkloadSpec) Think(d sim.Time) *WorkloadSpec {
+	if s.w.Set != nil && s.err == nil {
+		s.err = fmt.Errorf("engine: Think applies to closed-loop workloads, not static sets")
+	}
+	if d < 0 && s.err == nil {
+		s.err = fmt.Errorf("engine: ThinkTime must be >= 0, got %d", d)
+	}
+	s.w.ThinkTime = d
+	return s
+}
+
+// Objects sets the multi-object dimension: the closed-loop traffic
+// spreads over k independent protocol instances sharing one network.
+// k <= 1 keeps the classic single-object run.
+func (s *WorkloadSpec) Objects(k int) *WorkloadSpec {
+	if s.w.Set != nil && s.err == nil {
+		s.err = fmt.Errorf("engine: Objects applies to closed-loop workloads, not static sets")
+	}
+	if k < 0 && s.err == nil {
+		s.err = fmt.Errorf("engine: Objects must be >= 0, got %d", k)
+	}
+	s.w.Objects = k
+	return s
+}
+
+// Zipf sets the object-popularity exponent (see Workload.Skew); call it
+// after Objects.
+func (s *WorkloadSpec) Zipf(skew float64) *WorkloadSpec {
+	if s.err == nil {
+		if skew < 0 {
+			s.err = fmt.Errorf("engine: Zipf skew must be >= 0, got %g", skew)
+		} else if skew != 0 && s.w.Objects <= 1 {
+			s.err = fmt.Errorf("engine: Zipf skew %g without Objects > 1 has nothing to skew", skew)
+		}
+	}
+	s.w.Skew = skew
+	return s
+}
+
+// Build returns the validated workload or the first construction error.
+func (s *WorkloadSpec) Build() (Workload, error) {
+	if s.err != nil {
+		return Workload{}, s.err
+	}
+	if err := s.w.validate(); err != nil {
+		return Workload{}, err
+	}
+	return s.w, nil
+}
+
+// MustBuild is Build for specs known correct by construction (package
+// defaults, tests); it panics on a malformed spec.
+func (s *WorkloadSpec) MustBuild() Workload {
+	w, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Static returns a static-set workload.
+//
+// Deprecated: use NewStatic(set).Build (or MustBuild). Kept one release
+// for mechanical migration.
+func Static(set queuing.Set) Workload {
+	return NewStatic(set).MustBuild()
 }
 
 // ClosedLoop returns a closed-loop workload.
+//
+// Deprecated: use NewClosedLoop(perNode).Think(think).Build (or
+// MustBuild), which validates at construction. Kept one release for
+// mechanical migration; unlike the builder it defers PerNode validation
+// to run time, exactly as it always did.
 func ClosedLoop(perNode int, think sim.Time) Workload {
 	return Workload{PerNode: perNode, ThinkTime: think}
 }
@@ -107,16 +241,25 @@ type Instance struct {
 	// Recorder, when non-nil, receives every completed request's queuing
 	// latency and hop count: closed-loop drivers feed it streamingly as
 	// requests complete (fixed memory at any request count), static runs
-	// from their completion records after the run. When the recorder is
+	// from their completion records after the run. On a multi-object run
+	// (Workload.Objects > 1) it observes the aggregate stream — every
+	// object's completions, in completion order. When the recorder is
 	// a *stats.DistRecorder, the run's Cost carries Latency/Hops
 	// distribution snapshots. The protocol hot paths do no recording
 	// work when Recorder is nil.
 	//
-	// Recorders accumulate state, so each swept cell needs its own:
-	// Grid panics rather than share a recording Instance across its
-	// protocol column (the copies would race under Sweep) — grids that
-	// record build one Instance per cell (as analysis.PerfExperiment does).
+	// Recorders accumulate state, so each swept cell needs its own —
+	// aggregate and per-object alike: Grid panics rather than share a
+	// recording Instance (a Recorder or any ObjectRecorders entry)
+	// across its protocol column (the copies would race under Sweep) —
+	// grids that record build one Instance per cell, with fresh
+	// recorders for every object slot (as analysis.PerfExperiment does).
 	Recorder stats.Recorder
+	// ObjectRecorders, when non-nil, attaches one recorder per object of
+	// a multi-object run: entry o observes exactly object o's
+	// completions. Its length must equal Workload.Objects; entries may
+	// be nil to skip an object. Single-object and static runs reject it.
+	ObjectRecorders []stats.Recorder
 	// Workers requests the tick-windowed parallel event drain inside each
 	// closed-loop run (see sim.Config.Workers). Results are bit-identical
 	// at any worker count: drivers that cannot shard safely (Ivy's
@@ -124,6 +267,13 @@ type Instance struct {
 	// drain's support (faults, non-FIFO arbitration, heap scheduler)
 	// normalize back to a serial run. Static workloads ignore it.
 	Workers int
+	// LinkTxTime, when positive, gives every link of the instance's
+	// network finite serialization capacity (see sim.Config.LinkTxTime):
+	// messages on one directed link depart at least LinkTxTime apart, so
+	// concurrent traffic — in particular the combined load of a
+	// multi-object run — queues instead of superposing for free. 0 keeps
+	// the classic infinite-capacity model.
+	LinkTxTime sim.Time
 }
 
 // Cost is the standard result of one protocol run: the cost metrics the

@@ -1,0 +1,228 @@
+package engine_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// multiProtocols returns the four adapters through the MultiProtocol
+// interface; the assignment is itself the compile-time check that all
+// four implement it.
+func multiProtocols() []engine.MultiProtocol {
+	return []engine.MultiProtocol{
+		engine.Arrow{},
+		engine.Centralized{},
+		engine.NTA{},
+		engine.Ivy{},
+	}
+}
+
+// TestRunMultiAllProtocols runs every adapter's sharded tier and checks
+// the cross-protocol invariants: request conservation into the object
+// partition, the fairness extremes bracketing the per-object values,
+// and per-object recorder wiring.
+func TestRunMultiAllProtocols(t *testing.T) {
+	const n, k, perNode = 12, 16, 20
+	for _, p := range multiProtocols() {
+		t.Run(p.Name(), func(t *testing.T) {
+			recs := make([]stats.Recorder, k)
+			dists := make([]*stats.DistRecorder, k)
+			for o := range recs {
+				dists[o] = stats.NewDistRecorder()
+				recs[o] = dists[o]
+			}
+			agg := stats.NewDistRecorder()
+			mc, err := p.RunMulti(engine.MultiInstance{
+				Label:           "multi",
+				Nodes:           n,
+				Workload:        engine.NewClosedLoop(perNode).Objects(k).Zipf(1.1).MustBuild(),
+				Seed:            4,
+				LinkTxTime:      1,
+				Recorder:        agg,
+				ObjectRecorders: recs,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mc.Aggregate.Requests != int64(n)*perNode {
+				t.Errorf("aggregate completed %d requests, want %d", mc.Aggregate.Requests, n*perNode)
+			}
+			if len(mc.PerObject) != k {
+				t.Fatalf("got %d per-object costs, want %d", len(mc.PerObject), k)
+			}
+			var sum int64
+			for o, c := range mc.PerObject {
+				sum += c.Requests
+				if c.Requests < mc.Fairness.MinRequests || c.Requests > mc.Fairness.MaxRequests {
+					t.Errorf("object %d requests %d outside fairness bounds [%d, %d]",
+						o, c.Requests, mc.Fairness.MinRequests, mc.Fairness.MaxRequests)
+				}
+				if c.Latency.Count != dists[o].Latency.Snapshot().Count {
+					t.Errorf("object %d cost snapshot decoupled from its recorder", o)
+				}
+				if c.Requests > 0 && c.Latency.Count != c.Requests {
+					t.Errorf("object %d recorder saw %d completions, counters say %d",
+						o, c.Latency.Count, c.Requests)
+				}
+			}
+			if sum != mc.Aggregate.Requests {
+				t.Errorf("per-object requests sum to %d, aggregate says %d", sum, mc.Aggregate.Requests)
+			}
+			if mc.Aggregate.Latency.Count != mc.Aggregate.Requests {
+				t.Errorf("aggregate recorder saw %d completions, want %d",
+					mc.Aggregate.Latency.Count, mc.Aggregate.Requests)
+			}
+			if mc.Fairness.Objects != k {
+				t.Errorf("fairness ranges over %d objects, want %d", mc.Fairness.Objects, k)
+			}
+			if mc.Fairness.MinAvailability != 1 || mc.Fairness.P1Availability != 1 {
+				t.Errorf("fault-free availability fairness %+v, want all 1", mc.Fairness)
+			}
+			if mc.Fairness.P99AvgLatency < mc.Fairness.MinAvgLatency ||
+				mc.Fairness.P99AvgLatency > mc.Fairness.MaxAvgLatency {
+				t.Errorf("P99 avg latency %g outside [%g, %g]", mc.Fairness.P99AvgLatency,
+					mc.Fairness.MinAvgLatency, mc.Fairness.MaxAvgLatency)
+			}
+		})
+	}
+}
+
+// TestRunDispatchesMulti pins the transparent dispatch: a plain
+// Instance whose workload carries Objects > 1 must run the sharded
+// tier and return exactly the multi run's aggregate, so sweeps and
+// grids gain the object dimension without new plumbing.
+func TestRunDispatchesMulti(t *testing.T) {
+	const n, k, perNode = 10, 8, 15
+	w := engine.NewClosedLoop(perNode).Objects(k).Zipf(1.1).MustBuild()
+	g := graph.Complete(n)
+	tr := tree.BalancedBinary(n)
+	for _, p := range multiProtocols() {
+		t.Run(p.Name(), func(t *testing.T) {
+			got, err := p.Run(engine.Instance{
+				Label:    "dispatch",
+				Graph:    g,
+				Tree:     tr,
+				Workload: w,
+				Seed:     6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := p.RunMulti(engine.MultiInstance{
+				Label:    "dispatch",
+				Nodes:    n,
+				Workload: w,
+				Seed:     6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want.Aggregate) {
+				t.Errorf("dispatched cost diverged from RunMulti aggregate:\n run  %+v\n mult %+v",
+					got, want.Aggregate)
+			}
+		})
+	}
+}
+
+// TestMultiValidation covers the instance combinations the object
+// dimension rejects.
+func TestMultiValidation(t *testing.T) {
+	const n = 8
+	g := graph.Complete(n)
+	tr := tree.BalancedBinary(n)
+	multi := engine.NewClosedLoop(5).Objects(4).MustBuild()
+	single := engine.NewClosedLoop(5).MustBuild()
+
+	t.Run("object recorders on single-object run", func(t *testing.T) {
+		_, err := engine.Arrow{}.Run(engine.Instance{
+			Tree:            tr,
+			Workload:        single,
+			ObjectRecorders: make([]stats.Recorder, 1),
+		})
+		if err == nil || !strings.Contains(err.Error(), "ObjectRecorders") {
+			t.Errorf("got %v, want ObjectRecorders rejection", err)
+		}
+	})
+	t.Run("faults on multi-object run", func(t *testing.T) {
+		_, err := engine.NTA{}.Run(engine.Instance{
+			Graph:    g,
+			Workload: multi,
+			Faults:   &sim.FaultPlan{},
+		})
+		if err == nil || !strings.Contains(err.Error(), "fault") {
+			t.Errorf("got %v, want fault rejection", err)
+		}
+	})
+	t.Run("static multi workload", func(t *testing.T) {
+		if _, err := engine.NewStatic(nil).Objects(4).Build(); err == nil {
+			t.Error("builder accepted Objects on a static set")
+		}
+	})
+	t.Run("skew without objects", func(t *testing.T) {
+		if _, err := engine.NewClosedLoop(5).Zipf(1.1).Build(); err == nil {
+			t.Error("builder accepted skew without an object dimension")
+		}
+	})
+	t.Run("recorder length mismatch", func(t *testing.T) {
+		_, err := engine.Ivy{}.RunMulti(engine.MultiInstance{
+			Nodes:           n,
+			Workload:        multi,
+			ObjectRecorders: make([]stats.Recorder, 3),
+		})
+		if err == nil {
+			t.Error("mismatched ObjectRecorders length was accepted")
+		}
+	})
+}
+
+// TestGridRejectsSharedObjectRecorder extends the sharing gate to the
+// object dimension: one recorder appearing in two instances' object
+// slots — or twice within one instance — must panic.
+func TestGridRejectsSharedObjectRecorder(t *testing.T) {
+	w := engine.NewClosedLoop(5).Objects(2).MustBuild()
+	shared := stats.NewDistRecorder()
+	expectPanic := func(t *testing.T, instances []engine.Instance) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("Grid accepted a shared object recorder")
+			}
+		}()
+		engine.Grid(instances, engine.NTA{})
+	}
+	t.Run("across instances", func(t *testing.T) {
+		expectPanic(t, []engine.Instance{
+			{Label: "a", Workload: w, ObjectRecorders: []stats.Recorder{shared, nil}},
+			{Label: "b", Workload: w, ObjectRecorders: []stats.Recorder{nil, shared}},
+		})
+	})
+	t.Run("within one instance", func(t *testing.T) {
+		expectPanic(t, []engine.Instance{
+			{Label: "a", Workload: w, ObjectRecorders: []stats.Recorder{shared, shared}},
+		})
+	})
+	t.Run("aggregate and object slot", func(t *testing.T) {
+		expectPanic(t, []engine.Instance{
+			{Label: "a", Workload: w, Recorder: shared,
+				ObjectRecorders: []stats.Recorder{shared, nil}},
+		})
+	})
+	t.Run("across protocol columns", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Grid crossed a recording instance with two protocols")
+			}
+		}()
+		engine.Grid([]engine.Instance{
+			{Label: "a", Workload: w, ObjectRecorders: []stats.Recorder{shared, nil}},
+		}, engine.NTA{}, engine.Ivy{})
+	})
+}

@@ -16,7 +16,6 @@ import (
 	"repro/internal/loop"
 	"repro/internal/queuing"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // Options configures a simulator-backed Ivy run.
@@ -193,32 +192,14 @@ func Run(g *graph.Graph, set queuing.Set, opts Options) (*Result, error) {
 // served, with ownership transfers acknowledged by a direct reply from
 // the previous owner's node.
 type LoopConfig struct {
+	// Spec holds the shared run knobs. Workers is accepted for config
+	// symmetry with the other protocols but always normalizes to a
+	// serial run: Directory accumulates cross-node chain statistics on
+	// every step, so it is not loop.ShardSafe. Results are identical at
+	// any value.
+	loop.Spec
 	// Root is the initial owner.
 	Root graph.NodeID
-	// PerNode is the number of requests each node issues.
-	PerNode int
-	// ThinkTime is the delay between learning completion and issuing the
-	// next request; 0 defaults to 1 (one local processing step).
-	ThinkTime sim.Time
-	// Latency is the delay model (nil = synchronous).
-	Latency sim.LatencyModel
-	// Arbitration orders simultaneous messages.
-	Arbitration sim.Arbitration
-	// Seed drives random latency/arbitration.
-	Seed int64
-	// Recorder, when non-nil, receives every completed request's queuing
-	// latency and hop count (see loop.Config.Recorder).
-	Recorder stats.Recorder
-	// Scheduler selects the simulator's event-queue implementation
-	// (semantically inert; see sim.SchedulerKind).
-	Scheduler sim.SchedulerKind
-	// Faults is the deterministic liveness schedule (see loop.Config).
-	Faults *sim.FaultPlan
-	// Workers is accepted for config symmetry with the other protocols
-	// but always normalizes to a serial run: Directory accumulates
-	// cross-node chain statistics on every step, so it is not
-	// loop.ShardSafe. Results are identical at any value.
-	Workers int
 }
 
 // LoopResult aggregates a closed-loop Ivy run — the shared closed-loop
@@ -242,15 +223,5 @@ func RunClosedLoopTopo(topo sim.Topology, cfg LoopConfig) (*LoopResult, error) {
 	if int(cfg.Root) < 0 || int(cfg.Root) >= n {
 		return nil, fmt.Errorf("ivy: root %d out of range", cfg.Root)
 	}
-	return loop.RunTopo(topo, NewDirectory(n, cfg.Root), "ivy", loop.Config{
-		PerNode:     cfg.PerNode,
-		ThinkTime:   cfg.ThinkTime,
-		Latency:     cfg.Latency,
-		Arbitration: cfg.Arbitration,
-		Seed:        cfg.Seed,
-		Recorder:    cfg.Recorder,
-		Scheduler:   cfg.Scheduler,
-		Faults:      cfg.Faults,
-		Workers:     cfg.Workers,
-	})
+	return loop.RunTopo(topo, NewDirectory(n, cfg.Root), "ivy", cfg.Spec)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/loop"
 	"repro/internal/queuing"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -100,7 +101,7 @@ func TestRunAmortizedAccountingPreserved(t *testing.T) {
 func TestRunClosedLoopCompletesAll(t *testing.T) {
 	for _, n := range []int{1, 2, 9, 24} {
 		g := graph.Complete(n)
-		res, err := RunClosedLoop(g, LoopConfig{Root: 0, PerNode: 8})
+		res, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 8}, Root: 0})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -116,7 +117,7 @@ func TestRunClosedLoopCompletesAll(t *testing.T) {
 func TestRunClosedLoopAmortizedChains(t *testing.T) {
 	// Closed-loop uniform demand keeps amortized chains logarithmic.
 	n := 64
-	res, err := RunClosedLoop(graph.Complete(n), LoopConfig{Root: 0, PerNode: 40})
+	res, err := RunClosedLoop(graph.Complete(n), LoopConfig{Spec: loop.Spec{PerNode: 40}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,14 +127,7 @@ func TestRunClosedLoopAmortizedChains(t *testing.T) {
 }
 
 func TestRunClosedLoopDeterministic(t *testing.T) {
-	cfg := LoopConfig{
-		Root:        1,
-		PerNode:     12,
-		ThinkTime:   2,
-		Latency:     sim.AsyncUniform(6),
-		Arbitration: sim.ArbRandom,
-		Seed:        123,
-	}
+	cfg := LoopConfig{Spec: loop.Spec{PerNode: 12, ThinkTime: 2, Latency: sim.AsyncUniform(6), Arbitration: sim.ArbRandom, Seed: 123}, Root: 1}
 	g := graph.Complete(12)
 	a, err := RunClosedLoop(g, cfg)
 	if err != nil {
@@ -156,10 +150,10 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	if _, err := Run(g, workload.OneShot(4, 2, 1), Options{Root: 7}); err == nil {
 		t.Error("expected error for out-of-range root")
 	}
-	if _, err := RunClosedLoop(g, LoopConfig{Root: 0, PerNode: 0}); err == nil {
+	if _, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 0}, Root: 0}); err == nil {
 		t.Error("expected error for PerNode = 0")
 	}
-	if _, err := RunClosedLoop(g, LoopConfig{Root: 5, PerNode: 1}); err == nil {
+	if _, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 1}, Root: 5}); err == nil {
 		t.Error("expected error for out-of-range root")
 	}
 }

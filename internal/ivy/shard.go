@@ -1,0 +1,69 @@
+package ivy
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ShardDirectory is Ivy's multi-object probable-owner state: k
+// independent owner pointer sets over the same n nodes, object o's
+// pointers initially naming root_o = o mod n as owner. The chase with
+// forward path shortening performs step-for-step the same pointer
+// updates as NTA's reversal (see the note on nta's reversalStepper and
+// TestClosedLoopMatchesIvy), so the shard tier keeps the identity: Ivy
+// and NTA shard rows are equal by construction, differing only in what
+// the pointers mean.
+type ShardDirectory struct {
+	n     int
+	owner []graph.NodeID
+}
+
+// NewShardDirectory builds the k probable-owner sets; O(k·n) space.
+func NewShardDirectory(n, k int) (*ShardDirectory, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ivy: shard directory needs n >= 1, got %d", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("ivy: shard directory needs k >= 1 objects, got %d", k)
+	}
+	d := &ShardDirectory{n: n, owner: make([]graph.NodeID, k*n)}
+	for o := 0; o < k; o++ {
+		root := graph.NodeID(o % n)
+		base := o * n
+		for v := 0; v < n; v++ {
+			d.owner[base+v] = root
+		}
+	}
+	return d, nil
+}
+
+// StartFind begins a request for obj at v: owning the object already
+// completes locally; otherwise the request chases v's probable owner
+// and v names itself (it is about to own the object).
+func (d *ShardDirectory) StartFind(obj int32, v graph.NodeID) (graph.NodeID, bool) {
+	i := int(obj)*d.n + int(v)
+	if d.owner[i] == v {
+		return v, true
+	}
+	target := d.owner[i]
+	d.owner[i] = v
+	return target, false
+}
+
+// ForwardFind shortens at's probable-owner pointer for obj to the
+// requester and continues the chase; a self pointer means at owned the
+// object.
+func (d *ShardDirectory) ForwardFind(obj int32, at, from, origin graph.NodeID) (graph.NodeID, bool) {
+	i := int(obj)*d.n + int(at)
+	next := d.owner[i]
+	d.owner[i] = origin
+	if next == at {
+		return origin, true
+	}
+	return next, false
+}
+
+// ShardSafeStepper marks the directory safe for the parallel drain:
+// every owner entry is keyed by the node whose events touch it.
+func (d *ShardDirectory) ShardSafeStepper() {}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ivy"
+	"repro/internal/loop"
 	"repro/internal/nta"
 	"repro/internal/sim"
 )
@@ -29,13 +30,13 @@ func TestForwardingLoopsSurviveNodeChurn(t *testing.T) {
 	run := func(name string) *nta.LoopResult {
 		switch name {
 		case "nta":
-			res, err := nta.RunClosedLoop(g, nta.LoopConfig{Root: 0, PerNode: perNode, Faults: plan})
+			res, err := nta.RunClosedLoop(g, nta.LoopConfig{Spec: loop.Spec{PerNode: perNode, Faults: plan}, Root: 0})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 			return res
 		default:
-			res, err := ivy.RunClosedLoop(g, ivy.LoopConfig{Root: 0, PerNode: perNode, Faults: plan})
+			res, err := ivy.RunClosedLoop(g, ivy.LoopConfig{Spec: loop.Spec{PerNode: perNode, Faults: plan}, Root: 0})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -72,7 +73,7 @@ func TestForwardingLoopQueuePolicy(t *testing.T) {
 	const n, perNode = 16, 20
 	g := graph.Complete(n)
 	plan := &sim.FaultPlan{Policy: sim.FaultQueue, Events: sim.NodeChurn(n, nil, 1, 20, 15, 400, 3)}
-	res, err := nta.RunClosedLoop(g, nta.LoopConfig{Root: 0, PerNode: perNode, Faults: plan})
+	res, err := nta.RunClosedLoop(g, nta.LoopConfig{Spec: loop.Spec{PerNode: perNode, Faults: plan}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func TestForwardingLoopQueuePolicy(t *testing.T) {
 // the forwarding drivers — a nil and an empty plan agree byte for byte.
 func TestForwardingLoopEmptyPlanBitIdentical(t *testing.T) {
 	g := graph.Complete(12)
-	base, err := ivy.RunClosedLoop(g, ivy.LoopConfig{Root: 0, PerNode: 25})
+	base, err := ivy.RunClosedLoop(g, ivy.LoopConfig{Spec: loop.Spec{PerNode: 25}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	empty, err := ivy.RunClosedLoop(g, ivy.LoopConfig{Root: 0, PerNode: 25, Faults: &sim.FaultPlan{}})
+	empty, err := ivy.RunClosedLoop(g, ivy.LoopConfig{Spec: loop.Spec{PerNode: 25, Faults: &sim.FaultPlan{}}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestForwardingLoopEmptyPlanBitIdentical(t *testing.T) {
 func TestForwardingLoopRejectsNonHealingPlan(t *testing.T) {
 	g := graph.Complete(6)
 	plan := &sim.FaultPlan{Events: []sim.FaultEvent{{At: 3, Kind: sim.NodeDown, U: 1}}}
-	if _, err := nta.RunClosedLoop(g, nta.LoopConfig{Root: 0, PerNode: 2, Faults: plan}); err == nil {
+	if _, err := nta.RunClosedLoop(g, nta.LoopConfig{Spec: loop.Spec{PerNode: 2, Faults: plan}, Root: 0}); err == nil {
 		t.Fatal("non-healing plan accepted")
 	}
 }

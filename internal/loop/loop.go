@@ -45,8 +45,11 @@ type ShardSafe interface {
 	ShardSafeStepper()
 }
 
-// Config drives a closed-loop run (the Section 5 regime).
-type Config struct {
+// Spec drives a closed-loop run (the Section 5 regime). It is the one
+// run-spec shared by every protocol driver: arrow, centralized, NTA and
+// Ivy all embed it in their LoopConfig, so the common knobs exist once
+// and cannot drift between protocols.
+type Spec struct {
 	// PerNode is the number of requests each node issues.
 	PerNode int
 	// ThinkTime is the delay between learning completion and issuing the
@@ -82,7 +85,17 @@ type Config struct {
 	// ShardSafe, non-FIFO arbitration, the heap scheduler, or a fault
 	// plan. Results are bit-identical to a serial run either way.
 	Workers int
+	// LinkTxTime, when positive, gives every link finite serialization
+	// capacity (see sim.Config.LinkTxTime); 0 keeps the classic
+	// infinite-capacity model.
+	LinkTxTime sim.Time
 }
+
+// Config is the pre-consolidation name of Spec.
+//
+// Deprecated: use Spec. The alias is kept for one release so existing
+// callers migrate mechanically; it will be removed.
+type Config = Spec
 
 // Result aggregates a closed-loop run with the same counters as
 // arrow.LoopResult, so the engine layer reports one Cost shape for every
@@ -165,7 +178,7 @@ func (*reply) isLoopMsg() {}
 // counts fit int32 up to n = 2³¹ forwarding steps), so a million-node
 // state costs ~24 MB and zero per-node boxing.
 type state struct {
-	cfg   Config
+	cfg   Spec
 	step  Stepper
 	proto string
 
@@ -196,14 +209,14 @@ type state struct {
 
 // Run executes the closed-loop experiment for the given pointer
 // discipline over graph g's metric. proto prefixes error messages.
-func Run(g *graph.Graph, step Stepper, proto string, cfg Config) (*Result, error) {
+func Run(g *graph.Graph, step Stepper, proto string, cfg Spec) (*Result, error) {
 	return RunTopo(sim.NewMetricTopology(g), step, proto, cfg)
 }
 
 // effectiveWorkers normalizes cfg.Workers against everything the
 // parallel drain cannot reproduce bit-identically; the returned count is
 // safe to hand to sim.New.
-func effectiveWorkers(step Stepper, cfg Config) int {
+func effectiveWorkers(step Stepper, cfg Spec) int {
 	if cfg.Workers <= 1 {
 		return 1
 	}
@@ -220,7 +233,7 @@ func effectiveWorkers(step Stepper, cfg Config) int {
 // implicit sim.CompleteTopology, which is how million-node complete-
 // graph runs avoid the O(n²) distance matrix Run's materialized metric
 // would build.
-func RunTopo(topo sim.Topology, step Stepper, proto string, cfg Config) (*Result, error) {
+func RunTopo(topo sim.Topology, step Stepper, proto string, cfg Spec) (*Result, error) {
 	n := topo.NumNodes()
 	if cfg.PerNode < 1 {
 		return nil, fmt.Errorf("%s: PerNode must be >= 1", proto)
@@ -261,6 +274,7 @@ func RunTopo(topo sim.Topology, step Stepper, proto string, cfg Config) (*Result
 		Scheduler:   cfg.Scheduler,
 		Faults:      cfg.Faults,
 		Workers:     workers,
+		LinkTxTime:  cfg.LinkTxTime,
 	})
 	if cfg.Faults != nil {
 		st.lost = make([]bool, n)

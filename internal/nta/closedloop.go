@@ -6,7 +6,6 @@ import (
 	"repro/internal/graph"
 	"repro/internal/loop"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // LoopConfig drives the closed-loop workload of the paper's experiments
@@ -14,32 +13,12 @@ import (
 // PerNode queuing requests, each issued ThinkTime units after learning the
 // previous one completed. A request that queues remotely is acknowledged
 // by a reply message from the predecessor's node back to the requester,
-// sent directly over the metric.
+// sent directly over the metric. The shared run knobs live in the
+// embedded loop.Spec.
 type LoopConfig struct {
+	loop.Spec
 	// Root is the initial tail holder; all last pointers start there.
 	Root graph.NodeID
-	// PerNode is the number of requests each node issues.
-	PerNode int
-	// ThinkTime is the delay between learning completion and issuing the
-	// next request; 0 defaults to 1 (one local processing step).
-	ThinkTime sim.Time
-	// Latency is the delay model (nil = synchronous).
-	Latency sim.LatencyModel
-	// Arbitration orders simultaneous messages.
-	Arbitration sim.Arbitration
-	// Seed drives random latency/arbitration.
-	Seed int64
-	// Recorder, when non-nil, receives every completed request's queuing
-	// latency and hop count (see loop.Config.Recorder).
-	Recorder stats.Recorder
-	// Scheduler selects the simulator's event-queue implementation
-	// (semantically inert; see sim.SchedulerKind).
-	Scheduler sim.SchedulerKind
-	// Faults is the deterministic liveness schedule (see loop.Config).
-	Faults *sim.FaultPlan
-	// Workers requests the tick-windowed parallel drain (see
-	// loop.Config.Workers); results are bit-identical at any count.
-	Workers int
 }
 
 // LoopResult aggregates a closed-loop NTA run — the shared closed-loop
@@ -105,15 +84,5 @@ func RunClosedLoopTopo(topo sim.Topology, cfg LoopConfig) (*LoopResult, error) {
 		st.last[v] = cfg.Root
 	}
 	st.last[cfg.Root] = cfg.Root
-	return loop.RunTopo(topo, st, "nta", loop.Config{
-		PerNode:     cfg.PerNode,
-		ThinkTime:   cfg.ThinkTime,
-		Latency:     cfg.Latency,
-		Arbitration: cfg.Arbitration,
-		Seed:        cfg.Seed,
-		Recorder:    cfg.Recorder,
-		Scheduler:   cfg.Scheduler,
-		Faults:      cfg.Faults,
-		Workers:     cfg.Workers,
-	})
+	return loop.RunTopo(topo, st, "nta", cfg.Spec)
 }

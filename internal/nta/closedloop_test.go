@@ -6,13 +6,14 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ivy"
+	"repro/internal/loop"
 	"repro/internal/sim"
 )
 
 func TestClosedLoopCompletesAll(t *testing.T) {
 	for _, n := range []int{1, 2, 7, 24} {
 		g := graph.Complete(n)
-		res, err := RunClosedLoop(g, LoopConfig{Root: 0, PerNode: 10})
+		res, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 10}, Root: 0})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -32,7 +33,7 @@ func TestClosedLoopCompletesAll(t *testing.T) {
 }
 
 func TestClosedLoopSingleNodeAllLocal(t *testing.T) {
-	res, err := RunClosedLoop(graph.Complete(1), LoopConfig{Root: 0, PerNode: 25})
+	res, err := RunClosedLoop(graph.Complete(1), LoopConfig{Spec: loop.Spec{PerNode: 25}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestClosedLoopSingleNodeAllLocal(t *testing.T) {
 func TestClosedLoopReplyAccounting(t *testing.T) {
 	// Every remote completion triggers exactly one reply message;
 	// local completions trigger none.
-	res, err := RunClosedLoop(graph.Complete(8), LoopConfig{Root: 0, PerNode: 12})
+	res, err := RunClosedLoop(graph.Complete(8), LoopConfig{Spec: loop.Spec{PerNode: 12}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,14 +58,7 @@ func TestClosedLoopReplyAccounting(t *testing.T) {
 }
 
 func TestClosedLoopDeterministic(t *testing.T) {
-	cfg := LoopConfig{
-		Root:        2,
-		PerNode:     15,
-		ThinkTime:   3,
-		Latency:     sim.AsyncUniform(5),
-		Arbitration: sim.ArbRandom,
-		Seed:        99,
-	}
+	cfg := LoopConfig{Spec: loop.Spec{PerNode: 15, ThinkTime: 3, Latency: sim.AsyncUniform(5), Arbitration: sim.ArbRandom, Seed: 99}, Root: 2}
 	g := graph.Complete(16)
 	a, err := RunClosedLoop(g, cfg)
 	if err != nil {
@@ -87,15 +81,13 @@ func TestClosedLoopDeterministic(t *testing.T) {
 // construction, not by measurement noise.
 func TestClosedLoopMatchesIvy(t *testing.T) {
 	for _, seed := range []int64{1, 9} {
-		cfg := LoopConfig{Root: 3, PerNode: 25, ThinkTime: 2,
-			Latency: sim.AsyncUniform(4), Arbitration: sim.ArbRandom, Seed: seed}
+		cfg := LoopConfig{Spec: loop.Spec{PerNode: 25, ThinkTime: 2, Latency: sim.AsyncUniform(4), Arbitration: sim.ArbRandom, Seed: seed}, Root: 3}
 		g := graph.Complete(20)
 		a, err := RunClosedLoop(g, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := ivy.RunClosedLoop(g, ivy.LoopConfig{Root: cfg.Root, PerNode: cfg.PerNode,
-			ThinkTime: cfg.ThinkTime, Latency: cfg.Latency, Arbitration: cfg.Arbitration, Seed: cfg.Seed})
+		b, err := ivy.RunClosedLoop(g, ivy.LoopConfig{Spec: loop.Spec{PerNode: cfg.PerNode, ThinkTime: cfg.ThinkTime, Latency: cfg.Latency, Arbitration: cfg.Arbitration, Seed: cfg.Seed}, Root: cfg.Root})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,10 +99,10 @@ func TestClosedLoopMatchesIvy(t *testing.T) {
 
 func TestClosedLoopRejectsBadConfig(t *testing.T) {
 	g := graph.Complete(4)
-	if _, err := RunClosedLoop(g, LoopConfig{Root: 0, PerNode: 0}); err == nil {
+	if _, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 0}, Root: 0}); err == nil {
 		t.Error("expected error for PerNode = 0")
 	}
-	if _, err := RunClosedLoop(g, LoopConfig{Root: 9, PerNode: 1}); err == nil {
+	if _, err := RunClosedLoop(g, LoopConfig{Spec: loop.Spec{PerNode: 1}, Root: 9}); err == nil {
 		t.Error("expected error for out-of-range root")
 	}
 }
@@ -118,7 +110,7 @@ func TestClosedLoopRejectsBadConfig(t *testing.T) {
 func TestClosedLoopPointerCollapseKeepsHopsLow(t *testing.T) {
 	// Under uniform closed-loop demand pointer chains collapse toward
 	// recent requesters: average hops stays far below the n worst case.
-	res, err := RunClosedLoop(graph.Complete(32), LoopConfig{Root: 0, PerNode: 50})
+	res, err := RunClosedLoop(graph.Complete(32), LoopConfig{Spec: loop.Spec{PerNode: 50}, Root: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,67 @@
+package nta
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ShardReversal is NTA's multi-object pointer state: k independent last
+// pointer sets over the same n nodes, object o's pointers initially
+// converging on root_o = o mod n. The reversal discipline is exactly
+// the single-object reversalStepper's, applied to the slice of the flat
+// array owned by the request's object: every visited node redirects its
+// last pointer for that object to the requester, and the chase ends at
+// the node whose pointer is self.
+type ShardReversal struct {
+	n    int
+	last []graph.NodeID
+}
+
+// NewShardReversal builds the k pointer sets; O(k·n) space.
+func NewShardReversal(n, k int) (*ShardReversal, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("nta: shard reversal needs n >= 1, got %d", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("nta: shard reversal needs k >= 1 objects, got %d", k)
+	}
+	r := &ShardReversal{n: n, last: make([]graph.NodeID, k*n)}
+	for o := 0; o < k; o++ {
+		root := graph.NodeID(o % n)
+		base := o * n
+		for v := 0; v < n; v++ {
+			r.last[base+v] = root
+		}
+	}
+	return r, nil
+}
+
+// StartFind begins a request for obj at v: a self pointer means v holds
+// the object's tail; otherwise the request chases the pointer and v's
+// pointer flips to self.
+func (r *ShardReversal) StartFind(obj int32, v graph.NodeID) (graph.NodeID, bool) {
+	i := int(obj)*r.n + int(v)
+	if r.last[i] == v {
+		return v, true
+	}
+	target := r.last[i]
+	r.last[i] = v
+	return target, false
+}
+
+// ForwardFind redirects at's last pointer for obj to the requester and
+// continues the chase; a self pointer means the tail was here.
+func (r *ShardReversal) ForwardFind(obj int32, at, from, origin graph.NodeID) (graph.NodeID, bool) {
+	i := int(obj)*r.n + int(at)
+	next := r.last[i]
+	r.last[i] = origin
+	if next == at {
+		return origin, true
+	}
+	return next, false
+}
+
+// ShardSafeStepper marks the discipline safe for the parallel drain:
+// every last entry is keyed by the node whose events touch it.
+func (r *ShardReversal) ShardSafeStepper() {}

@@ -1,16 +1,26 @@
 // Package runtime is a live, goroutine-based implementation of the arrow
-// protocol: every tree node is a goroutine owning its link pointer, and
+// protocol: every tree node is a goroutine owning its link pointers, and
 // tree edges are channel-backed FIFO mailboxes — the natural Go embedding
 // of the paper's asynchronous message-passing model. It complements the
 // deterministic simulator (package arrow): the simulator measures the
 // paper's cost model exactly, while this runtime demonstrates the protocol
 // under real, racy concurrency (run the tests with -race).
 //
-// State is never shared: each node's link and id fields are touched only
-// by its own goroutine, and all coordination flows through channels.
+// The runtime is a sharded multi-object service: Options.Objects runs k
+// independent arrow instances over the same tree and the same node
+// goroutines, object o rooted at its own home node, with Submit as the
+// object-keyed request front door. Admission is bounded — with a
+// positive MaxInFlight the network sheds load with a typed
+// *OverloadError instead of queueing without limit, so mailbox memory
+// stays proportional to the admission window rather than the offered
+// load.
+//
+// State is never shared: each node's link and lastReq entries are touched
+// only by its own goroutine, and all coordination flows through channels.
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,10 +32,13 @@ import (
 
 // Completion reports one queued request, delivered on the network's
 // completions channel. PredID is -1 when the request was queued behind
-// the virtual root request.
+// the virtual root request of its object.
 type Completion struct {
 	ReqID  int64
 	PredID int64
+	// Object is the shared object the request queued on (0 on
+	// single-object networks).
+	Object int32
 	Origin graph.NodeID
 	Sink   graph.NodeID
 	Hops   int
@@ -42,14 +55,45 @@ type Options struct {
 	// deterministically; the live network is wall-clock by design
 	// everywhere else (see the runtime-vs-sim agreement check).
 	Clock func() time.Time
+	// Objects is the number of independent protocol instances the
+	// network serves (0 and 1 both mean one object). Object o's tree is
+	// the shared spanning tree re-rooted at (root + o) mod n, so the k
+	// sink hotspots spread across the nodes.
+	Objects int
+	// MaxInFlight bounds admitted-but-uncompleted requests across all
+	// objects: Submit beyond the bound fails fast with *OverloadError
+	// instead of growing node mailboxes without limit. 0 means
+	// unbounded (the classic demonstration mode).
+	MaxInFlight int
 }
 
-// Network runs the arrow protocol over a spanning tree with one goroutine
-// per node.
+// ErrStopped is returned by Submit when the network is not accepting
+// requests: before Start, after Stop, or once a concurrent Stop has
+// begun shutting down.
+var ErrStopped = errors.New("runtime: network not running")
+
+// OverloadError is Submit's typed backpressure rejection: the admission
+// window (Options.MaxInFlight) was full. The request was not enqueued;
+// the caller may retry after completions drain.
+type OverloadError struct {
+	Node   graph.NodeID
+	Object int32
+	Limit  int
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("runtime: node %d rejected request for object %d: %d requests in flight",
+		e.Node, e.Object, e.Limit)
+}
+
+// Network runs k sharded arrow instances over a spanning tree with one
+// goroutine per node.
 type Network struct {
-	t    *tree.Tree
-	root graph.NodeID
-	opts Options
+	t       *tree.Tree
+	root    graph.NodeID
+	opts    Options
+	objects int
 
 	nodes       []*node
 	compIn      chan Completion
@@ -57,9 +101,16 @@ type Network struct {
 	collectorWg sync.WaitGroup
 	nextReq     atomic.Int64
 	inflight    sync.WaitGroup
-	// mu orders request admission against shutdown: Request holds the
+	// inflightN mirrors the inflight WaitGroup as a readable counter:
+	// admit increments it inside the admission window check, complete
+	// decrements it, so its value is the exact number of admitted,
+	// uncompleted requests.
+	inflightN atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	// mu orders request admission against shutdown: Submit holds the
 	// read side while it checks running and enqueues, Stop holds the
-	// write side while it flips running. Without it a Request racing
+	// write side while it flips running. Without it a Submit racing
 	// Stop could pass the running check, then enqueue into a node whose
 	// loop already exited — the mailbox would never drain and Stop would
 	// deadlock in wg.Wait().
@@ -77,6 +128,7 @@ type message interface{ isRuntimeMsg() }
 
 type queueMsg struct {
 	reqID  int64
+	obj    int32
 	origin graph.NodeID
 	from   graph.NodeID
 	hops   int
@@ -84,6 +136,7 @@ type queueMsg struct {
 
 type issueMsg struct {
 	reqID int64
+	obj   int32
 	done  chan<- struct{} // optional: closed once initiation is processed
 }
 
@@ -93,28 +146,44 @@ func (queueMsg) isRuntimeMsg() {}
 func (issueMsg) isRuntimeMsg() {}
 func (stopMsg) isRuntimeMsg()  {}
 
+// node owns one slot of every object's pointer state: link[o] is the
+// node's arrow for object o, lastReq[o] its most recent request on that
+// object's queue. Both are touched only by the node's own goroutine.
 type node struct {
 	id      graph.NodeID
-	link    graph.NodeID
-	lastReq int64
+	link    []graph.NodeID
+	lastReq []int64
 	in      chan message // unbounded mailbox input
 	out     chan message // node loop reads here
 	net     *Network
 }
 
-// New builds a network over tree t with the initial sink at root.
+// New builds a network over tree t. Object 0's initial sink is root;
+// object o's is (root + o) mod n, so multi-object networks spread their
+// sinks over the whole tree.
 func New(t *tree.Tree, root graph.NodeID, opts Options) *Network {
 	n := t.NumNodes()
 	if int(root) < 0 || int(root) >= n {
 		panic(fmt.Sprintf("runtime: root %d out of range", root))
 	}
+	if opts.Objects < 0 {
+		panic(fmt.Sprintf("runtime: Objects must be >= 0, got %d", opts.Objects))
+	}
+	if opts.MaxInFlight < 0 {
+		panic(fmt.Sprintf("runtime: MaxInFlight must be >= 0, got %d", opts.MaxInFlight))
+	}
 	if opts.Clock == nil {
 		opts.Clock = time.Now
+	}
+	k := opts.Objects
+	if k < 1 {
+		k = 1
 	}
 	net := &Network{
 		t:           t,
 		root:        root,
 		opts:        opts,
+		objects:     k,
 		nodes:       make([]*node, n),
 		compIn:      make(chan Completion, 16),
 		completions: make(chan Completion),
@@ -122,21 +191,41 @@ func New(t *tree.Tree, root graph.NodeID, opts Options) *Network {
 	}
 	for v := 0; v < n; v++ {
 		id := graph.NodeID(v)
-		link := id
-		if id != root {
-			link = t.NextHop(id, root)
-		}
-		net.nodes[v] = &node{
+		nd := &node{
 			id:      id,
-			link:    link,
-			lastReq: -1,
+			link:    make([]graph.NodeID, k),
+			lastReq: make([]int64, k),
 			in:      make(chan message, 16),
 			out:     make(chan message),
 			net:     net,
 		}
+		for o := 0; o < k; o++ {
+			objRoot := graph.NodeID((int(root) + o) % n)
+			if id == objRoot {
+				nd.link[o] = id
+			} else {
+				nd.link[o] = t.NextHop(id, objRoot)
+			}
+			nd.lastReq[o] = -1
+		}
+		net.nodes[v] = nd
 	}
 	return net
 }
+
+// Objects returns the number of objects the network serves.
+func (net *Network) Objects() int { return net.objects }
+
+// Accepted returns the number of requests admitted so far.
+func (net *Network) Accepted() int64 { return net.accepted.Load() }
+
+// Rejected returns the number of requests refused by the admission
+// window (*OverloadError rejections; ErrStopped refusals don't count —
+// they are lifecycle, not load).
+func (net *Network) Rejected() int64 { return net.rejected.Load() }
+
+// InFlight returns the number of admitted, uncompleted requests.
+func (net *Network) InFlight() int64 { return net.inflightN.Load() }
 
 // Start launches the node goroutines. It must be called exactly once.
 func (net *Network) Start() {
@@ -194,58 +283,89 @@ func (net *Network) collect() {
 // protocol); the channel is closed by Stop.
 func (net *Network) Completions() <-chan Completion { return net.completions }
 
-// Request asynchronously issues a queuing request at node v and returns
-// its request ID. The completion eventually appears on Completions.
-// Requests racing Stop either get fully serviced (Stop waits for them)
-// or fail fast with TryRequest's rejection panic — they are never
-// silently dropped into a stopped node.
+// Request asynchronously issues a queuing request for object 0 at node
+// v and returns its request ID. The completion eventually appears on
+// Completions. Requests racing Stop either get fully serviced (Stop
+// waits for them) or fail fast — they are never silently dropped into a
+// stopped node.
 func (net *Network) Request(v graph.NodeID) int64 {
-	id, ok := net.TryRequest(v)
-	if !ok {
-		panic("runtime: Request before Start or after Stop")
+	id, err := net.Submit(v, 0)
+	if err != nil {
+		panic("runtime: " + err.Error())
 	}
 	return id
 }
 
 // TryRequest is Request that reports rejection instead of panicking:
-// ok is false when the network is not running (before Start, after Stop,
-// or once a concurrent Stop has begun shutting down). A request accepted
-// here is guaranteed to complete before Stop returns.
+// ok is false when the network is not running or the admission window
+// is full. A request accepted here is guaranteed to complete before
+// Stop returns.
 func (net *Network) TryRequest(v graph.NodeID) (id int64, ok bool) {
-	id, _, ok = net.admit(v, false)
-	return id, ok
+	id, err := net.Submit(v, 0)
+	return id, err == nil
 }
 
-// RequestSync issues a request at v and waits until v's protocol
-// initiation step has executed (not until queuing completes). Useful for
-// tests that need a deterministic issue order.
+// Submit is the object-keyed request front door: it issues a queuing
+// request for object obj at node v. It fails fast with ErrStopped when
+// the network is not running and with a typed *OverloadError when the
+// admission window (Options.MaxInFlight) is full; an accepted request
+// is guaranteed to complete before Stop returns, with its completion on
+// Completions.
+func (net *Network) Submit(v graph.NodeID, obj int32) (id int64, err error) {
+	id, _, err = net.admit(v, obj, false)
+	return id, err
+}
+
+// RequestSync issues a request for object 0 at v and waits until v's
+// protocol initiation step has executed (not until queuing completes).
+// Useful for tests that need a deterministic issue order.
 func (net *Network) RequestSync(v graph.NodeID) int64 {
-	id, done, ok := net.admit(v, true)
-	if !ok {
-		panic("runtime: Request before Start or after Stop")
+	id, done, err := net.admit(v, 0, true)
+	if err != nil {
+		panic("runtime: " + err.Error())
 	}
 	<-done
 	return id
 }
 
-// admit atomically checks that the network is running and enqueues the
-// issue message. Holding mu's read side across check+enqueue closes the
-// Request/Stop race: once Stop's writer section flips running, no new
-// issue can reach a mailbox, and every issue that won the race is
-// covered by Stop's quiescence wait.
-func (net *Network) admit(v graph.NodeID, sync bool) (id int64, done chan struct{}, ok bool) {
+// admit atomically checks that the network is running, applies the
+// admission window, and enqueues the issue message. Holding mu's read
+// side across check+enqueue closes the Submit/Stop race: once Stop's
+// writer section flips running, no new issue can reach a mailbox, and
+// every issue that won the race is covered by Stop's quiescence wait.
+func (net *Network) admit(v graph.NodeID, obj int32, sync bool) (id int64, done chan struct{}, err error) {
+	if int(v) < 0 || int(v) >= len(net.nodes) {
+		return 0, nil, fmt.Errorf("runtime: node %d out of range", v)
+	}
+	if int(obj) < 0 || int(obj) >= net.objects {
+		return 0, nil, fmt.Errorf("runtime: object %d out of range (network serves %d)", obj, net.objects)
+	}
 	net.mu.RLock()
 	defer net.mu.RUnlock()
 	if !net.running.Load() {
-		return 0, nil, false
+		return 0, nil, ErrStopped
+	}
+	// Optimistic reserve: take the slot, then give it back if that
+	// overshot the window. Concurrent submitters may transiently
+	// overshoot each other's reservations but never the admitted load —
+	// at most MaxInFlight requests are ever in the system.
+	if limit := net.opts.MaxInFlight; limit > 0 {
+		if net.inflightN.Add(1) > int64(limit) {
+			net.inflightN.Add(-1)
+			net.rejected.Add(1)
+			return 0, nil, &OverloadError{Node: v, Object: obj, Limit: limit}
+		}
+	} else {
+		net.inflightN.Add(1)
 	}
 	id = net.nextReq.Add(1) - 1
 	net.inflight.Add(1)
+	net.accepted.Add(1)
 	if sync {
 		done = make(chan struct{})
 	}
-	net.nodes[v].in <- issueMsg{reqID: id, done: done}
-	return id, done, true
+	net.nodes[v].in <- issueMsg{reqID: id, obj: obj, done: done}
+	return id, done, nil
 }
 
 // Wait blocks until every issued request has completed (quiescence).
@@ -259,7 +379,7 @@ func (net *Network) Wait() { net.inflight.Wait() }
 // shutdown has fully finished; Stop before Start is a no-op. The
 // network cannot be restarted.
 func (net *Network) Stop() {
-	// Flip running before waiting: a Request serialized after this
+	// Flip running before waiting: a Submit serialized after this
 	// point is rejected, one serialized before is counted in inflight,
 	// so the Wait below observes a monotonically draining system.
 	net.mu.Lock()
@@ -285,17 +405,24 @@ func (net *Network) Stop() {
 	close(net.stopped)
 }
 
-// Links returns a snapshot of all link pointers. Only valid after Stop
-// (otherwise racy by construction).
-func (net *Network) Links() []graph.NodeID {
+// Links returns a snapshot of object 0's link pointers. Only valid
+// after Stop (otherwise racy by construction).
+func (net *Network) Links() []graph.NodeID { return net.LinksFor(0) }
+
+// LinksFor returns a snapshot of object obj's link pointers. Only valid
+// after Stop (otherwise racy by construction).
+func (net *Network) LinksFor(obj int32) []graph.NodeID {
 	select {
 	case <-net.stopped:
 	default:
 		panic("runtime: Links before Stop")
 	}
+	if int(obj) < 0 || int(obj) >= net.objects {
+		panic(fmt.Sprintf("runtime: object %d out of range (network serves %d)", obj, net.objects))
+	}
 	links := make([]graph.NodeID, len(net.nodes))
 	for i, nd := range net.nodes {
-		links[i] = nd.link
+		links[i] = nd.link[obj]
 	}
 	return links
 }
@@ -303,7 +430,9 @@ func (net *Network) Links() []graph.NodeID {
 // mailbox pumps messages from the unbounded input buffer to the node
 // loop, preserving FIFO order. Buffering in a goroutine-owned slice keeps
 // protocol sends non-blocking, which rules out channel deadlock between
-// mutually sending neighbours.
+// mutually sending neighbours; with a positive MaxInFlight the buffer is
+// additionally bounded by the admission window (each admitted request
+// contributes at most one buffered message per node).
 func (nd *node) mailbox() {
 	defer nd.net.wg.Done()
 	var buf []message
@@ -353,23 +482,26 @@ func (nd *node) initiate(msg issueMsg) {
 	if msg.done != nil {
 		defer close(msg.done)
 	}
-	if nd.link == nd.id {
-		pred := nd.lastReq
-		nd.lastReq = msg.reqID
+	o := msg.obj
+	if nd.link[o] == nd.id {
+		pred := nd.lastReq[o]
+		nd.lastReq[o] = msg.reqID
 		nd.complete(Completion{
-			ReqID: msg.reqID, PredID: pred, Origin: nd.id, Sink: nd.id, At: nd.net.opts.Clock(),
+			ReqID: msg.reqID, PredID: pred, Object: o,
+			Origin: nd.id, Sink: nd.id, At: nd.net.opts.Clock(),
 		})
 		return
 	}
-	target := nd.link
-	nd.lastReq = msg.reqID
-	nd.link = nd.id
-	nd.send(target, queueMsg{reqID: msg.reqID, origin: nd.id, from: nd.id, hops: 1})
+	target := nd.link[o]
+	nd.lastReq[o] = msg.reqID
+	nd.link[o] = nd.id
+	nd.send(target, queueMsg{reqID: msg.reqID, obj: o, origin: nd.id, from: nd.id, hops: 1})
 }
 
 func (nd *node) pathReversal(msg queueMsg) {
-	next := nd.link
-	nd.link = msg.from
+	o := msg.obj
+	next := nd.link[o]
+	nd.link[o] = msg.from
 	if next != nd.id {
 		fwd := msg
 		fwd.from = nd.id
@@ -379,7 +511,8 @@ func (nd *node) pathReversal(msg queueMsg) {
 	}
 	nd.complete(Completion{
 		ReqID:  msg.reqID,
-		PredID: nd.lastReq,
+		PredID: nd.lastReq[o],
+		Object: o,
 		Origin: msg.origin,
 		Sink:   nd.id,
 		Hops:   msg.hops,
@@ -396,5 +529,6 @@ func (nd *node) send(to graph.NodeID, msg queueMsg) {
 
 func (nd *node) complete(c Completion) {
 	nd.net.compIn <- c
+	nd.net.inflightN.Add(-1)
 	nd.net.inflight.Done()
 }

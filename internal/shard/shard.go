@@ -1,0 +1,334 @@
+// Package shard is the multi-object closed-loop driver: k independent
+// protocol instances — one per object, each with its own pointer state
+// and root — all riding one shared simulator network whose links carry
+// the combined traffic. It generalizes package loop along the object
+// dimension the single-object drivers lack: every node issues PerNode
+// requests one at a time, each request drawing its object from a
+// deterministic Zipf popularity law, chasing that object's pointer
+// discipline hop by hop as real simulator messages. With a positive
+// LinkTxTime the shared links serialize cross-object traffic, so
+// hot-object interference shows up as queueing delay on every object
+// sharing the congested links rather than superposing for free.
+//
+// The pointer discipline is supplied as an object-keyed Stepper; the
+// driver owns issue bookkeeping, the object draw, per-object and
+// aggregate accounting, message pre-boxing and the divergence guard, so
+// they exist once and cannot drift between protocols.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/loop"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Stepper is a protocol's object-keyed pointer discipline. Both methods
+// mutate only the pointer state of the given object. Unlike
+// loop.Stepper, ForwardFind receives both the previous hop (from) and
+// the requester (origin): tree protocols reverse pointers toward the
+// previous hop (arrow), metric protocols toward the origin (NTA, Ivy).
+type Stepper interface {
+	// StartFind begins a request for object obj at node v. If v already
+	// holds the object's tail, local is true and no message is sent;
+	// otherwise the request forwards to target.
+	StartFind(obj int32, v graph.NodeID) (target graph.NodeID, local bool)
+	// ForwardFind processes a request for (obj, origin) arriving at node
+	// at from node from. done reports the chase ended at at; otherwise
+	// the request forwards to next.
+	ForwardFind(obj int32, at, from, origin graph.NodeID) (next graph.NodeID, done bool)
+}
+
+// ShardSafe marks a Stepper whose pointer state is partitioned by node:
+// for every object, StartFind(obj, v) touches only state keyed by v and
+// ForwardFind(obj, at, ...) only state keyed by at. Such a stepper may
+// run under the simulator's tick-windowed parallel drain — the node
+// partition is exactly the drain's shard boundary, and the object
+// dimension adds no sharing because each request touches one object's
+// state at one node per event. Steppers with cross-node shared state
+// must not opt in; the driver runs them serially regardless of Workers.
+type ShardSafe interface {
+	ShardSafeStepper()
+}
+
+// Spec drives a multi-object closed-loop run. The embedded loop.Spec
+// carries the shared run knobs; Faults must be nil (the multi-object
+// tier does not support fault plans — Run errors on one).
+type Spec struct {
+	loop.Spec
+	// Objects is the number of independent protocol instances sharing
+	// the network; must be >= 1.
+	Objects int
+	// Skew is the Zipf exponent of object popularity: each request
+	// draws object o with weight (o+1)^-Skew (0 = uniform).
+	Skew float64
+	// ObjectRecorders, when non-nil, attaches one recorder per object:
+	// entry o observes exactly object o's completions (nil entries skip
+	// an object). Length must equal Objects. The aggregate
+	// Spec.Recorder, when set, additionally observes every completion.
+	ObjectRecorders []stats.Recorder
+}
+
+// Result aggregates a multi-object run: the familiar closed-loop
+// counter shape once for the combined traffic and once per object.
+type Result struct {
+	// N is the node count, Objects the object count.
+	N       int
+	Objects int
+	// Agg is the aggregate over all objects. Its Makespan is the time
+	// to drain the combined load and its Events the total event count.
+	Agg loop.Result
+	// PerObject holds each object's own counters, indexed by object.
+	// Makespan and Events are global quantities and stay zero here; N
+	// is the shared node count.
+	PerObject []loop.Result
+}
+
+// findMsg is the driver's request message; the marker method keys the
+// family for arrowlint's msgswitch analyzer.
+type shardMsg interface{ isShardMsg() }
+
+type findMsg struct {
+	origin graph.NodeID
+	obj    int32
+}
+
+type replyMsg struct{}
+
+func (*findMsg) isShardMsg()  {}
+func (*replyMsg) isShardMsg() {}
+
+// state is O(n + workers·k): per-node bookkeeping mirrors package loop
+// (one in-flight request per node, pre-boxed messages reused across a
+// node's successive requests), and the per-object counters get one slot
+// per drain shard so no two workers share an accumulator. A node's
+// pre-boxed findMsg is re-stamped with the object of each new request;
+// that is safe for the same reason the reuse itself is — the previous
+// request's message is done traveling before the node's next issue.
+type state struct {
+	spec  Spec
+	step  Stepper
+	proto string
+	zipf  *workload.Zipf
+
+	issueTime []sim.Time
+	hops      []int32
+	issued    []int32
+	remaining []int32
+
+	msgs []findMsg
+	rep  replyMsg
+
+	// resS[shard][obj] accumulates object obj's counters for drain
+	// shard `shard`; the slots merge after the run (integer sums and a
+	// max — order-independent, hence bit-identical at any worker count).
+	resS [][]loop.Result
+}
+
+// effectiveWorkers normalizes spec.Workers against everything the
+// parallel drain cannot reproduce bit-identically.
+func effectiveWorkers(step Stepper, spec Spec) int {
+	if spec.Workers <= 1 {
+		return 1
+	}
+	if _, ok := step.(ShardSafe); !ok {
+		return 1
+	}
+	if spec.Arbitration != sim.ArbFIFO || spec.Scheduler != sim.SchedLadder {
+		return 1
+	}
+	return spec.Workers
+}
+
+// eventBudget is the divergence guard: each request costs at most ~2n
+// message events plus a reply and timers, independent of the object
+// count (objects partition the requests, they do not multiply them).
+func eventBudget(total int64, n int) int64 {
+	return sim.SatAdd(sim.SatMul(total, int64(4*n+8)), 1024)
+}
+
+// Run executes the multi-object closed-loop experiment over topo with
+// the given object-keyed pointer discipline. proto prefixes error
+// messages.
+func Run(topo sim.Topology, step Stepper, proto string, spec Spec) (*Result, error) {
+	n := topo.NumNodes()
+	if spec.PerNode < 1 {
+		return nil, fmt.Errorf("%s: PerNode must be >= 1", proto)
+	}
+	if spec.Objects < 1 {
+		return nil, fmt.Errorf("%s: Objects must be >= 1, got %d", proto, spec.Objects)
+	}
+	if spec.Skew < 0 {
+		return nil, fmt.Errorf("%s: Skew must be >= 0, got %g", proto, spec.Skew)
+	}
+	if spec.Faults != nil {
+		return nil, fmt.Errorf("%s: fault plans are not supported on multi-object runs", proto)
+	}
+	if spec.ObjectRecorders != nil && len(spec.ObjectRecorders) != spec.Objects {
+		return nil, fmt.Errorf("%s: ObjectRecorders has %d entries for %d objects",
+			proto, len(spec.ObjectRecorders), spec.Objects)
+	}
+	k := spec.Objects
+	workers := effectiveWorkers(step, spec)
+	total := int64(spec.PerNode) * int64(n)
+	st := &state{
+		spec:      spec,
+		step:      step,
+		proto:     proto,
+		zipf:      workload.NewZipf(k, spec.Skew),
+		issueTime: make([]sim.Time, n),
+		hops:      make([]int32, n),
+		issued:    make([]int32, n),
+		remaining: make([]int32, n),
+		msgs:      make([]findMsg, n),
+		resS:      make([][]loop.Result, workers),
+	}
+	for i := range st.resS {
+		st.resS[i] = make([]loop.Result, k)
+	}
+	for v := range st.remaining {
+		st.remaining[v] = int32(spec.PerNode)
+		st.msgs[v].origin = graph.NodeID(v)
+	}
+	s := sim.New(sim.Config{
+		Topology:    topo,
+		Latency:     spec.Latency,
+		Arbitration: spec.Arbitration,
+		Seed:        spec.Seed,
+		MaxEvents:   eventBudget(total, n),
+		Scheduler:   spec.Scheduler,
+		Workers:     workers,
+		LinkTxTime:  spec.LinkTxTime,
+	})
+	s.SetAllHandlers(st.handle)
+	s.SetTimerHandler(st.issue)
+	for v := 0; v < n; v++ {
+		s.ScheduleNodeAt(0, graph.NodeID(v))
+	}
+	makespan := s.Run()
+	res := st.merge(n, k)
+	res.Agg.Makespan = makespan
+	res.Agg.Events = s.EventsProcessed()
+	if res.Agg.Requests != total {
+		return nil, fmt.Errorf("%s: multi-object loop completed %d of %d requests",
+			proto, res.Agg.Requests, total)
+	}
+	return res, nil
+}
+
+// merge folds the per-shard, per-object accumulator slots into the
+// per-object results and their aggregate.
+func (st *state) merge(n, k int) *Result {
+	res := &Result{
+		N:         n,
+		Objects:   k,
+		Agg:       loop.Result{N: n},
+		PerObject: make([]loop.Result, k),
+	}
+	for o := 0; o < k; o++ {
+		po := &res.PerObject[o]
+		po.N = n
+		for s := range st.resS {
+			r := &st.resS[s][o]
+			po.Requests += r.Requests
+			po.QueueHops += r.QueueHops
+			po.ReplyHops += r.ReplyHops
+			po.LocalCompletions += r.LocalCompletions
+			po.TotalLatency += r.TotalLatency
+			if r.MaxQueueHops > po.MaxQueueHops {
+				po.MaxQueueHops = r.MaxQueueHops
+			}
+		}
+		res.Agg.Requests += po.Requests
+		res.Agg.QueueHops += po.QueueHops
+		res.Agg.ReplyHops += po.ReplyHops
+		res.Agg.LocalCompletions += po.LocalCompletions
+		res.Agg.TotalLatency += po.TotalLatency
+		if po.MaxQueueHops > res.Agg.MaxQueueHops {
+			res.Agg.MaxQueueHops = po.MaxQueueHops
+		}
+	}
+	return res
+}
+
+//arrow:hotpath one call per request issued (object draw included)
+func (st *state) issue(ctx *sim.Context, v graph.NodeID) {
+	if st.remaining[v] == 0 {
+		return
+	}
+	st.remaining[v]--
+	idx := st.issued[v]
+	st.issued[v]++
+	obj := st.zipf.Draw(st.spec.Seed, v, int64(idx))
+	st.issueTime[v] = ctx.Now()
+
+	target, local := st.step.StartFind(obj, v)
+	if local {
+		st.hops[v] = 0
+		st.completeAt(ctx, obj, v, v)
+		return
+	}
+	st.hops[v] = 1
+	st.msgs[v].obj = obj
+	ctx.Send(v, target, &st.msgs[v])
+}
+
+//arrow:hotpath one call per delivered find/reply message
+func (st *state) handle(ctx *sim.Context, at, from graph.NodeID, msg sim.Message) {
+	switch m := msg.(type) {
+	case *findMsg:
+		next, done := st.step.ForwardFind(m.obj, at, from, m.origin)
+		if done {
+			st.completeAt(ctx, m.obj, m.origin, at)
+			return
+		}
+		st.hops[m.origin]++
+		ctx.Send(at, next, m)
+	case *replyMsg:
+		st.scheduleNext(ctx, at)
+	default:
+		panic(fmt.Sprintf("%s: unexpected message %T", st.proto, msg))
+	}
+}
+
+// completeAt records the queuing of origin's current request for obj at
+// sink and notifies the requester. Counters land in the context's shard
+// slot for the object, and both the per-object and aggregate recordings
+// route through the context, which keeps the parallel drain race-free
+// and the recorders' accumulation order serial.
+func (st *state) completeAt(ctx *sim.Context, obj int32, origin, sink graph.NodeID) {
+	res := &st.resS[ctx.Shard()][obj]
+	lat := int64(ctx.Now() - st.issueTime[origin])
+	h := int(st.hops[origin])
+	res.Requests++
+	res.TotalLatency += lat
+	res.QueueHops += int64(h)
+	if h > res.MaxQueueHops {
+		res.MaxQueueHops = h
+	}
+	ctx.RecordRequest(st.spec.Recorder, lat, h)
+	if st.spec.ObjectRecorders != nil {
+		ctx.RecordRequest(st.spec.ObjectRecorders[obj], lat, h)
+	}
+	if origin == sink {
+		res.LocalCompletions++
+		st.scheduleNext(ctx, origin)
+		return
+	}
+	res.ReplyHops++
+	ctx.Send(sink, origin, &st.rep)
+}
+
+func (st *state) scheduleNext(ctx *sim.Context, v graph.NodeID) {
+	if st.remaining[v] == 0 {
+		return
+	}
+	think := st.spec.ThinkTime
+	if think <= 0 {
+		think = 1
+	}
+	ctx.AfterNode(think, v)
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestLinkTxTimeSpacesBurst pins the capacity model's core contract: a
+// burst of b messages sent into one link at the same instant departs
+// spaced LinkTxTime apart, so the arrivals spread over b·LinkTxTime
+// instead of landing together.
+func TestLinkTxTimeSpacesBurst(t *testing.T) {
+	s := New(Config{Topology: lineTopology(2), LinkTxTime: 3})
+	var arrived []Time
+	s.SetAllHandlers(func(ctx *Context, at, from graph.NodeID, msg Message) {
+		arrived = append(arrived, ctx.Now())
+	})
+	s.ScheduleAt(0, func(ctx *Context) {
+		for i := 0; i < 4; i++ {
+			ctx.Send(0, 1, i)
+		}
+	})
+	s.Run()
+	// Departures 0, 3, 6, 9; synchronous delivery adds one unit.
+	want := []Time{1, 4, 7, 10}
+	if len(arrived) != len(want) {
+		t.Fatalf("got %d arrivals, want %d", len(arrived), len(want))
+	}
+	for i, at := range arrived {
+		if at != want[i] {
+			t.Fatalf("arrival times %v, want %v", arrived, want)
+		}
+	}
+}
+
+// TestLinkTxTimePerLink pins that capacity is per directed link, not
+// global: simultaneous bursts on two different links serialize
+// independently and land at the same instants.
+func TestLinkTxTimePerLink(t *testing.T) {
+	s := New(Config{Topology: lineTopology(3), LinkTxTime: 2})
+	arrivals := map[graph.NodeID][]Time{}
+	s.SetAllHandlers(func(ctx *Context, at, from graph.NodeID, msg Message) {
+		arrivals[from] = append(arrivals[from], ctx.Now())
+	})
+	s.ScheduleAt(0, func(ctx *Context) {
+		for i := 0; i < 3; i++ {
+			ctx.Send(0, 1, i) // link 0->1
+			ctx.Send(2, 1, i) // link 2->1
+		}
+	})
+	s.Run()
+	want := []Time{1, 3, 5}
+	for _, from := range []graph.NodeID{0, 2} {
+		got := arrivals[from]
+		if len(got) != len(want) {
+			t.Fatalf("link %d->1: %d arrivals, want %d", from, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("link %d->1 arrivals %v, want %v (cross-link interference?)", from, got, want)
+			}
+		}
+	}
+}
+
+// TestLinkTxTimeZeroIsInfiniteCapacity pins the default: with
+// LinkTxTime 0 the same burst arrives together, exactly as before the
+// capacity model existed.
+func TestLinkTxTimeZeroIsInfiniteCapacity(t *testing.T) {
+	s := New(Config{Topology: lineTopology(2)})
+	var arrived []Time
+	s.SetAllHandlers(func(ctx *Context, at, from graph.NodeID, msg Message) {
+		arrived = append(arrived, ctx.Now())
+	})
+	s.ScheduleAt(0, func(ctx *Context) {
+		for i := 0; i < 4; i++ {
+			ctx.Send(0, 1, i)
+		}
+	})
+	if end := s.Run(); end != 1 {
+		t.Errorf("makespan %d, want 1", end)
+	}
+	for _, at := range arrived {
+		if at != 1 {
+			t.Fatalf("arrival times %v, want all 1", arrived)
+		}
+	}
+}
+
+// TestLinkTxTimeKeepsFIFO: serialization must not reorder a link's
+// messages, including under a randomized latency model whose draws
+// would otherwise interleave them.
+func TestLinkTxTimeKeepsFIFO(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s := New(Config{
+			Topology:   lineTopology(2),
+			Latency:    AsyncUniform(50),
+			Seed:       seed,
+			LinkTxTime: 3,
+		})
+		var got []int
+		s.SetAllHandlers(func(ctx *Context, at, from graph.NodeID, msg Message) {
+			got = append(got, msg.(int))
+		})
+		s.ScheduleAt(0, func(ctx *Context) {
+			for i := 0; i < 20; i++ {
+				ctx.Send(0, 1, i)
+			}
+		})
+		s.Run()
+		if len(got) != 20 {
+			t.Fatalf("seed %d: %d deliveries, want 20", seed, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("seed %d: FIFO violated under capacity: got %v", seed, got)
+			}
+		}
+	}
+}
+
+// TestNegativeLinkTxTimePanics: a negative capacity is a config bug.
+func TestNegativeLinkTxTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative LinkTxTime")
+		}
+	}()
+	New(Config{Topology: lineTopology(2), LinkTxTime: -1})
+}

@@ -134,6 +134,17 @@ type Config struct {
 	// panics otherwise; drivers normalize incompatible configs to serial
 	// instead.
 	Workers int
+	// LinkTxTime, when positive, gives every directed link a finite
+	// serialization capacity: consecutive messages on one link depart at
+	// least LinkTxTime apart, so a burst of b messages sent into a link at
+	// the same instant arrives spread over b·LinkTxTime — cross-traffic
+	// queues instead of superposing for free. The arrival of a message is
+	// its departure instant plus the usual latency-model delay. Zero (the
+	// default) models infinite capacity and is bit-identical to the
+	// simulator before the knob existed. Compatible with the parallel
+	// drain: departures are reserved during the serial replay of each
+	// tick's side effects.
+	LinkTxTime Time
 }
 
 // Simulator is a deterministic discrete-event engine.
@@ -162,18 +173,17 @@ type Simulator struct {
 	heap    eventHeap
 	lq      ladderQueue
 
-	// Per-directed-link FIFO state, in tiers: none at all when fifoFree
-	// proves the clamp can never bind (synchronous latency, no faults —
-	// per-link arrivals are then monotone by construction); a dense
-	// slice when the topology implements LinkIndexer with a modest link
-	// count; lazily allocated pages when the LinkIndexer is huge (the
-	// implicit complete metric at 10⁶ nodes indexes 10¹² links — only
-	// the touched pages materialize); the map otherwise.
-	linkIdx   LinkIndexer
-	fifoFree  bool
-	linkFIFO  []Time
-	linkPages map[int64][]Time
-	lastArr   map[linkKey]Time
+	// Per-directed-link timestamp state, in tiers (see linkClock). fifo
+	// holds each link's last arrival for the FIFO no-overtake clamp; it
+	// is nil when fifoFree proves the clamp can never bind (synchronous
+	// latency, no faults — per-link arrivals are then monotone by
+	// construction). busy holds each link's earliest next departure under
+	// the LinkTxTime capacity model; nil when capacity is infinite.
+	linkIdx  LinkIndexer
+	fifoFree bool
+	txTime   Time
+	fifo     *linkClock
+	busy     *linkClock
 
 	// Independent seeded streams: rng is the protocol-visible stream
 	// (Context.Rand), latRNG drives the latency model and arbRNG random
@@ -208,6 +218,98 @@ const (
 	fifoPageBits = 12
 	fifoPageMask = 1<<fifoPageBits - 1
 )
+
+// linkClock keeps one monotone Time per directed link, in storage tiers
+// matched to the topology: a flat slice when a LinkIndexer reports a
+// modest link count, lazily allocated pages when the index space is huge
+// (the implicit complete metric at 10⁶ nodes indexes 10¹² links — only
+// touched pages materialize), and a map keyed by endpoint pair otherwise.
+// The simulator instantiates it twice: once for the FIFO no-overtake
+// clamp (last arrival per link) and once for the LinkTxTime capacity
+// model (earliest next departure per link). Zero slots mean "never
+// touched"; both uses only ever store values >= 1.
+type linkClock struct {
+	idx   LinkIndexer
+	dense []Time
+	pages map[int64][]Time
+	m     map[linkKey]Time
+}
+
+// newLinkClock picks the storage tier for the given indexer (nil selects
+// the map tier).
+func newLinkClock(li LinkIndexer) *linkClock {
+	c := &linkClock{idx: li}
+	if li == nil {
+		c.m = make(map[linkKey]Time)
+	} else if nl := li.NumLinks(); nl <= fifoDenseMax {
+		c.dense = make([]Time, nl)
+	} else {
+		c.pages = make(map[int64][]Time)
+	}
+	return c
+}
+
+// slot returns the storage cell for link u -> v, materializing its page
+// on the paged tier. The map tier is handled by the callers (a pointer
+// into a Go map is illegal).
+//
+//arrow:hotpath both the FIFO clamp and the capacity reservation resolve their cell here
+func (c *linkClock) slot(u, v graph.NodeID) *Time {
+	if c.dense != nil {
+		return &c.dense[c.idx.LinkIndex(u, v)]
+	}
+	idx := int64(c.idx.LinkIndex(u, v))
+	page := c.pages[idx>>fifoPageBits]
+	if page == nil {
+		page = make([]Time, 1<<fifoPageBits)
+		c.pages[idx>>fifoPageBits] = page
+	}
+	return &page[idx&fifoPageMask]
+}
+
+// clamp enforces per-link FIFO order: it returns t raised to the link's
+// last recorded arrival and records the result as the new last arrival.
+//
+//arrow:hotpath one call per send on runs where the FIFO clamp can bind
+func (c *linkClock) clamp(u, v graph.NodeID, t Time) Time {
+	if c.m != nil {
+		key := linkKey{u, v}
+		if last, ok := c.m[key]; ok && t < last {
+			t = last
+		}
+		c.m[key] = t
+		return t
+	}
+	s := c.slot(u, v)
+	if t < *s {
+		t = *s
+	}
+	*s = t
+	return t
+}
+
+// reserve claims the link u -> v for one transmission of duration tx not
+// earlier than t: it returns the departure instant (t, or the link's
+// pending busy-until time if later) and marks the link busy until
+// departure+tx.
+//
+//arrow:hotpath one call per send on runs with finite link capacity
+func (c *linkClock) reserve(u, v graph.NodeID, t, tx Time) Time {
+	if c.m != nil {
+		key := linkKey{u, v}
+		if busy, ok := c.m[key]; ok && t < busy {
+			t = busy
+		}
+		c.m[key] = t + tx
+		return t
+	}
+	s := c.slot(u, v)
+	if t < *s {
+		t = *s
+	}
+	*s = t + tx
+	return t
+}
 
 // DeriveSeed derives an independent stream seed from a base seed via a
 // splitmix64 step, so streams are decorrelated even for adjacent base
@@ -251,6 +353,10 @@ func New(cfg Config) *Simulator {
 			panic(fmt.Sprintf("sim: Workers=%d is incompatible with a fault plan", cfg.Workers))
 		}
 	}
+	if cfg.LinkTxTime < 0 {
+		panic(fmt.Sprintf("sim: negative LinkTxTime %d", cfg.LinkTxTime))
+	}
+	s.txTime = cfg.LinkTxTime
 	if m, ok := cfg.Latency.(syncModel); ok {
 		s.syncScale = m.scale
 	}
@@ -258,22 +364,20 @@ func New(cfg Config) *Simulator {
 		s.arbRNG = rand.New(rand.NewSource(DeriveSeed(cfg.Seed, 2)))
 	}
 	s.lq.init(cfg.Arbitration)
-	// Synchronous latency without faults makes per-link arrivals monotone
-	// by construction (send times never decrease and the per-link delay
-	// is a constant), so the FIFO clamp can never bind and no per-link
-	// state is kept at all.
-	s.fifoFree = s.syncScale != 0 && cfg.Faults == nil
 	if li, ok := cfg.Topology.(LinkIndexer); ok {
 		s.linkIdx = li
-		if !s.fifoFree {
-			if nl := li.NumLinks(); nl <= fifoDenseMax {
-				s.linkFIFO = make([]Time, nl)
-			} else {
-				s.linkPages = make(map[int64][]Time)
-			}
-		}
-	} else if !s.fifoFree {
-		s.lastArr = make(map[linkKey]Time)
+	}
+	// Synchronous latency without faults makes per-link arrivals monotone
+	// by construction (send times never decrease and the per-link delay
+	// is a constant; a capacity reservation only ever pushes departures
+	// forward), so the FIFO clamp can never bind and no clamp state is
+	// kept at all.
+	s.fifoFree = s.syncScale != 0 && cfg.Faults == nil
+	if !s.fifoFree {
+		s.fifo = newLinkClock(s.linkIdx)
+	}
+	if s.txTime > 0 {
+		s.busy = newLinkClock(s.linkIdx)
 	}
 	s.ctx = &Context{s: s}
 	s.f = compileFaults(cfg.Faults, cfg.Topology, s.linkIdx)
@@ -460,44 +564,27 @@ func (s *Simulator) send(u, v graph.NodeID, msg Message) {
 	if delay < 1 {
 		delay = 1
 	}
-	arrive := s.now + delay
+	// The earliest the message can enter the link: now, or — under
+	// FaultQueue — the blocking entity's recovery instant, from which its
+	// normal latency is charged.
+	depart := s.now
 	if healAt != 0 {
-		// FaultQueue: the message traverses after the blocking entity
-		// recovers; its normal latency is charged from that instant.
-		arrive = healAt + delay
+		depart = healAt
 	}
+	// Finite link capacity: the departure waits for the link's pending
+	// transmissions and reserves LinkTxTime of the link for itself, so
+	// same-instant senders into one link serialize.
+	if s.busy != nil {
+		depart = s.busy.reserve(u, v, depart, s.txTime)
+	}
+	arrive := depart + delay
 	// FIFO: never overtake an earlier message on this link. Arrivals are
 	// always >= 1, so a zero slot means "no prior message". fifoFree runs
 	// (synchronous latency, no faults) skip the bookkeeping outright —
 	// arrivals are monotone per link by construction, so the clamp is
 	// provably a no-op there.
 	if !s.fifoFree {
-		switch {
-		case s.linkFIFO != nil:
-			idx := s.linkIdx.LinkIndex(u, v)
-			if last := s.linkFIFO[idx]; arrive < last {
-				arrive = last
-			}
-			s.linkFIFO[idx] = arrive
-		case s.linkPages != nil:
-			idx := int64(s.linkIdx.LinkIndex(u, v))
-			page := s.linkPages[idx>>fifoPageBits]
-			if page == nil {
-				page = make([]Time, 1<<fifoPageBits)
-				s.linkPages[idx>>fifoPageBits] = page
-			}
-			slot := &page[idx&fifoPageMask]
-			if arrive < *slot {
-				arrive = *slot
-			}
-			*slot = arrive
-		default:
-			key := linkKey{u, v}
-			if last, ok := s.lastArr[key]; ok && arrive < last {
-				arrive = last
-			}
-			s.lastArr[key] = arrive
-		}
+		arrive = s.fifo.clamp(u, v, arrive)
 	}
 	s.messages++
 	s.hops += int64(s.cfg.Topology.Hops(u, v))

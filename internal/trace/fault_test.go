@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/arrow"
+	"repro/internal/loop"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tree"
@@ -22,13 +23,7 @@ func chaosEpisode(t *testing.T) (*trace.ChaosLog, *arrow.LoopResult) {
 		{At: 25, Kind: sim.LinkUp, U: 2, V: 3},
 	}}
 	log := trace.NewChaosLog()
-	res, err := arrow.RunClosedLoop(tr, arrow.LoopConfig{
-		Root:           0,
-		PerNode:        3,
-		Faults:         plan,
-		FaultObserver:  log.OnFault,
-		RepairObserver: log.OnRepair,
-	})
+	res, err := arrow.RunClosedLoop(tr, arrow.LoopConfig{Spec: loop.Spec{PerNode: 3, Faults: plan}, Root: 0, FaultObserver: log.OnFault, RepairObserver: log.OnRepair})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,9 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/queuing"
@@ -126,6 +128,74 @@ func Hotspot(n, count int, hotFrac float64, horizon sim.Time, seed int64) queuin
 		reqs[i] = queuing.Request{Node: node, Time: sim.Time(rng.Int63n(int64(horizon)))}
 	}
 	return queuing.NewSet(reqs)
+}
+
+// Zipf is a deterministic Zipf-law sampler over k objects: object o
+// (0-based) is drawn with probability proportional to (o+1)^-skew, so
+// low-numbered objects are the hot ones. skew = 0 degenerates to the
+// uniform distribution; skew around 1.1 is the classic hot-object regime
+// where the head of the popularity law dominates.
+//
+// Sampling is counter-based rather than stream-based: Draw hashes a
+// (node, request-index) pair through the simulator's splitmix mixer and
+// inverts the CDF on the resulting uniform variate. No shared RNG stream
+// is consumed, so concurrent drivers — in particular the multi-object
+// shard driver under the tick-windowed parallel drain — draw object IDs
+// that are bit-identical regardless of event interleaving or worker
+// count.
+type Zipf struct {
+	k int
+	// cum is the unnormalized CDF: cum[o] = Σ_{j<=o} (j+1)^-skew.
+	// Inverting it directly (scaling the uniform variate by the total
+	// instead of normalizing each weight) saves k divisions and keeps
+	// the table exactly reproducible.
+	cum []float64
+}
+
+// NewZipf builds the sampler's cumulative popularity table; O(k) space.
+func NewZipf(k int, skew float64) *Zipf {
+	require(k >= 1, "NewZipf needs k >= 1")
+	require(skew >= 0, "NewZipf needs skew >= 0")
+	z := &Zipf{k: k, cum: make([]float64, k)}
+	total := 0.0
+	for o := 0; o < k; o++ {
+		w := 1.0
+		if skew != 0 {
+			w = math.Pow(float64(o+1), -skew)
+		}
+		total += w
+		z.cum[o] = total
+	}
+	return z
+}
+
+// K returns the object count.
+func (z *Zipf) K() int { return z.k }
+
+// Sample maps a uniform variate u in [0,1) to an object by inverting the
+// cumulative popularity table (binary search, O(log k)).
+func (z *Zipf) Sample(u float64) int32 {
+	i := sort.SearchFloat64s(z.cum, u*z.cum[z.k-1])
+	if i >= z.k {
+		// u*total can round up to exactly total; the last object owns
+		// that boundary.
+		i = z.k - 1
+	}
+	return int32(i)
+}
+
+// Draw returns the object of node's req-th request (req counts from 0).
+// The draw is a pure function of (seed, node, req): two splitmix steps
+// decorrelate the pair into an independent uniform variate, so adjacent
+// nodes and consecutive requests land on unrelated objects.
+func (z *Zipf) Draw(seed int64, node graph.NodeID, req int64) int32 {
+	if z.k == 1 {
+		return 0
+	}
+	h := sim.DeriveSeed(sim.DeriveSeed(seed, int(node)), int(req))
+	// Top 53 bits → uniform in [0,1) at full float64 resolution.
+	u := float64(uint64(h)>>11) * (1.0 / (1 << 53))
+	return z.Sample(u)
 }
 
 // TwoNodePingPong returns count alternating requests from the two

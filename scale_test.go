@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/arrow"
+	"repro/internal/loop"
 	"repro/internal/tree"
 )
 
@@ -24,9 +25,7 @@ func allocPerNode(t *testing.T, n, perNode int) float64 {
 	gort.GC()
 	gort.ReadMemStats(&ms)
 	before := ms.TotalAlloc
-	res, err := arrow.RunClosedLoop(tree.BinaryWalker(n), arrow.LoopConfig{
-		Root: 0, PerNode: perNode,
-	})
+	res, err := arrow.RunClosedLoop(tree.BinaryWalker(n), arrow.LoopConfig{Spec: loop.Spec{PerNode: perNode}, Root: 0})
 	gort.ReadMemStats(&ms)
 	if err != nil {
 		t.Fatal(err)
