@@ -487,6 +487,45 @@ func BenchmarkClosedLoopScale1M(b *testing.B) {
 	benchClosedLoopScale(b, 1_000_001, 2)
 }
 
+// BenchmarkParallelCommit measures the sharded deterministic commit
+// itself: a 100k-node closed-loop arrow run with per-link capacity
+// (LinkTxTime 1, dense tier) so every committed send resolves link
+// ownership, reserves capacity and clamps FIFO order — the full commit
+// path, not just the no-link-state fast case. serial vs workers=N on
+// identical simulated results makes the ratio a pure commit
+// speedup/overhead reading; benchcheck's hotpath manifest pins the
+// //arrow:hotpath annotations under it.
+func BenchmarkParallelCommit(b *testing.B) {
+	const n, perNode = 100_001, 2
+	t := tree.BinaryWalker(n)
+	counts := []int{1, gort.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1]
+	}
+	for _, workers := range counts {
+		name := "serial"
+		if workers > 1 {
+			name = fmt.Sprintf("workers=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{
+					Spec: loop.Spec{PerNode: perNode, Workers: workers, LinkTxTime: 1},
+					Root: 0,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Events
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // BenchmarkTreeDistance measures the LCA-based dT query, the analysis
 // hot path.
 func BenchmarkTreeDistance(b *testing.B) {

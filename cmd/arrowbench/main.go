@@ -45,8 +45,11 @@
 // (an explicit -sizes overrides it), its per-node count derives from a
 // 2M total-request budget unless -pernode is passed explicitly, and
 // -workers selects the tick-windowed intra-run drain (results are
-// bit-identical at any count). With -json it emits the versioned
-// arrowbench/scale document.
+// bit-identical at any count). Pass -workersweep 1,2,4 to rerun each
+// cell at those drain widths and report events/s and parallel speedup
+// per worker count — reported, never gated; the sweep also verifies the
+// deterministic outputs match across counts. With -json it emits the
+// versioned arrowbench/scale document.
 //
 // -exp shard is the multi-object tier: every protocol serving k
 // independent objects on one shared 32-node network with per-link
@@ -103,6 +106,7 @@ func main() {
 	sizes := flag.String("sizes", "2,4,8,16,24,32,48,64,76", "comma-separated node counts for fig10/fig11 and baselines")
 	objects := flag.String("objects", "", "comma-separated object counts for -exp shard (default 16,128,1024)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	workerSweep := flag.String("workersweep", "", "comma-separated worker counts for the -exp scale throughput sweep (reported, never gated)")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (post-GC, at exit) to this file")
@@ -179,6 +183,13 @@ func main() {
 			}
 			if perNodeSet {
 				cfg.PerNode = *perNode
+			}
+			if *workerSweep != "" {
+				ws, err := parseSizes(*workerSweep)
+				if err != nil {
+					return err
+				}
+				cfg.WorkerSweep = ws
 			}
 			return runScale(cfg)
 		},
@@ -448,6 +459,9 @@ func runScale(cfg analysis.ScaleConfig) error {
 		return emitDoc(analysis.ScaleDocument(cfg, rows))
 	}
 	emit(analysis.ScaleTable(rows))
+	if t := analysis.ScaleSweepTable(rows); t != nil {
+		emit(t)
+	}
 	return nil
 }
 

@@ -238,6 +238,20 @@ func checkScaleFile(path string) error {
 			return fmt.Errorf("%s: row %d (%s/%s): non-positive n/requests/events (%d/%d/%d)",
 				path, i, r.Protocol, r.Topology, r.N, r.Requests, r.Events)
 		}
+		for j, p := range r.WorkersSweep {
+			if p.Workers < 1 {
+				return fmt.Errorf("%s: row %d (%s/%s): sweep point %d: workers %d < 1",
+					path, i, r.Protocol, r.Topology, j, p.Workers)
+			}
+			if p.EventsPerSec <= 0 {
+				return fmt.Errorf("%s: row %d (%s/%s): sweep point %d (workers %d): non-positive events_per_sec %g",
+					path, i, r.Protocol, r.Topology, j, p.Workers, p.EventsPerSec)
+			}
+			if p.Speedup <= 0 {
+				return fmt.Errorf("%s: row %d (%s/%s): sweep point %d (workers %d): non-positive speedup %g",
+					path, i, r.Protocol, r.Topology, j, p.Workers, p.Speedup)
+			}
+		}
 	}
 	return nil
 }

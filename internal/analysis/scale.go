@@ -37,6 +37,35 @@ type ScaleConfig struct {
 	// Workers requests the tick-windowed parallel drain inside each run
 	// (see sim.Config.Workers); results are bit-identical at any count.
 	Workers int
+	// WorkerSweep, when non-empty, reruns every cell at each listed
+	// drain worker count and reports per-count events/s plus the
+	// parallel speedup over the serial (workers=1) rerun — report-only
+	// columns, never gated, like every wall-clock quantity here. A
+	// missing 1 is prepended so the speedup baseline always exists, and
+	// every rerun's deterministic outputs are checked against the base
+	// row (a divergence fails the experiment: the sweep doubles as a
+	// determinism audit of the parallel commit).
+	WorkerSweep []int
+}
+
+// workerSweep normalizes the sweep: nil stays nil; otherwise the counts
+// are deduplicated, floored at 1, and led by the serial baseline.
+func (c *ScaleConfig) workerSweep() []int {
+	if len(c.WorkerSweep) == 0 {
+		return nil
+	}
+	out := []int{1}
+	seen := map[int]bool{1: true}
+	for _, w := range c.WorkerSweep {
+		if w < 1 {
+			w = 1
+		}
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 func (c *ScaleConfig) sizes() []int {
@@ -83,6 +112,40 @@ type ScaleRow struct {
 	// the collector.
 	AllocBytes int64
 	Workers    int
+	// Sweep holds the cell's worker-sweep reruns (nil without
+	// ScaleConfig.WorkerSweep). Each point reran the identical cell at a
+	// different drain worker count; the deterministic outputs matched
+	// the base row, so only the wall clock differs.
+	Sweep []ScaleSweepPoint
+}
+
+// ScaleSweepPoint is one worker-count rerun of a scale cell.
+type ScaleSweepPoint struct {
+	Workers   int
+	Events    int64
+	WallNanos int64
+}
+
+// EventsPerSec is the rerun's wall-clock simulator throughput.
+func (p ScaleSweepPoint) EventsPerSec() float64 {
+	if p.WallNanos <= 0 {
+		return 0
+	}
+	return float64(p.Events) / (float64(p.WallNanos) * 1e-9)
+}
+
+// SweepSpeedup returns the sweep point's throughput relative to the
+// sweep's serial (workers=1) point — the reported parallel speedup.
+func (r ScaleRow) SweepSpeedup(p ScaleSweepPoint) float64 {
+	for _, base := range r.Sweep {
+		if base.Workers == 1 {
+			if b := base.EventsPerSec(); b > 0 {
+				return p.EventsPerSec() / b
+			}
+			return 0
+		}
+	}
+	return 0
 }
 
 // EventsPerSec is the cell's wall-clock simulator throughput.
@@ -112,13 +175,14 @@ type scaleOut struct {
 
 // scaleCell is one deferred run: construction of the implicit topology
 // happens inside run() so its allocations land in the cell's measured
-// TotalAlloc delta.
+// TotalAlloc delta. run takes the drain worker count so the worker
+// sweep can rerun the identical cell at different counts.
 type scaleCell struct {
 	protocol string
 	topology string
 	n        int
 	perNode  int
-	run      func() (scaleOut, error)
+	run      func(workers int) (scaleOut, error)
 }
 
 // gridSide returns the comb-tree grid dimensions closest to n nodes:
@@ -139,45 +203,45 @@ func scaleCells(cfg *ScaleConfig) []scaleCell {
 		side := gridSide(n)
 		seed := sim.DeriveSeed(cfg.Seed, i)
 		cells = append(cells,
-			scaleCell{"arrow", "binary-tree", n, per, func() (scaleOut, error) {
+			scaleCell{"arrow", "binary-tree", n, per, func(workers int) (scaleOut, error) {
 				res, err := arrow.RunClosedLoop(tree.BinaryWalker(n), arrow.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
 				})
 				if err != nil {
 					return scaleOut{}, err
 				}
 				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
 			}},
-			scaleCell{"arrow", "grid", side * side, per, func() (scaleOut, error) {
+			scaleCell{"arrow", "grid", side * side, per, func(workers int) (scaleOut, error) {
 				res, err := arrow.RunClosedLoop(tree.GridWalker(side, side), arrow.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
 				})
 				if err != nil {
 					return scaleOut{}, err
 				}
 				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
 			}},
-			scaleCell{"centralized", "complete", n, per, func() (scaleOut, error) {
+			scaleCell{"centralized", "complete", n, per, func(workers int) (scaleOut, error) {
 				res, err := centralized.RunClosedLoopTopo(sim.NewCompleteTopology(n), centralized.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
 				})
 				if err != nil {
 					return scaleOut{}, err
 				}
 				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
 			}},
-			scaleCell{"nta", "complete", n, per, func() (scaleOut, error) {
+			scaleCell{"nta", "complete", n, per, func(workers int) (scaleOut, error) {
 				res, err := nta.RunClosedLoopTopo(sim.NewCompleteTopology(n), nta.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
 				})
 				if err != nil {
 					return scaleOut{}, err
 				}
 				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
 			}},
-			scaleCell{"ivy", "complete", n, per, func() (scaleOut, error) {
+			scaleCell{"ivy", "complete", n, per, func(workers int) (scaleOut, error) {
 				res, err := ivy.RunClosedLoopTopo(sim.NewCompleteTopology(n), ivy.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: cfg.Workers},
+					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
 				})
 				if err != nil {
 					return scaleOut{}, err
@@ -196,6 +260,7 @@ func scaleCells(cfg *ScaleConfig) []scaleCell {
 // cfg.Workers is fine: its allocations belong to the cell).
 func ScaleExperiment(cfg ScaleConfig) ([]ScaleRow, error) {
 	cells := scaleCells(&cfg)
+	sweep := cfg.workerSweep()
 	rows := make([]ScaleRow, 0, len(cells))
 	var ms runtime.MemStats
 	for _, c := range cells {
@@ -203,13 +268,13 @@ func ScaleExperiment(cfg ScaleConfig) ([]ScaleRow, error) {
 		runtime.ReadMemStats(&ms)
 		before := ms.TotalAlloc
 		start := time.Now() //arrow:allow determinism report-only wall clock: scale events/s is machine-dependent and never gated
-		out, err := c.run()
+		out, err := c.run(cfg.Workers)
 		wall := time.Since(start).Nanoseconds() //arrow:allow determinism report-only wall clock: scale events/s is machine-dependent and never gated
 		runtime.ReadMemStats(&ms)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: scale %s/%s n=%d: %w", c.protocol, c.topology, c.n, err)
 		}
-		rows = append(rows, ScaleRow{
+		row := ScaleRow{
 			Protocol:   c.protocol,
 			Topology:   c.topology,
 			N:          c.n,
@@ -221,7 +286,25 @@ func ScaleExperiment(cfg ScaleConfig) ([]ScaleRow, error) {
 			WallNanos:  wall,
 			AllocBytes: int64(ms.TotalAlloc - before),
 			Workers:    cfg.Workers,
-		})
+		}
+		// Worker sweep: rerun the identical cell at each count, timing
+		// only. Deterministic outputs must match the base run exactly —
+		// the drain contract — so a mismatch is an error, not a report.
+		for _, w := range sweep {
+			runtime.GC()
+			swStart := time.Now() //arrow:allow determinism report-only wall clock: sweep events/s is machine-dependent and never gated
+			swOut, err := c.run(w)
+			swWall := time.Since(swStart).Nanoseconds() //arrow:allow determinism report-only wall clock: sweep events/s is machine-dependent and never gated
+			if err != nil {
+				return nil, fmt.Errorf("analysis: scale sweep %s/%s n=%d workers=%d: %w", c.protocol, c.topology, c.n, w, err)
+			}
+			if swOut != out {
+				return nil, fmt.Errorf("analysis: scale sweep %s/%s n=%d workers=%d diverged from base run: %+v != %+v",
+					c.protocol, c.topology, c.n, w, swOut, out)
+			}
+			row.Sweep = append(row.Sweep, ScaleSweepPoint{Workers: w, Events: swOut.events, WallNanos: swWall})
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -256,6 +339,9 @@ type ScaleDocConfig struct {
 	MaxRequests int64 `json:"max_requests"`
 	Seed        int64 `json:"seed"`
 	Workers     int   `json:"workers"`
+	// WorkerSweep is the normalized worker-sweep request (absent without
+	// one; always led by the serial baseline 1 otherwise).
+	WorkerSweep []int `json:"worker_sweep,omitempty"`
 }
 
 // ScaleDocRow is one row of the scale document. Requests, Makespan,
@@ -275,6 +361,18 @@ type ScaleDocRow struct {
 	AllocBytes   int64   `json:"alloc_bytes"`
 	BytesPerNode float64 `json:"bytes_per_node"`
 	Workers      int     `json:"workers"`
+	// WorkersSweep reports the cell's per-worker-count throughput and
+	// parallel speedup (absent without a sweep). Like events_per_sec,
+	// these are machine-dependent, reported for trend reading and shape
+	// checked by benchcheck — never gated on value.
+	WorkersSweep []ScaleSweepDocPoint `json:"workers_sweep,omitempty"`
+}
+
+// ScaleSweepDocPoint is one worker-count rerun in the document.
+type ScaleSweepDocPoint struct {
+	Workers      int     `json:"workers"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"`
 }
 
 // ScaleDoc is the stable schema of `arrowbench -exp scale -json`.
@@ -295,6 +393,7 @@ func ScaleDocument(cfg ScaleConfig, rows []ScaleRow) ScaleDoc {
 		Config: ScaleDocConfig{
 			Sizes: cfg.sizes(), PerNode: cfg.PerNode,
 			MaxRequests: maxReq, Seed: cfg.Seed, Workers: cfg.Workers,
+			WorkerSweep: cfg.workerSweep(),
 		},
 		Rows: make([]ScaleDocRow, len(rows)),
 	}
@@ -313,6 +412,39 @@ func ScaleDocument(cfg ScaleConfig, rows []ScaleRow) ScaleDoc {
 			BytesPerNode: r.BytesPerNode(),
 			Workers:      r.Workers,
 		}
+		for _, p := range r.Sweep {
+			doc.Rows[i].WorkersSweep = append(doc.Rows[i].WorkersSweep, ScaleSweepDocPoint{
+				Workers:      p.Workers,
+				EventsPerSec: p.EventsPerSec(),
+				Speedup:      r.SweepSpeedup(p),
+			})
+		}
 	}
 	return doc
+}
+
+// ScaleSweepTable formats the worker-sweep columns, or returns nil when
+// no row carries a sweep.
+func ScaleSweepTable(rows []ScaleRow) *Table {
+	any := false
+	for _, r := range rows {
+		if len(r.Sweep) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	t := &Table{
+		Title:   "Scale — drain worker sweep (report-only; identical simulated results, wall clock varies)",
+		Headers: []string{"protocol", "topology", "n", "workers", "Mev/s", "speedup"},
+	}
+	for _, r := range rows {
+		for _, p := range r.Sweep {
+			t.AddRow(r.Protocol, r.Topology, r.N, p.Workers,
+				p.EventsPerSec()/1e6, r.SweepSpeedup(p))
+		}
+	}
+	return t
 }

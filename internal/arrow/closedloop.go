@@ -249,7 +249,7 @@ func RunClosedLoop(t tree.Nav, cfg LoopConfig) (*LoopResult, error) {
 	if cfg.Faults != nil {
 		budget = sim.SatMul(budget, 4)
 	}
-	s := sim.New(sim.Config{
+	scfg := sim.Config{
 		Topology:    sim.TreeTopology{T: t},
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
@@ -259,7 +259,11 @@ func RunClosedLoop(t tree.Nav, cfg LoopConfig) (*LoopResult, error) {
 		Faults:      cfg.Faults,
 		Workers:     workers,
 		LinkTxTime:  cfg.LinkTxTime,
-	})
+	}
+	if err := scfg.Validate(); err != nil {
+		return nil, fmt.Errorf("arrow closed loop: %w", err)
+	}
+	s := sim.New(scfg)
 	if cfg.Faults != nil {
 		st.fs = &faultLoopState{
 			lost:     make([]bool, n),

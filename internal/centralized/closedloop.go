@@ -197,7 +197,7 @@ func RunClosedLoopTopo(topo sim.Topology, cfg LoopConfig) (*LoopResult, error) {
 	if cfg.Faults != nil {
 		budget = sim.SatMul(budget, 4)
 	}
-	s := sim.New(sim.Config{
+	scfg := sim.Config{
 		Topology:    st.topo,
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
@@ -206,7 +206,11 @@ func RunClosedLoopTopo(topo sim.Topology, cfg LoopConfig) (*LoopResult, error) {
 		Scheduler:   cfg.Scheduler,
 		Faults:      cfg.Faults,
 		LinkTxTime:  cfg.LinkTxTime,
-	})
+	}
+	if err := scfg.Validate(); err != nil {
+		return nil, fmt.Errorf("centralized closed loop: %w", err)
+	}
+	s := sim.New(scfg)
 	if cfg.Faults != nil {
 		st.lost = make([]bool, n)
 		st.affected = make([]bool, n)

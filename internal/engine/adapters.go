@@ -116,6 +116,31 @@ func attachDists(c *Cost, rec stats.Recorder) {
 	}
 }
 
+// Validate checks the run spec's cross-field coherence before any
+// driver normalizes or executes it: the workload shape, the
+// fault-plan and multi-object combinations, and the simulator-level
+// knobs the drivers cannot repair by normalization (they surface as
+// the simulator's own typed *sim.ConfigError, the same error
+// sim.Config.Validate returns, so callers see one error vocabulary
+// whether a bad knob is caught here or at driver level). Worker-count
+// incompatibilities are deliberately NOT rejected: drivers normalize
+// those to a serial drain, which is a supported configuration.
+func (inst Instance) Validate() error {
+	if err := inst.Workload.validate(); err != nil {
+		return err
+	}
+	if err := validateFaults(inst); err != nil {
+		return err
+	}
+	if err := validateMulti(inst); err != nil {
+		return err
+	}
+	if inst.LinkTxTime < 0 {
+		return &sim.ConfigError{Field: "LinkTxTime", Reason: fmt.Sprintf("must be >= 0, got %d", inst.LinkTxTime)}
+	}
+	return nil
+}
+
 // validateFaults rejects the workload/fault combinations the drivers do
 // not support: faults require a closed-loop workload (a static set has
 // no re-issue loop to survive them).
@@ -153,13 +178,7 @@ func (Arrow) Name() string { return "arrow" }
 
 // Run implements Protocol.
 func (p Arrow) Run(inst Instance) (Cost, error) {
-	if err := inst.Workload.validate(); err != nil {
-		return Cost{}, err
-	}
-	if err := validateFaults(inst); err != nil {
-		return Cost{}, err
-	}
-	if err := validateMulti(inst); err != nil {
+	if err := inst.Validate(); err != nil {
 		return Cost{}, err
 	}
 	if inst.Tree == nil {
@@ -231,13 +250,7 @@ func (Centralized) Name() string { return "centralized" }
 
 // Run implements Protocol.
 func (p Centralized) Run(inst Instance) (Cost, error) {
-	if err := inst.Workload.validate(); err != nil {
-		return Cost{}, err
-	}
-	if err := validateFaults(inst); err != nil {
-		return Cost{}, err
-	}
-	if err := validateMulti(inst); err != nil {
+	if err := inst.Validate(); err != nil {
 		return Cost{}, err
 	}
 	if inst.Graph == nil {
@@ -304,13 +317,7 @@ func (NTA) Name() string { return "nta" }
 
 // Run implements Protocol.
 func (p NTA) Run(inst Instance) (Cost, error) {
-	if err := inst.Workload.validate(); err != nil {
-		return Cost{}, err
-	}
-	if err := validateFaults(inst); err != nil {
-		return Cost{}, err
-	}
-	if err := validateMulti(inst); err != nil {
+	if err := inst.Validate(); err != nil {
 		return Cost{}, err
 	}
 	if inst.Graph == nil {
@@ -377,13 +384,7 @@ func (Ivy) Name() string { return "ivy" }
 
 // Run implements Protocol.
 func (p Ivy) Run(inst Instance) (Cost, error) {
-	if err := inst.Workload.validate(); err != nil {
-		return Cost{}, err
-	}
-	if err := validateFaults(inst); err != nil {
-		return Cost{}, err
-	}
-	if err := validateMulti(inst); err != nil {
+	if err := inst.Validate(); err != nil {
 		return Cost{}, err
 	}
 	if inst.Graph == nil {

@@ -265,7 +265,7 @@ func RunTopo(topo sim.Topology, step Stepper, proto string, cfg Spec) (*Result, 
 	if cfg.Faults != nil {
 		budget = sim.SatMul(budget, 4)
 	}
-	s := sim.New(sim.Config{
+	scfg := sim.Config{
 		Topology:    topo,
 		Latency:     cfg.Latency,
 		Arbitration: cfg.Arbitration,
@@ -275,7 +275,14 @@ func RunTopo(topo sim.Topology, step Stepper, proto string, cfg Spec) (*Result, 
 		Faults:      cfg.Faults,
 		Workers:     workers,
 		LinkTxTime:  cfg.LinkTxTime,
-	})
+	}
+	// Surface simulator-config violations (negative LinkTxTime, a
+	// parallel drain the normalization above could not repair) as errors
+	// rather than tripping sim.New's last-resort panic.
+	if err := scfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%s closed loop: %w", proto, err)
+	}
+	s := sim.New(scfg)
 	if cfg.Faults != nil {
 		st.lost = make([]bool, n)
 		st.affected = make([]bool, n)

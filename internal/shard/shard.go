@@ -193,7 +193,7 @@ func Run(topo sim.Topology, step Stepper, proto string, spec Spec) (*Result, err
 		st.remaining[v] = int32(spec.PerNode)
 		st.msgs[v].origin = graph.NodeID(v)
 	}
-	s := sim.New(sim.Config{
+	scfg := sim.Config{
 		Topology:    topo,
 		Latency:     spec.Latency,
 		Arbitration: spec.Arbitration,
@@ -202,7 +202,11 @@ func Run(topo sim.Topology, step Stepper, proto string, spec Spec) (*Result, err
 		Scheduler:   spec.Scheduler,
 		Workers:     workers,
 		LinkTxTime:  spec.LinkTxTime,
-	})
+	}
+	if err := scfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%s shard loop: %w", proto, err)
+	}
+	s := sim.New(scfg)
 	s.SetAllHandlers(st.handle)
 	s.SetTimerHandler(st.issue)
 	for v := 0; v < n; v++ {

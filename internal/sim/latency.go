@@ -60,6 +60,58 @@ func (m asyncUniform) Delay(w int64, rng *rand.Rand) Time {
 func (m asyncUniform) Scale() int64 { return m.scale }
 func (m asyncUniform) Name() string { return "async-uniform" }
 
+// CounterLatency is an optional LatencyModel extension for models whose
+// per-message delay is a pure function of (edge weight, config seed,
+// message sequence number) instead of a draw from a shared RNG stream.
+// Because the delay depends only on the message's deterministic global
+// sequence number — assigned identically at any worker count — the
+// simulator can compute it from any commit worker without serializing,
+// which is what lets randomized-delay configs run under the sharded
+// parallel commit. This is the same counter-based discipline as
+// workload.Zipf and Context.Draw.
+type CounterLatency interface {
+	LatencyModel
+	// DelayFor returns the delay for the message that will be (or was)
+	// assigned global sequence number seq, over an edge of weight w,
+	// under the given config seed. Must be a pure function of its
+	// arguments with a result in [1, ∞).
+	DelayFor(w int64, seed int64, seq uint64) Time
+}
+
+type asyncCounter struct{ scale int64 }
+
+// AsyncCounter returns an asynchronous model with the same delay
+// distribution shape as AsyncUniform — each message takes an integer
+// delay in [1, w·scale], approximately uniform — but drawn by hashing
+// (seed, message seq) with the splitmix64 counter discipline instead of
+// consuming a serialized RNG stream. Runs using it are bit-identical at
+// any Workers count, including under the sharded parallel commit. (The
+// modulo mapping carries a negligible bias for w·scale ≪ 2^64; exact
+// reproducibility, not distributional purity, is the point.)
+func AsyncCounter(scale int64) LatencyModel {
+	if scale < 1 {
+		panic("sim: latency scale must be >= 1")
+	}
+	return asyncCounter{scale: scale}
+}
+
+func (m asyncCounter) Delay(w int64, _ *rand.Rand) Time {
+	// The simulator routes CounterLatency models through DelayFor; the
+	// stream-based entry point cannot reproduce the counter draws.
+	panic("sim: AsyncCounter delays are seq-keyed; use DelayFor (the simulator does this automatically)")
+}
+
+func (m asyncCounter) DelayFor(w int64, seed int64, seq uint64) Time {
+	hi := w * m.scale
+	if hi <= 1 {
+		return 1
+	}
+	h := uint64(DeriveSeed(seed, int(seq)))
+	return 1 + Time(h%uint64(hi))
+}
+func (m asyncCounter) Scale() int64 { return m.scale }
+func (m asyncCounter) Name() string { return "async-counter" }
+
 type asyncBimodal struct {
 	scale    int64
 	slowProb float64

@@ -24,15 +24,27 @@ import (
 //     shard's handlers run concurrently — driver state is keyed by
 //     node, so shards touch disjoint state — with every mutating
 //     Context call buffered into the worker's op log;
-//  3. the coordinator replays the op logs in batch (= serial event)
-//     order through the real send/schedule/record paths.
+//  3. the logged effects are committed in serial event order. When the
+//     config is commit-shardable (deterministic per-message delays —
+//     synchronous or CounterLatency — and dense-or-absent per-link
+//     state), the commit itself runs on the workers: each one
+//     redundantly walks the logs in batch order to reconstruct every
+//     effect's global (at, pri, seq) key from a running push count,
+//     then applies only the effects it owns — sends by destination
+//     link, timers by destination node — so per-link FIFO slots and
+//     capacity reservations stay single-writer sequential state. The
+//     staged events are merged into the scheduler by ascending seq, the
+//     exact order the serial loop would have pushed them. Otherwise
+//     (stream-RNG latency models, map/paged link tiers) the coordinator
+//     replays the logs serially through the real send path.
 //
-// Sequence numbers, latency-RNG draws, FIFO clamps and recorder
-// accumulation all happen in the replay, in exactly the order the
-// serial loop would have produced, so the run is bit-identical to
-// Workers <= 1 — histogram floating-point included. Batches containing
-// closure timers or fault events, and batches too small to amortize the
-// fan-out, fall back to the serial dispatch path (same order again).
+// Either way, sequence numbers, delays, FIFO clamps and recorder
+// accumulation reproduce exactly what the serial loop would have done,
+// so the run is bit-identical to Workers <= 1 — histogram snapshots
+// included (recorder shards merge exactly; see stats.ShardableRecorder).
+// Batches containing closure timers or fault events, and batches too
+// small to amortize the fan-out, fall back to the serial dispatch path
+// (same order again).
 
 // op kinds of the worker-side effect log.
 const (
@@ -44,7 +56,7 @@ const (
 
 // emitOp is one buffered side effect of a handler run inside a worker.
 // idx is the batch index of the event that emitted it, which is all the
-// coordinator needs to interleave the per-worker logs back into serial
+// commit phase needs to interleave the per-worker logs back into serial
 // order.
 type emitOp struct {
 	idx  int32
@@ -59,11 +71,14 @@ type emitOp struct {
 
 // opBuffer is one worker's effect log for the current batch. idx is the
 // batch index the worker is currently processing; Context's mutating
-// methods stamp it into each op.
+// methods stamp it into each op. recs flags that at least one opRecord
+// was logged (non-shardable recorder), so the sharded commit knows to
+// run the serial record replay afterwards.
 type opBuffer struct {
-	ops []emitOp
-	idx int32
-	cur int // replay cursor
+	ops  []emitOp
+	idx  int32
+	cur  int // replay cursor
+	recs bool
 }
 
 func (b *opBuffer) add(op emitOp) { b.ops = append(b.ops, op) }
@@ -75,6 +90,89 @@ func (b *opBuffer) reset() {
 	}
 	b.ops = b.ops[:0]
 	b.cur = 0
+	b.recs = false
+}
+
+// recShard pairs a ShardableRecorder with one worker's private shard of
+// it; each worker Context keeps an insertion-ordered list so the
+// post-drain absorb walk is deterministic.
+type recShard struct {
+	parent stats.ShardableRecorder
+	shard  stats.Recorder
+}
+
+// commitState is one commit worker's reusable scratch: the events it
+// staged this batch (ascending seq by construction), per-source-log
+// cursors for the batch-order walk, a merge cursor for the coordinator,
+// and its share of the message/hop counters.
+type commitState struct {
+	staged   []event
+	cursors  []int
+	mergeCur int
+	pushes   uint64
+	messages int64
+	hops     int64
+}
+
+func (cs *commitState) resetFor(w int) {
+	// Drop references so recycled capacity doesn't pin message payloads.
+	for i := range cs.staged {
+		cs.staged[i] = event{}
+	}
+	cs.staged = cs.staged[:0]
+	if len(cs.cursors) != w {
+		cs.cursors = make([]int, w)
+	} else {
+		for i := range cs.cursors {
+			cs.cursors[i] = 0
+		}
+	}
+	cs.mergeCur = 0
+	cs.pushes = 0
+	cs.messages = 0
+	cs.hops = 0
+}
+
+// commitShardable reports whether the logged effects of a tick batch
+// can be committed by the workers themselves instead of a serial
+// replay. Two properties are required:
+//
+//   - per-message delays must be reconstructible from the message's
+//     deterministic global seq alone: the synchronous model (a pure
+//     function of edge weight) or a CounterLatency model (seq-keyed
+//     hash). Stream-RNG models (AsyncUniform, AsyncBimodal) consume a
+//     serialized rand stream whose draw order IS the serial commit
+//     order, so they keep the serial replay.
+//   - per-link FIFO/capacity state must be flat (dense tier) or absent:
+//     commit workers then write disjoint cells (each link is owned by
+//     exactly one worker), whereas the map and paged tiers mutate
+//     shared structure on insert.
+func (s *Simulator) commitShardable() bool {
+	if s.syncScale == 0 && s.ctrLat == nil {
+		return false
+	}
+	if s.fifo != nil && s.fifo.dense == nil {
+		return false
+	}
+	if s.busy != nil && s.busy.dense == nil {
+		return false
+	}
+	return true
+}
+
+// linkOwner maps a directed link to the commit worker that owns its
+// sequential state. With a LinkIndexer the dense index is used directly
+// (matching the dense fifo/busy cells); otherwise — legal only when no
+// link state exists at all — a hash of the endpoints keeps all traffic
+// of one link on one worker.
+//
+//arrow:hotpath one call per logged send during the sharded commit
+func (s *Simulator) linkOwner(u, v graph.NodeID) int {
+	if s.linkIdx != nil {
+		return s.linkIdx.LinkIndex(u, v) % s.workers
+	}
+	h := uint64(u)*0x9E3779B97F4A7C15 ^ uint64(v)*0xBF58476D1CE4E5B9
+	return int(h % uint64(s.workers))
 }
 
 // runParallel is Run for workers > 1. New has already rejected configs
@@ -85,6 +183,14 @@ func (s *Simulator) runParallel() Time {
 	wctx := make([]*Context, w)
 	for i := range wctx {
 		wctx[i] = &Context{s: s, shard: i, buf: &opBuffer{}}
+	}
+	sharded := s.commitShardable()
+	var commits []*commitState
+	if sharded {
+		commits = make([]*commitState, w)
+		for i := range commits {
+			commits[i] = &commitState{cursors: make([]int, w)}
+		}
 	}
 	// Below this, goroutine fan-out costs more than it buys; the batch
 	// runs on the serial-fallback path instead.
@@ -156,6 +262,7 @@ func (s *Simulator) runParallel() Time {
 			for _, bi := range shards[wi] {
 				e := &batch[bi]
 				ctx.buf.idx = bi
+				ctx.evTo, ctx.evSeq = e.to, e.seq
 				switch e.kind {
 				case evNodeTimer:
 					h := s.timerH
@@ -177,27 +284,209 @@ func (s *Simulator) runParallel() Time {
 				}
 			}
 		})
-		// Replay the effect logs in batch order. Each worker emitted its
-		// ops with ascending batch indices, so a per-buffer cursor and an
-		// idx match suffice to merge the logs into the exact serial
-		// interleaving.
-		for i := range batch {
-			buf := wctx[int(batch[i].to)%w].buf
-			for buf.cur < len(buf.ops) && buf.ops[buf.cur].idx == int32(i) {
-				op := &buf.ops[buf.cur]
-				buf.cur++
-				switch op.kind {
-				case opSend:
-					s.send(op.u, op.v, op.msg)
-				case opTimer:
-					s.scheduleTimer(op.t, op.fn)
-				case opNodeTimer:
-					s.push(event{at: op.t, kind: evNodeTimer, to: op.v})
-				case opRecord:
-					op.rec.RecordRequest(op.t, op.h)
-				}
+		if !sharded {
+			s.replayLogs(batch, wctx)
+			continue
+		}
+		// Sharded commit: every commit worker walks ALL the logs in batch
+		// order (cheap — it reads each op once) to reconstruct the global
+		// push sequence, and applies just the effects it owns. The
+		// ParallelMap join gives the happens-before edge between the
+		// handler phase's log writes and the commit phase's reads, and
+		// between the commit phase's link-cell writes and the next
+		// batch's.
+		baseSeq := s.seq
+		anyRecs := false
+		for _, ctx := range wctx {
+			if ctx.buf.recs {
+				anyRecs = true
+			}
+		}
+		par.ParallelMap(w, w, func(ci int) {
+			s.commitShard(ci, batch, wctx, commits[ci], baseSeq)
+		})
+		pushes := commits[0].pushes
+		for _, cs := range commits[1:] {
+			if cs.pushes != pushes {
+				panic("sim: parallel commit push-count divergence")
+			}
+		}
+		s.mergeStaged(commits)
+		s.seq = baseSeq + pushes
+		for _, cs := range commits {
+			s.messages += cs.messages
+			s.hops += cs.hops
+		}
+		if anyRecs {
+			s.replayRecords(batch, wctx)
+		}
+	}
+	// Fold each worker's recorder shards back into their parents. Worker
+	// order then insertion order is deterministic, and ShardableRecorder
+	// absorption is exact, so the parents end bit-identical to a serial
+	// run regardless of how observations were partitioned.
+	for _, ctx := range wctx {
+		for _, rs := range ctx.recList {
+			rs.parent.Absorb(rs.shard)
+		}
+		ctx.recM = nil
+		ctx.recList = nil
+	}
+	return s.now
+}
+
+// replayLogs is the serial commit fallback: the coordinator replays the
+// effect logs in batch order through the real send/schedule/record
+// paths. Each worker emitted its ops with ascending batch indices, so a
+// per-buffer cursor and an idx match suffice to merge the logs into the
+// exact serial interleaving.
+func (s *Simulator) replayLogs(batch []event, wctx []*Context) {
+	w := s.workers
+	for i := range batch {
+		buf := wctx[int(batch[i].to)%w].buf
+		for buf.cur < len(buf.ops) && buf.ops[buf.cur].idx == int32(i) {
+			op := &buf.ops[buf.cur]
+			buf.cur++
+			switch op.kind {
+			case opSend:
+				s.send(op.u, op.v, op.msg)
+			case opTimer:
+				s.scheduleTimer(op.t, op.fn)
+			case opNodeTimer:
+				s.push(event{at: op.t, kind: evNodeTimer, to: op.v})
+			case opRecord:
+				op.rec.RecordRequest(op.t, op.h)
 			}
 		}
 	}
-	return s.now
+}
+
+// commitShard is one worker's slice of the sharded commit. It walks all
+// op logs in batch order, counting pushes to derive each op's global
+// sequence number — the count is identical on every worker, so the
+// (at, pri, seq) keys match what the serial replay would have stamped —
+// and applies the ops it owns: sends whose destination link hashes to
+// this worker (their FIFO clamp and capacity reservation touch only
+// cells this worker owns), node timers whose node shard is this worker,
+// and closure timers round-robined by seq. Applied events are staged in
+// ascending seq order for the coordinator's merge.
+//
+//arrow:hotpath every logged effect is walked here once per commit worker
+func (s *Simulator) commitShard(ci int, batch []event, wctx []*Context, cs *commitState, baseSeq uint64) {
+	w := s.workers
+	cs.resetFor(w)
+	pushes := uint64(0)
+	for i := range batch {
+		src := int(batch[i].to) % w
+		buf := wctx[src].buf
+		cur := cs.cursors[src]
+		for cur < len(buf.ops) && buf.ops[cur].idx == int32(i) {
+			op := &buf.ops[cur]
+			cur++
+			switch op.kind {
+			case opSend:
+				pushes++
+				if s.linkOwner(op.u, op.v) == ci {
+					s.commitSend(cs, op, baseSeq+pushes)
+				}
+			case opTimer:
+				pushes++
+				if int((baseSeq+pushes)%uint64(w)) == ci {
+					seq := baseSeq + pushes
+					cs.staged = append(cs.staged, event{at: op.t, pri: int64(seq), seq: seq, kind: evTimer, fn: op.fn})
+				}
+			case opNodeTimer:
+				pushes++
+				if int(op.v)%w == ci {
+					seq := baseSeq + pushes
+					cs.staged = append(cs.staged, event{at: op.t, pri: int64(seq), seq: seq, kind: evNodeTimer, to: op.v})
+				}
+			case opRecord:
+				// Non-shardable recorders are replayed serially by the
+				// coordinator after the commit (replayRecords); they do
+				// not consume a sequence number.
+			}
+		}
+		cs.cursors[src] = cur
+	}
+	cs.pushes = pushes
+}
+
+// commitSend applies one owned send: the same latency lookup, delay,
+// capacity reservation and FIFO clamp as the serial path, against link
+// cells only this worker touches. The delay needs no RNG stream — the
+// config is commit-shardable, so it is a pure function of the edge
+// weight (synchronous) or of the message's seq (CounterLatency).
+//
+//arrow:hotpath one call per owned send during the sharded commit
+func (s *Simulator) commitSend(cs *commitState, op *emitOp, seq uint64) {
+	wgt, ok := s.cfg.Topology.Latency(op.u, op.v)
+	if !ok {
+		panic(fmt.Sprintf("sim: illegal send %d -> %d (not connected in topology)", op.u, op.v))
+	}
+	var delay Time
+	if s.syncScale != 0 {
+		delay = wgt * s.syncScale
+	} else {
+		delay = s.ctrLat.DelayFor(wgt, s.cfg.Seed, seq)
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	depart := s.now
+	if s.busy != nil {
+		depart = s.busy.reserve(op.u, op.v, depart, s.txTime)
+	}
+	arrive := depart + delay
+	if !s.fifoFree {
+		arrive = s.fifo.clamp(op.u, op.v, arrive)
+	}
+	cs.messages++
+	cs.hops += int64(s.cfg.Topology.Hops(op.u, op.v))
+	cs.staged = append(cs.staged, event{at: arrive, pri: int64(seq), seq: seq, kind: evMessage, to: op.v, from: op.u, msg: op.msg})
+}
+
+// mergeStaged pushes the staged events into the scheduler in ascending
+// global seq — exactly the order the serial replay would have pushed
+// them, which preserves the ladder buckets' FIFO append invariant. Each
+// worker's staged list is already seq-sorted, so this is a w-way merge
+// with a linear head scan (w is small).
+//
+//arrow:hotpath one pass per parallel batch over every staged event
+func (s *Simulator) mergeStaged(commits []*commitState) {
+	for {
+		best := -1
+		var bestSeq uint64
+		for i, cs := range commits {
+			if cs.mergeCur < len(cs.staged) {
+				if sq := cs.staged[cs.mergeCur].seq; best < 0 || sq < bestSeq {
+					best, bestSeq = i, sq
+				}
+			}
+		}
+		if best < 0 {
+			return
+		}
+		cs := commits[best]
+		s.lq.push(&cs.staged[cs.mergeCur])
+		cs.mergeCur++
+	}
+}
+
+// replayRecords applies the buffered opRecord effects of non-shardable
+// recorders in batch (= serial event) order; it runs only when a batch
+// actually logged one, and reuses the buffers' replay cursors (the
+// sharded commit keeps its own).
+func (s *Simulator) replayRecords(batch []event, wctx []*Context) {
+	w := s.workers
+	for i := range batch {
+		buf := wctx[int(batch[i].to)%w].buf
+		for buf.cur < len(buf.ops) && buf.ops[buf.cur].idx == int32(i) {
+			op := &buf.ops[buf.cur]
+			buf.cur++
+			if op.kind == opRecord {
+				op.rec.RecordRequest(op.t, op.h)
+			}
+		}
+	}
 }

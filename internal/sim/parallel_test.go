@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -14,15 +15,16 @@ import (
 // and the origin records the round trip — and returns everything a
 // worker count could perturb: makespan, counters and the recorded
 // distributions.
-func tokenRun(t *testing.T, n, rounds, workers int, lat LatencyModel) (Time, int64, int64, int64, stats.Dist, stats.Dist) {
+func tokenRun(t *testing.T, n, rounds, workers int, lat LatencyModel, tx Time) (Time, int64, int64, int64, stats.Dist, stats.Dist) {
 	t.Helper()
 	nav := tree.BinaryWalker(n)
 	rec := stats.NewDistRecorder()
 	s := New(Config{
-		Topology: TreeTopology{T: nav},
-		Latency:  lat,
-		Seed:     7,
-		Workers:  workers,
+		Topology:   TreeTopology{T: nav},
+		Latency:    lat,
+		Seed:       7,
+		Workers:    workers,
+		LinkTxTime: tx,
 	})
 	issue := make([]Time, n)
 	left := make([]int, n)
@@ -50,7 +52,11 @@ func tokenRun(t *testing.T, n, rounds, workers int, lat LatencyModel) (Time, int
 		ctx.RecordRequest(rec, int64(ctx.Now()-issue[at]), int(nav.Depth(at))*2)
 		left[at]--
 		if left[at] > 0 {
-			ctx.AfterNode(1, at)
+			// Think time drawn from the counter-based per-event RNG: the
+			// draw is keyed by (seed, node, seq), so it must agree across
+			// serial and parallel drains — the bit-identity comparison
+			// below pins that.
+			ctx.AfterNode(1+Time(ctx.Draw(0)%3), at)
 		}
 	})
 	for v := 1; v < n; v++ {
@@ -68,17 +74,27 @@ type find struct {
 // TestParallelDrainBitIdentical pins the tick-windowed parallel drain
 // against the serial loop: every observable — makespan, message/hop/
 // event counters, and the recorded latency and hop distributions down
-// to their floating-point means — must match for every worker count,
-// under both synchronous and per-message random latency.
+// to their floating-point means — must match for every worker count.
+// The model × capacity matrix covers every commit mode: "sync" and
+// "asyncctr" engage the sharded commit (without and with per-link
+// capacity state), "async4" exercises the serial-replay fallback for
+// stream-RNG latency, and the protocol draws think times from the
+// counter-based Context.Draw in every case.
 func TestParallelDrainBitIdentical(t *testing.T) {
-	models := map[string]func() LatencyModel{
-		"sync":   func() LatencyModel { return Synchronous() },
-		"async4": func() LatencyModel { return AsyncUniform(4) },
+	cases := map[string]struct {
+		model func() LatencyModel
+		tx    Time
+	}{
+		"sync":        {model: func() LatencyModel { return Synchronous() }},
+		"sync/tx":     {model: func() LatencyModel { return Synchronous() }, tx: 2},
+		"async4":      {model: func() LatencyModel { return AsyncUniform(4) }},
+		"asyncctr":    {model: func() LatencyModel { return AsyncCounter(4) }},
+		"asyncctr/tx": {model: func() LatencyModel { return AsyncCounter(4) }, tx: 1},
 	}
-	for name, model := range models {
-		mk0, msg0, hop0, ev0, lat0, hops0 := tokenRun(t, 300, 4, 0, model())
+	for name, c := range cases {
+		mk0, msg0, hop0, ev0, lat0, hops0 := tokenRun(t, 300, 4, 0, c.model(), c.tx)
 		for _, w := range []int{2, 3, 8} {
-			mk, msg, hop, ev, lat, hops := tokenRun(t, 300, 4, w, model())
+			mk, msg, hop, ev, lat, hops := tokenRun(t, 300, 4, w, c.model(), c.tx)
 			if mk != mk0 || msg != msg0 || hop != hop0 || ev != ev0 {
 				t.Fatalf("%s workers=%d: (mk=%d msg=%d hop=%d ev=%d), serial (mk=%d msg=%d hop=%d ev=%d)",
 					name, w, mk, msg, hop, ev, mk0, msg0, hop0, ev0)
@@ -88,6 +104,66 @@ func TestParallelDrainBitIdentical(t *testing.T) {
 					name, w, lat, lat0, hops, hops0)
 			}
 		}
+	}
+}
+
+// noIdxTopo hides a topology's LinkIndexer, forcing the map link tier.
+type noIdxTopo struct{ Topology }
+
+// TestCommitShardable pins the commit-mode decision: the sharded commit
+// engages exactly when delays are deterministic per message and link
+// state is dense or absent.
+func TestCommitShardable(t *testing.T) {
+	tree8 := TreeTopology{T: tree.BinaryWalker(8)}
+	cases := []struct {
+		name string
+		cfg  Config
+		want bool
+	}{
+		{"sync", Config{Topology: tree8, Workers: 2}, true},
+		{"sync/capacity", Config{Topology: tree8, Workers: 2, LinkTxTime: 1}, true},
+		{"counter", Config{Topology: tree8, Workers: 2, Latency: AsyncCounter(4)}, true},
+		{"stream-rng", Config{Topology: tree8, Workers: 2, Latency: AsyncUniform(4)}, false},
+		{"counter/map-tier", Config{Topology: noIdxTopo{tree8}, Workers: 2, Latency: AsyncCounter(4)}, false},
+		{"sync/paged-capacity", Config{Topology: NewCompleteTopology(100000), Workers: 2, LinkTxTime: 1}, false},
+	}
+	for _, c := range cases {
+		if got := New(c.cfg).commitShardable(); got != c.want {
+			t.Errorf("%s: commitShardable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestConfigValidate pins the typed validation front door: malformed
+// configs come back as *ConfigError (the drivers and engine surface
+// them as errors), and a well-formed parallel config passes.
+func TestConfigValidate(t *testing.T) {
+	topo := TreeTopology{T: tree.BinaryWalker(8)}
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil-topology", Config{}},
+		{"negative-tx", Config{Topology: topo, LinkTxTime: -1}},
+		{"workers-lifo", Config{Topology: topo, Workers: 2, Arbitration: ArbLIFO}},
+		{"workers-random", Config{Topology: topo, Workers: 2, Arbitration: ArbRandom}},
+		{"workers-heap", Config{Topology: topo, Workers: 2, Scheduler: SchedHeap}},
+		{"workers-faults", Config{Topology: topo, Workers: 2, Faults: &FaultPlan{}}},
+	}
+	for _, c := range bad {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate returned nil, want error", c.name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: Validate error %T is not *ConfigError", c.name, err)
+		}
+	}
+	good := Config{Topology: topo, Workers: 8, LinkTxTime: 3, Latency: AsyncCounter(2)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
 	}
 }
 

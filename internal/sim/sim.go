@@ -127,12 +127,17 @@ type Config struct {
 	Faults *FaultPlan
 	// Workers > 1 enables the tick-windowed parallel drain: each tick's
 	// event bucket is processed by that many workers over disjoint node
-	// shards, and the side effects are replayed in the serial event
-	// order, so results stay bit-identical to Workers <= 1 (the
-	// equivalence tests pin this, histograms included). It requires FIFO
-	// arbitration, the ladder scheduler and a fault-free plan — New
-	// panics otherwise; drivers normalize incompatible configs to serial
-	// instead.
+	// shards, and the logged side effects are committed in the serial
+	// event order, so results stay bit-identical to Workers <= 1 (the
+	// equivalence tests pin this, histograms included). When delays are
+	// deterministic per message (synchronous or a CounterLatency model)
+	// and per-link state is dense or absent, the commit itself is
+	// sharded across the workers by destination link/node; otherwise the
+	// coordinator replays the logs serially. Either way the realized
+	// event sequence is identical. Requires FIFO arbitration, the ladder
+	// scheduler and a fault-free plan — Validate reports the conflict as
+	// an error and New panics as a last resort; drivers normalize
+	// incompatible configs to serial instead.
 	Workers int
 	// LinkTxTime, when positive, gives every directed link a finite
 	// serialization capacity: consecutive messages on one link depart at
@@ -145,6 +150,49 @@ type Config struct {
 	// drain: departures are reserved during the serial replay of each
 	// tick's side effects.
 	LinkTxTime Time
+}
+
+// ConfigError reports a Config combination the simulator cannot run.
+// Field names the offending knob; Reason explains the constraint.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "sim: invalid config: " + e.Field + ": " + e.Reason
+}
+
+// Validate reports whether the configuration is runnable, returning a
+// *ConfigError describing the first violated constraint. It is the
+// typed front door for the checks New enforces: drivers and the engine
+// run-spec layer call Validate and surface the error to their callers,
+// leaving the panic in New as a last-resort guard against configs that
+// bypassed validation.
+func (c Config) Validate() error {
+	if c.Topology == nil {
+		return &ConfigError{Field: "Topology", Reason: "must be non-nil"}
+	}
+	if c.LinkTxTime < 0 {
+		return &ConfigError{Field: "LinkTxTime", Reason: fmt.Sprintf("must be >= 0, got %d", c.LinkTxTime)}
+	}
+	if c.Workers > 1 {
+		// The parallel drain commits a tick's side effects in (pri, seq)
+		// = scheduling order, which is the realized order only under
+		// FIFO arbitration; the batch boundary comes from the ladder's
+		// tick buckets; and fault gating consults mutable shared state
+		// mid-tick. Anything else must run serially.
+		if c.Arbitration != ArbFIFO {
+			return &ConfigError{Field: "Workers", Reason: fmt.Sprintf("parallel drain requires FIFO arbitration, got %v", c.Arbitration)}
+		}
+		if c.Scheduler != SchedLadder {
+			return &ConfigError{Field: "Workers", Reason: fmt.Sprintf("parallel drain requires the ladder scheduler, got %v", c.Scheduler)}
+		}
+		if c.Faults != nil {
+			return &ConfigError{Field: "Workers", Reason: "parallel drain is incompatible with a fault plan"}
+		}
+	}
+	return nil
 }
 
 // Simulator is a deterministic discrete-event engine.
@@ -198,8 +246,12 @@ type Simulator struct {
 
 	// syncScale caches the synchronous latency model's scale, letting
 	// send compute the (deterministic) delay without an interface call
-	// or a latency RNG; 0 means the model is genuinely random.
+	// or a latency RNG; 0 means the model is not synchronous. ctrLat is
+	// non-nil when the latency model is seq-keyed (CounterLatency):
+	// delays are then pure functions of the message's global sequence
+	// number, usable from any commit worker without an RNG stream.
 	syncScale int64
+	ctrLat    CounterLatency
 
 	processed int64 // number of events processed
 	messages  int64
@@ -324,10 +376,12 @@ func DeriveSeed(seed int64, stream int) int64 {
 }
 
 // New creates a simulator from cfg. Node handlers default to a no-op and
-// are installed with SetHandler / SetAllHandlers.
+// are installed with SetHandler / SetAllHandlers. Malformed configs
+// panic with the Validate error — callers that want a recoverable
+// failure run cfg.Validate() first (the drivers and the engine do).
 func New(cfg Config) *Simulator {
-	if cfg.Topology == nil {
-		panic("sim: nil topology")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	if cfg.Latency == nil {
 		cfg.Latency = Synchronous()
@@ -337,28 +391,12 @@ func New(cfg Config) *Simulator {
 		useHeap: cfg.Scheduler == SchedHeap,
 		workers: cfg.Workers,
 	}
-	if cfg.Workers > 1 {
-		// The parallel drain replays a tick's side effects in (pri, seq)
-		// = scheduling order, which is the realized order only under
-		// FIFO arbitration; the batch boundary comes from the ladder's
-		// tick buckets; and fault gating consults mutable shared state
-		// mid-tick. Anything else must run serially.
-		if cfg.Arbitration != ArbFIFO {
-			panic(fmt.Sprintf("sim: Workers=%d requires FIFO arbitration, got %v", cfg.Workers, cfg.Arbitration))
-		}
-		if cfg.Scheduler != SchedLadder {
-			panic(fmt.Sprintf("sim: Workers=%d requires the ladder scheduler, got %v", cfg.Workers, cfg.Scheduler))
-		}
-		if cfg.Faults != nil {
-			panic(fmt.Sprintf("sim: Workers=%d is incompatible with a fault plan", cfg.Workers))
-		}
-	}
-	if cfg.LinkTxTime < 0 {
-		panic(fmt.Sprintf("sim: negative LinkTxTime %d", cfg.LinkTxTime))
-	}
 	s.txTime = cfg.LinkTxTime
 	if m, ok := cfg.Latency.(syncModel); ok {
 		s.syncScale = m.scale
+	}
+	if cl, ok := cfg.Latency.(CounterLatency); ok {
+		s.ctrLat = cl
 	}
 	if cfg.Arbitration == ArbRandom {
 		s.arbRNG = rand.New(rand.NewSource(DeriveSeed(cfg.Seed, 2)))
@@ -445,6 +483,21 @@ type Context struct {
 	s     *Simulator
 	shard int
 	buf   *opBuffer // nil on the serial context
+
+	// Identity of the event currently being dispatched through this
+	// context: destination node (0 for closure timers) and global
+	// sequence number. They key the counter-based Draw/Uniform RNG, so
+	// the same event draws the same values at any worker count.
+	evTo  graph.NodeID
+	evSeq uint64
+
+	// Per-worker shards of ShardableRecorders, created on first use
+	// under the parallel drain and absorbed into their parents in fixed
+	// worker order when the drain finishes. recM resolves a parent to
+	// its shard in O(1) on the record path; recList preserves insertion
+	// order for the deterministic absorb walk.
+	recM    map[stats.Recorder]stats.Recorder
+	recList []recShard
 }
 
 // Now returns the current simulated time.
@@ -493,10 +546,11 @@ func (c *Context) AfterNode(d Time, v graph.NodeID) {
 
 // RecordRequest forwards one completed request to rec (a no-op when rec
 // is nil). Drivers must route recordings through the context rather
-// than calling the recorder directly: under the parallel drain the call
-// is deferred to the serial replay, which keeps the histogram's
-// accumulation order — and hence its floating-point mean/variance —
-// bit-identical to a serial run.
+// than calling the recorder directly: under the parallel drain a
+// ShardableRecorder is recorded into the worker's private shard (merged
+// exactly after the drain — bit-identical because the shard state is
+// exact), and any other recorder is deferred to the coordinator's
+// serial replay in event order.
 //
 //arrow:hotpath runs once per completed request
 func (c *Context) RecordRequest(rec stats.Recorder, latency int64, hops int) {
@@ -504,19 +558,60 @@ func (c *Context) RecordRequest(rec stats.Recorder, latency int64, hops int) {
 		return
 	}
 	if c.buf != nil {
+		if sr, ok := rec.(stats.ShardableRecorder); ok {
+			c.shardFor(sr).RecordRequest(latency, hops)
+			return
+		}
 		c.buf.add(emitOp{idx: c.buf.idx, kind: opRecord, rec: rec, t: latency, h: hops})
+		c.buf.recs = true
 		return
 	}
 	rec.RecordRequest(latency, hops)
 }
 
+// shardFor resolves (creating on first use) this worker's shard of the
+// given parent recorder.
+func (c *Context) shardFor(parent stats.ShardableRecorder) stats.Recorder {
+	if sh, ok := c.recM[parent]; ok {
+		return sh
+	}
+	if c.recM == nil {
+		c.recM = make(map[stats.Recorder]stats.Recorder)
+	}
+	sh := parent.NewShard()
+	c.recM[parent] = sh
+	c.recList = append(c.recList, recShard{parent: parent, shard: sh})
+	return sh
+}
+
+// Draw returns the i-th pseudo-random 64-bit value of the event
+// currently being handled: a pure splitmix64 hash of (config seed,
+// event destination node, event sequence number, i) — the same counter
+// discipline as workload.Zipf — so a protocol drawing randomness
+// through it stays bit-identical on the serial drain and on the
+// parallel drain at any worker count. This is the parallel-safe
+// replacement for Context.Rand.
+func (c *Context) Draw(i int) uint64 {
+	h := DeriveSeed(c.s.cfg.Seed, int(c.evTo))
+	h = DeriveSeed(h, int(c.evSeq))
+	return uint64(DeriveSeed(h, i))
+}
+
+// Uniform returns the i-th uniform variate in [0, 1) of the current
+// event, derived from Draw(i) by the same top-53-bit mapping as
+// workload.Zipf.
+func (c *Context) Uniform(i int) float64 {
+	return float64(c.Draw(i)>>11) * (1.0 / (1 << 53))
+}
+
 // Rand returns the simulator's seeded RNG (deterministic per run). It is
 // unavailable inside the parallel drain — a shared stream consumed from
 // concurrent workers could not stay deterministic — so protocols that
-// draw from it must run with Workers <= 1.
+// draw from it must run with Workers <= 1. Parallel-safe randomness is
+// available through the counter-based Context.Draw / Context.Uniform.
 func (c *Context) Rand() *rand.Rand {
 	if c.buf != nil {
-		panic("sim: Context.Rand is unavailable under the parallel drain (run with Workers <= 1)")
+		panic("sim: Context.Rand is unavailable under the parallel drain (use Context.Draw, or run with Workers <= 1)")
 	}
 	if c.s.rng == nil {
 		c.s.rng = rand.New(rand.NewSource(c.s.cfg.Seed))
@@ -555,6 +650,11 @@ func (s *Simulator) send(u, v graph.NodeID, msg Message) {
 	var delay Time
 	if s.syncScale != 0 {
 		delay = w * s.syncScale
+	} else if s.ctrLat != nil {
+		// Seq-keyed delay: the event pushed below will be stamped
+		// s.seq+1, and the sharded parallel commit computes the same
+		// delay from the same sequence number.
+		delay = s.ctrLat.DelayFor(w, s.cfg.Seed, s.seq+1)
 	} else {
 		if s.latRNG == nil {
 			s.latRNG = rand.New(rand.NewSource(DeriveSeed(s.cfg.Seed, 1)))
@@ -674,6 +774,7 @@ func (s *Simulator) Run() Time {
 //
 //arrow:hotpath every event dequeue lands here
 func (s *Simulator) dispatch(ctx *Context, e *event) {
+	ctx.evTo, ctx.evSeq = e.to, e.seq
 	switch e.kind {
 	case evTimer:
 		e.fn(ctx)

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/big"
 	"math/bits"
 )
 
@@ -20,9 +21,17 @@ import (
 //
 //	x <= q <= x * (1 + 1/32)
 //
-// for the exact order statistic x at that rank. Mean and standard
-// deviation are tracked exactly (up to float rounding) with Welford's
-// algorithm, not from the buckets.
+// for the exact order statistic x at that rank.
+//
+// Moments are tracked as exact 128-bit integer accumulators (Σv and Σv²)
+// rather than floating-point running statistics: integer addition is
+// associative, so any partition of a stream of observations across
+// histogram shards merges back to bit-identical Mean/Std regardless of
+// the partition or the merge order. The parallel drain relies on this to
+// keep per-worker recorder shards byte-identical to a serial run at any
+// worker count. Mean and Std are derived from the accumulators only at
+// query time (Std via an exact big-integer variance numerator, avoiding
+// the catastrophic cancellation of the naive Σv²/n − mean² form).
 //
 // The zero value is ready to use; the bucket array is allocated on the
 // first Record. Histogram is not safe for concurrent use — each sweep
@@ -32,9 +41,13 @@ type Histogram struct {
 	count  int64
 	min    int64
 	max    int64
-	// Welford running moments: mean and sum of squared deviations.
-	mean float64
-	m2   float64
+	// Exact moment accumulators. sum is the 128-bit Σv (cannot overflow:
+	// count < 2^63 and v < 2^63 bound it below 2^126). sumsq is the
+	// 128-bit Σv², saturating at 2^128−1; saturating addition of
+	// non-negative terms is still associative and commutative, so even a
+	// saturated Std stays identical across shard partitions.
+	sumHi, sumLo     uint64
+	sumSqHi, sumSqLo uint64
 }
 
 const (
@@ -70,6 +83,16 @@ func histUpper(i int) int64 {
 	return lower + int64(1)<<uint(k) - 1
 }
 
+// addSq folds a 128-bit term into the saturating Σv² accumulator.
+func (h *Histogram) addSq(hi, lo uint64) {
+	l, carry := bits.Add64(h.sumSqLo, lo, 0)
+	hh, overflow := bits.Add64(h.sumSqHi, hi, carry)
+	if overflow != 0 {
+		l, hh = math.MaxUint64, math.MaxUint64
+	}
+	h.sumSqLo, h.sumSqHi = l, hh
+}
+
 // Record adds one observation. Negative values are clamped to zero (the
 // drivers only produce non-negative latencies and hop counts).
 func (h *Histogram) Record(v int64) {
@@ -87,16 +110,19 @@ func (h *Histogram) Record(v int64) {
 		h.max = v
 	}
 	h.count++
-	f := float64(v)
-	delta := f - h.mean
-	h.mean += delta / float64(h.count)
-	h.m2 += delta * (f - h.mean)
+	u := uint64(v)
+	var carry uint64
+	h.sumLo, carry = bits.Add64(h.sumLo, u, 0)
+	h.sumHi += carry
+	sqHi, sqLo := bits.Mul64(u, u)
+	h.addSq(sqHi, sqLo)
 }
 
 // Merge folds o into h, as if every observation recorded into o had been
-// recorded into h: bucket counts and min/max combine exactly, the
-// Welford moments via the parallel (Chan et al.) combination. o is left
-// unchanged.
+// recorded into h: bucket counts, min/max, and the integer moment
+// accumulators all combine exactly, so merging is associative and
+// commutative — any shard partition of a stream reproduces the serial
+// histogram bit for bit. o is left unchanged.
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil || o.count == 0 {
 		return
@@ -115,10 +141,10 @@ func (h *Histogram) Merge(o *Histogram) {
 	if o.max > h.max {
 		h.max = o.max
 	}
-	na, nb := float64(h.count), float64(o.count)
-	delta := o.mean - h.mean
-	h.mean += delta * nb / (na + nb)
-	h.m2 += o.m2 + delta*delta*na*nb/(na+nb)
+	var carry uint64
+	h.sumLo, carry = bits.Add64(h.sumLo, o.sumLo, 0)
+	h.sumHi += o.sumHi + carry
+	h.addSq(o.sumSqHi, o.sumSqLo)
 	h.count += o.count
 }
 
@@ -131,15 +157,48 @@ func (h *Histogram) Min() int64 { return h.min }
 // Max returns the largest recorded value (0 when empty).
 func (h *Histogram) Max() int64 { return h.max }
 
-// Mean returns the arithmetic mean of the recorded values (0 when empty).
-func (h *Histogram) Mean() float64 { return h.mean }
+// u128Float converts a 128-bit unsigned accumulator to float64.
+func u128Float(hi, lo uint64) float64 {
+	if hi == 0 {
+		return float64(lo)
+	}
+	return float64(hi)*0x1p64 + float64(lo)
+}
 
-// Std returns the population standard deviation (0 when empty).
-func (h *Histogram) Std() float64 {
-	if h.count == 0 || h.m2 <= 0 {
+// Mean returns the arithmetic mean of the recorded values (0 when
+// empty). The division is the only floating-point step, applied to the
+// exact integer Σv, so the result is a deterministic function of the
+// multiset of observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
 		return 0
 	}
-	return math.Sqrt(h.m2 / float64(h.count))
+	return u128Float(h.sumHi, h.sumLo) / float64(h.count)
+}
+
+// Std returns the population standard deviation (0 when empty). The
+// variance numerator n·Σv² − (Σv)² is computed exactly in big-integer
+// arithmetic before the final float conversion, so small variances of
+// large values do not cancel catastrophically.
+func (h *Histogram) Std() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	num := new(big.Int).SetUint64(h.sumSqHi)
+	num.Lsh(num, 64)
+	num.Add(num, new(big.Int).SetUint64(h.sumSqLo))
+	num.Mul(num, big.NewInt(h.count))
+	sum := new(big.Int).SetUint64(h.sumHi)
+	sum.Lsh(sum, 64)
+	sum.Add(sum, new(big.Int).SetUint64(h.sumLo))
+	sum.Mul(sum, sum)
+	num.Sub(num, sum)
+	if num.Sign() <= 0 {
+		return 0
+	}
+	f, _ := new(big.Float).SetInt(num).Float64()
+	n := float64(h.count)
+	return math.Sqrt(f / (n * n))
 }
 
 // Buckets returns the number of allocated bucket slots — fixed at
@@ -209,7 +268,7 @@ type Dist struct {
 func (h *Histogram) Snapshot() Dist {
 	return Dist{
 		Count: h.count,
-		Mean:  h.mean,
+		Mean:  h.Mean(),
 		Std:   h.Std(),
 		Min:   h.min,
 		P50:   h.Quantile(50),
@@ -229,6 +288,28 @@ type Recorder interface {
 	RecordRequest(latency int64, hops int)
 }
 
+// ShardableRecorder is a Recorder whose observations may be partitioned
+// across independent shards and folded back without changing the final
+// state. The parallel drain uses it to record on worker goroutines
+// without serializing: each worker records into its own shard and the
+// coordinator absorbs the shards in a fixed order after the drain.
+//
+// Contract: for ANY partition of a stream of RecordRequest calls across
+// shards, absorbing all shards (in any order) must leave the parent
+// bit-identical to having recorded the whole stream serially. In
+// practice that means the shard state must accumulate exactly —
+// integer counters and exactly-merging histograms, not floating-point
+// running statistics.
+type ShardableRecorder interface {
+	Recorder
+	// NewShard returns a fresh, empty recorder of the same kind whose
+	// observations can later be folded into the parent with Absorb.
+	NewShard() Recorder
+	// Absorb folds a shard previously returned by NewShard into the
+	// parent. The shard must not be used afterwards.
+	Absorb(shard Recorder)
+}
+
 // DistRecorder is the standard Recorder: one fixed-memory Histogram per
 // observed dimension. The zero value is ready to use.
 type DistRecorder struct {
@@ -243,4 +324,16 @@ func NewDistRecorder() *DistRecorder { return &DistRecorder{} }
 func (r *DistRecorder) RecordRequest(latency int64, hops int) {
 	r.Latency.Record(latency)
 	r.Hops.Record(int64(hops))
+}
+
+// NewShard implements ShardableRecorder.
+func (r *DistRecorder) NewShard() Recorder { return &DistRecorder{} }
+
+// Absorb implements ShardableRecorder: Histogram.Merge is exact, so the
+// partition of observations across shards is unobservable in the merged
+// snapshot.
+func (r *DistRecorder) Absorb(shard Recorder) {
+	o := shard.(*DistRecorder)
+	r.Latency.Merge(&o.Latency)
+	r.Hops.Merge(&o.Hops)
 }

@@ -160,7 +160,9 @@ func TestHistogramQuantileRankBound(t *testing.T) {
 
 // Property: merging histograms is exactly equivalent to recording every
 // observation into one histogram — identical buckets (hence quantiles),
-// min/max and count; moments agree up to float rounding.
+// min/max, count, AND moments. Mean/Std are bit-identical because the
+// moment accumulators are exact integers; the parallel drain's sharded
+// recorders depend on this strict form.
 func TestHistogramMergeEqualsCombined(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 30; trial++ {
@@ -183,11 +185,11 @@ func TestHistogramMergeEqualsCombined(t *testing.T) {
 			sa.P999 != sall.P999 {
 			t.Fatalf("trial %d: merged snapshot %+v != combined %+v", trial, sa, sall)
 		}
-		if math.Abs(sa.Mean-sall.Mean) > 1e-6*math.Max(1, math.Abs(sall.Mean)) {
-			t.Fatalf("trial %d: merged mean %v != combined %v", trial, sa.Mean, sall.Mean)
+		if sa.Mean != sall.Mean {
+			t.Fatalf("trial %d: merged mean %v != combined %v (exact accumulators must be bit-identical)", trial, sa.Mean, sall.Mean)
 		}
-		if math.Abs(sa.Std-sall.Std) > 1e-6*math.Max(1, sall.Std) {
-			t.Fatalf("trial %d: merged std %v != combined %v", trial, sa.Std, sall.Std)
+		if sa.Std != sall.Std {
+			t.Fatalf("trial %d: merged std %v != combined %v (exact accumulators must be bit-identical)", trial, sa.Std, sall.Std)
 		}
 	}
 	// Merging into an empty histogram copies, merging an empty one is a
@@ -207,7 +209,7 @@ func TestHistogramMergeEqualsCombined(t *testing.T) {
 	}
 }
 
-// The Welford moments must match the exact batch computation.
+// The integer-accumulator moments must match the exact batch computation.
 func TestHistogramMomentsMatchExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	xs := make([]float64, 5000)
@@ -223,6 +225,58 @@ func TestHistogramMomentsMatchExact(t *testing.T) {
 	}
 	if math.Abs(h.Std()-s.Std) > 1e-6*s.Std {
 		t.Errorf("std %v, exact %v", h.Std(), s.Std)
+	}
+}
+
+// Property: any partition of a stream across shards, absorbed in any
+// order, reproduces the serial histogram bit for bit — the invariant
+// the parallel drain's per-worker recorder shards rely on.
+func TestHistogramShardPartitionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		w := 2 + rng.Intn(7)
+		shards := make([]Histogram, w)
+		var serial Histogram
+		n := 500 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(1 << 50)
+			serial.Record(v)
+			shards[rng.Intn(w)].Record(v)
+		}
+		var merged Histogram
+		order := rng.Perm(w)
+		for _, i := range order {
+			merged.Merge(&shards[i])
+		}
+		if merged.Snapshot() != serial.Snapshot() {
+			t.Fatalf("trial %d (w=%d, order %v): sharded snapshot %+v != serial %+v",
+				trial, w, order, merged.Snapshot(), serial.Snapshot())
+		}
+	}
+}
+
+// DistRecorder implements ShardableRecorder with exact absorption.
+func TestDistRecorderShards(t *testing.T) {
+	var _ ShardableRecorder = (*DistRecorder)(nil)
+	parent := NewDistRecorder()
+	serial := NewDistRecorder()
+	s1 := parent.NewShard()
+	s2 := parent.NewShard()
+	obs := [][2]int64{{10, 3}, {20, 0}, {7, 9}, {1 << 40, 2}, {13, 5}}
+	for i, o := range obs {
+		serial.RecordRequest(o[0], int(o[1]))
+		if i%2 == 0 {
+			s1.RecordRequest(o[0], int(o[1]))
+		} else {
+			s2.RecordRequest(o[0], int(o[1]))
+		}
+	}
+	parent.Absorb(s2)
+	parent.Absorb(s1)
+	if parent.Latency.Snapshot() != serial.Latency.Snapshot() ||
+		parent.Hops.Snapshot() != serial.Hops.Snapshot() {
+		t.Fatalf("absorbed shards differ from serial recording:\n%+v\n%+v",
+			parent.Latency.Snapshot(), serial.Latency.Snapshot())
 	}
 }
 

@@ -1,0 +1,146 @@
+// Parallel-commit identity pin: the sharded deterministic commit must
+// reproduce the serial drain bit for bit — counters, makespan, event
+// counts AND the latency/hops histogram moments — for every ShardSafe
+// stepper, at every worker count, under both link-capacity contention
+// (LinkTxTime > 0) and randomized per-message latency (the counter-RNG
+// model, the only random latency the sharded commit admits). This is
+// the repo-level witness for the scale tier's core invariant: Workers
+// is a throughput knob, never a semantics knob.
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arrow"
+	"repro/internal/centralized"
+	"repro/internal/ivy"
+	"repro/internal/loop"
+	"repro/internal/nta"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// newShardStepper builds a fresh stepper (steppers are stateful; every
+// run needs its own copy) for the named protocol.
+func newShardStepper(t *testing.T, proto string, n, k int) shard.Stepper {
+	t.Helper()
+	var (
+		st  shard.Stepper
+		err error
+	)
+	switch proto {
+	case "arrow":
+		st, err = arrow.NewShardForest(n, k)
+	case "centralized":
+		st, err = centralized.NewShardCenters(n, k)
+	case "nta":
+		st, err = nta.NewShardReversal(n, k)
+	case "ivy":
+		st, err = ivy.NewShardDirectory(n, k)
+	default:
+		t.Fatalf("unknown proto %q", proto)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// shardOut is everything a multi-object run observes: the full counter
+// result plus the aggregate recorder's histogram snapshots.
+type shardOut struct {
+	res     shard.Result
+	latency stats.Dist
+	hops    stats.Dist
+}
+
+func runShardOnce(t *testing.T, proto string, workers int, lat sim.LatencyModel, tx sim.Time) shardOut {
+	t.Helper()
+	const (
+		n       = 48
+		k       = 8
+		perNode = 6
+	)
+	rec := stats.NewDistRecorder()
+	res, err := shard.Run(sim.NewCompleteTopology(n), newShardStepper(t, proto, n, k), proto, shard.Spec{
+		Spec: loop.Spec{
+			PerNode:    perNode,
+			Seed:       7,
+			Latency:    lat,
+			Recorder:   rec,
+			Workers:    workers,
+			LinkTxTime: tx,
+		},
+		Objects: k,
+		Skew:    1.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shardOut{res: *res, latency: rec.Latency.Snapshot(), hops: rec.Hops.Snapshot()}
+}
+
+// TestParallelCommitBitIdentical sweeps workers ∈ {1,2,4,8} across
+// every ShardSafe stepper under capacity contention and counter-RNG
+// latency, comparing the complete output — including exact histogram
+// moments — against the serial run.
+func TestParallelCommitBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		lat  sim.LatencyModel
+		tx   sim.Time
+	}{
+		{"capacity", nil, 2},
+		{"counter", sim.AsyncCounter(3), 0},
+		{"counter/capacity", sim.AsyncCounter(3), 1},
+	}
+	for _, proto := range []string{"arrow", "centralized", "nta", "ivy"} {
+		for _, tc := range cases {
+			t.Run(proto+"/"+tc.name, func(t *testing.T) {
+				base := runShardOnce(t, proto, 1, tc.lat, tc.tx)
+				for _, w := range []int{2, 4, 8} {
+					got := runShardOnce(t, proto, w, tc.lat, tc.tx)
+					if !reflect.DeepEqual(got, base) {
+						t.Errorf("workers=%d diverges from serial:\n got %+v\nwant %+v", w, got, base)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelCommitLoopDriver covers the single-object loop driver's
+// path through the sharded commit (the scale tier's actual hot path):
+// arrow on an implicit binary tree with counter-RNG latency and link
+// capacity, workers 1 vs 4 vs 8.
+func TestParallelCommitLoopDriver(t *testing.T) {
+	run := func(workers int) (*arrow.LoopResult, stats.Dist, stats.Dist) {
+		rec := stats.NewDistRecorder()
+		res, err := arrow.RunClosedLoop(tree.BinaryWalker(301), arrow.LoopConfig{
+			Spec: loop.Spec{
+				PerNode:    5,
+				Seed:       3,
+				Latency:    sim.AsyncCounter(2),
+				Recorder:   rec,
+				Workers:    workers,
+				LinkTxTime: 1,
+			},
+			Root: 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec.Latency.Snapshot(), rec.Hops.Snapshot()
+	}
+	baseRes, baseLat, baseHops := run(1)
+	for _, w := range []int{4, 8} {
+		res, lat, hops := run(w)
+		if !reflect.DeepEqual(res, baseRes) || lat != baseLat || hops != baseHops {
+			t.Errorf("workers=%d diverges from serial:\n got %+v %+v %+v\nwant %+v %+v %+v",
+				w, res, lat, hops, baseRes, baseLat, baseHops)
+		}
+	}
+}
