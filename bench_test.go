@@ -440,7 +440,7 @@ func BenchmarkClosedLoopScale10k(b *testing.B) {
 
 // benchClosedLoopScale is the scale-tier cell: a closed-loop arrow run
 // on an implicit binary tree (tree.BinaryWalker — no LCA tables, no
-// per-node closures), serial and under the tick-windowed parallel
+// per-node closures), serial and under the lookahead-windowed parallel
 // drain. The two sub-benchmarks produce identical simulated results
 // (res.Events backs the reported events/s for both), so their ratio is
 // a pure drain-overhead/speedup reading.
@@ -522,6 +522,56 @@ func BenchmarkParallelCommit(b *testing.B) {
 				events = res.Events
 			}
 			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkDrainWindowed measures the lookahead-windowed drain: the
+// same 100k-node closed-loop arrow run under SynchronousScaled(8),
+// whose MinDelay widens the parallel window to 8 ticks — each barrier
+// fuses up to 8 ladder buckets, and the per-window key walk and merge
+// amortize across them. serial vs workers=N on identical simulated
+// results; the reported windows/Mev metric is barriers per million
+// events (the quantity the fused window is built to shrink — compare
+// the parallel sub-benchmark against the one-tick-window
+// BenchmarkParallelCommit). benchcheck's hotpath manifest pins the
+// window-drain //arrow:hotpath annotations under it.
+func BenchmarkDrainWindowed(b *testing.B) {
+	const n, perNode = 100_001, 2
+	t := tree.BinaryWalker(n)
+	counts := []int{1, gort.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1]
+	}
+	for _, workers := range counts {
+		name := "serial"
+		if workers > 1 {
+			name = fmt.Sprintf("workers=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events int64
+			var ds sim.DrainStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := arrow.RunClosedLoop(t, arrow.LoopConfig{
+					Spec: loop.Spec{
+						PerNode:    perNode,
+						Workers:    workers,
+						Latency:    sim.SynchronousScaled(8),
+						DrainStats: &ds,
+					},
+					Root: 0,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Events
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			if events > 0 {
+				b.ReportMetric(float64(ds.Windows)/(float64(events)/1e6), "windows/Mev")
+			}
 		})
 	}
 }

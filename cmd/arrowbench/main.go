@@ -44,12 +44,16 @@
 // bytes/node and events/s. Its -sizes default is 10000,100000,1000000
 // (an explicit -sizes overrides it), its per-node count derives from a
 // 2M total-request budget unless -pernode is passed explicitly, and
-// -workers selects the tick-windowed intra-run drain (results are
+// -workers selects the lookahead-windowed intra-run drain (results are
 // bit-identical at any count). Pass -workersweep 1,2,4 to rerun each
 // cell at those drain widths and report events/s and parallel speedup
 // per worker count — reported, never gated; the sweep also verifies the
-// deterministic outputs match across counts. With -json it emits the
-// versioned arrowbench/scale document.
+// deterministic outputs match across counts. -latscale S (S > 1) runs
+// the cells under the S-scaled synchronous latency model, widening the
+// drain's lookahead window to S ticks so each barrier fuses S ticks'
+// worth of events; the window width, barrier count and mean fused batch
+// size appear as table columns and document fields either way. With
+// -json it emits the versioned arrowbench/scale document.
 //
 // -exp shard is the multi-object tier: every protocol serving k
 // independent objects on one shared 32-node network with per-link
@@ -107,6 +111,7 @@ func main() {
 	objects := flag.String("objects", "", "comma-separated object counts for -exp shard (default 16,128,1024)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	workerSweep := flag.String("workersweep", "", "comma-separated worker counts for the -exp scale throughput sweep (reported, never gated)")
+	latScale := flag.Int64("latscale", 0, "-exp scale synchronous latency scale (>1 widens the parallel drain's lookahead window to this many ticks)")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (post-GC, at exit) to this file")
@@ -174,7 +179,7 @@ func main() {
 		"stabilize":   func() error { return runStabilize(*seed) },
 		"churn":       func() error { return runChurn(*perNode, *seed, *workers) },
 		"scale": func() error {
-			cfg := analysis.ScaleConfig{Seed: *seed, Workers: *workers}
+			cfg := analysis.ScaleConfig{Seed: *seed, Workers: *workers, LatScale: *latScale}
 			if cfg.Workers == 0 {
 				cfg.Workers = runtime.GOMAXPROCS(0)
 			}

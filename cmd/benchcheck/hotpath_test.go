@@ -84,6 +84,7 @@ func TestCheckHotpathCoverageClean(t *testing.T) {
 	bench := writeBenchFile(t,
 		"BenchmarkSimSendDispatch/star-8 100 10 ns/op 0 B/op 0 allocs/op",
 		"BenchmarkParallelCommit/serial-8 100 10 ns/op",
+		"BenchmarkDrainWindowed/serial-8 100 10 ns/op",
 		"BenchmarkClosedLoopObserved/none-8 100 10 ns/op",
 		"BenchmarkBaselinesClosedLoop/arrow-8 100 10 ns/op",
 		"BenchmarkShardClosedLoop/k=16-8 100 10 ns/op",

@@ -238,6 +238,21 @@ func checkScaleFile(path string) error {
 			return fmt.Errorf("%s: row %d (%s/%s): non-positive n/requests/events (%d/%d/%d)",
 				path, i, r.Protocol, r.Topology, r.N, r.Requests, r.Events)
 		}
+		// Drain telemetry shape: the lookahead window is always at least
+		// one tick, barrier counts cannot be negative, and the mean fused
+		// batch is positive exactly when a parallel window ran.
+		if r.WindowWidth < 1 {
+			return fmt.Errorf("%s: row %d (%s/%s): window_width %d < 1",
+				path, i, r.Protocol, r.Topology, r.WindowWidth)
+		}
+		if r.Windows < 0 {
+			return fmt.Errorf("%s: row %d (%s/%s): negative windows %d",
+				path, i, r.Protocol, r.Topology, r.Windows)
+		}
+		if (r.Windows > 0) != (r.MeanBatch > 0) {
+			return fmt.Errorf("%s: row %d (%s/%s): windows %d inconsistent with mean_batch %g",
+				path, i, r.Protocol, r.Topology, r.Windows, r.MeanBatch)
+		}
 		for j, p := range r.WorkersSweep {
 			if p.Workers < 1 {
 				return fmt.Errorf("%s: row %d (%s/%s): sweep point %d: workers %d < 1",
@@ -250,6 +265,14 @@ func checkScaleFile(path string) error {
 			if p.Speedup <= 0 {
 				return fmt.Errorf("%s: row %d (%s/%s): sweep point %d (workers %d): non-positive speedup %g",
 					path, i, r.Protocol, r.Topology, j, p.Workers, p.Speedup)
+			}
+			if p.Windows < 0 {
+				return fmt.Errorf("%s: row %d (%s/%s): sweep point %d (workers %d): negative windows %d",
+					path, i, r.Protocol, r.Topology, j, p.Workers, p.Windows)
+			}
+			if (p.Windows > 0) != (p.MeanBatch > 0) {
+				return fmt.Errorf("%s: row %d (%s/%s): sweep point %d (workers %d): windows %d inconsistent with mean_batch %g",
+					path, i, r.Protocol, r.Topology, j, p.Workers, p.Windows, p.MeanBatch)
 			}
 		}
 	}

@@ -34,9 +34,19 @@ type ScaleConfig struct {
 	MaxRequests int64
 	// Seed derives each cell's simulation seed.
 	Seed int64
-	// Workers requests the tick-windowed parallel drain inside each run
-	// (see sim.Config.Workers); results are bit-identical at any count.
+	// Workers requests the lookahead-windowed parallel drain inside each
+	// run (see sim.Config.Workers); results are bit-identical at any
+	// count.
 	Workers int
+	// LatScale, when > 1, runs every cell under
+	// sim.SynchronousScaled(LatScale) instead of the default unit
+	// synchronous model. The scaled model's MinDelay() widens the
+	// parallel drain's lookahead window to LatScale ticks, fusing that
+	// many ladder buckets per barrier — the knob that makes the window
+	// telemetry (and the barrier amortization it measures) visible in
+	// the sweep. Deterministic outputs still satisfy the sweep's
+	// bit-identity audit; they just describe the scaled-latency system.
+	LatScale int64
 	// WorkerSweep, when non-empty, reruns every cell at each listed
 	// drain worker count and reports per-count events/s plus the
 	// parallel speedup over the serial (workers=1) rerun — report-only
@@ -66,6 +76,15 @@ func (c *ScaleConfig) workerSweep() []int {
 		}
 	}
 	return out
+}
+
+// latency returns the cells' latency model: nil (the simulator's unit
+// synchronous default) unless LatScale widens it.
+func (c *ScaleConfig) latency() sim.LatencyModel {
+	if c.LatScale > 1 {
+		return sim.SynchronousScaled(c.LatScale)
+	}
+	return nil
 }
 
 func (c *ScaleConfig) sizes() []int {
@@ -112,6 +131,11 @@ type ScaleRow struct {
 	// the collector.
 	AllocBytes int64
 	Workers    int
+	// Drain is the base run's drain telemetry: the derived lookahead
+	// window width, how many fused parallel windows (barriers) the run
+	// paid, and how many events they covered. Telemetry, not part of the
+	// determinism tuple: a serial run reports zero windows.
+	Drain sim.DrainStats
 	// Sweep holds the cell's worker-sweep reruns (nil without
 	// ScaleConfig.WorkerSweep). Each point reran the identical cell at a
 	// different drain worker count; the deterministic outputs matched
@@ -124,6 +148,10 @@ type ScaleSweepPoint struct {
 	Workers   int
 	Events    int64
 	WallNanos int64
+	// Drain is the rerun's drain telemetry — the why behind the wall
+	// clock: barriers paid (Windows) and events fused per barrier
+	// (MeanBatch) at this worker count.
+	Drain sim.DrainStats
 }
 
 // EventsPerSec is the rerun's wall-clock simulator throughput.
@@ -176,13 +204,16 @@ type scaleOut struct {
 // scaleCell is one deferred run: construction of the implicit topology
 // happens inside run() so its allocations land in the cell's measured
 // TotalAlloc delta. run takes the drain worker count so the worker
-// sweep can rerun the identical cell at different counts.
+// sweep can rerun the identical cell at different counts; alongside the
+// deterministic outputs it returns the run's drain telemetry (which
+// legitimately varies with the worker count and stays outside the
+// sweep's bit-identity comparison).
 type scaleCell struct {
 	protocol string
 	topology string
 	n        int
 	perNode  int
-	run      func(workers int) (scaleOut, error)
+	run      func(workers int) (scaleOut, sim.DrainStats, error)
 }
 
 // gridSide returns the comb-tree grid dimensions closest to n nodes:
@@ -198,55 +229,64 @@ func gridSide(n int) int {
 
 func scaleCells(cfg *ScaleConfig) []scaleCell {
 	var cells []scaleCell
+	lat := cfg.latency()
+	spec := func(per int, seed int64, workers int, ds *sim.DrainStats) loop.Spec {
+		return loop.Spec{PerNode: per, Seed: seed, Workers: workers, Latency: lat, DrainStats: ds}
+	}
 	for i, n := range cfg.sizes() {
 		n, per := n, cfg.perNode(n)
 		side := gridSide(n)
 		seed := sim.DeriveSeed(cfg.Seed, i)
 		cells = append(cells,
-			scaleCell{"arrow", "binary-tree", n, per, func(workers int) (scaleOut, error) {
+			scaleCell{"arrow", "binary-tree", n, per, func(workers int) (scaleOut, sim.DrainStats, error) {
+				var ds sim.DrainStats
 				res, err := arrow.RunClosedLoop(tree.BinaryWalker(n), arrow.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
+					Spec: spec(per, seed, workers, &ds),
 				})
 				if err != nil {
-					return scaleOut{}, err
+					return scaleOut{}, ds, err
 				}
-				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, ds, nil
 			}},
-			scaleCell{"arrow", "grid", side * side, per, func(workers int) (scaleOut, error) {
+			scaleCell{"arrow", "grid", side * side, per, func(workers int) (scaleOut, sim.DrainStats, error) {
+				var ds sim.DrainStats
 				res, err := arrow.RunClosedLoop(tree.GridWalker(side, side), arrow.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
+					Spec: spec(per, seed, workers, &ds),
 				})
 				if err != nil {
-					return scaleOut{}, err
+					return scaleOut{}, ds, err
 				}
-				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, ds, nil
 			}},
-			scaleCell{"centralized", "complete", n, per, func(workers int) (scaleOut, error) {
+			scaleCell{"centralized", "complete", n, per, func(workers int) (scaleOut, sim.DrainStats, error) {
+				var ds sim.DrainStats
 				res, err := centralized.RunClosedLoopTopo(sim.NewCompleteTopology(n), centralized.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
+					Spec: spec(per, seed, workers, &ds),
 				})
 				if err != nil {
-					return scaleOut{}, err
+					return scaleOut{}, ds, err
 				}
-				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, ds, nil
 			}},
-			scaleCell{"nta", "complete", n, per, func(workers int) (scaleOut, error) {
+			scaleCell{"nta", "complete", n, per, func(workers int) (scaleOut, sim.DrainStats, error) {
+				var ds sim.DrainStats
 				res, err := nta.RunClosedLoopTopo(sim.NewCompleteTopology(n), nta.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
+					Spec: spec(per, seed, workers, &ds),
 				})
 				if err != nil {
-					return scaleOut{}, err
+					return scaleOut{}, ds, err
 				}
-				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, ds, nil
 			}},
-			scaleCell{"ivy", "complete", n, per, func(workers int) (scaleOut, error) {
+			scaleCell{"ivy", "complete", n, per, func(workers int) (scaleOut, sim.DrainStats, error) {
+				var ds sim.DrainStats
 				res, err := ivy.RunClosedLoopTopo(sim.NewCompleteTopology(n), ivy.LoopConfig{
-					Spec: loop.Spec{PerNode: per, Seed: seed, Workers: workers},
+					Spec: spec(per, seed, workers, &ds),
 				})
 				if err != nil {
-					return scaleOut{}, err
+					return scaleOut{}, ds, err
 				}
-				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, nil
+				return scaleOut{res.Requests, res.Makespan, res.Events, res.QueueHops}, ds, nil
 			}},
 		)
 	}
@@ -268,7 +308,7 @@ func ScaleExperiment(cfg ScaleConfig) ([]ScaleRow, error) {
 		runtime.ReadMemStats(&ms)
 		before := ms.TotalAlloc
 		start := time.Now() //arrow:allow determinism report-only wall clock: scale events/s is machine-dependent and never gated
-		out, err := c.run(cfg.Workers)
+		out, drain, err := c.run(cfg.Workers)
 		wall := time.Since(start).Nanoseconds() //arrow:allow determinism report-only wall clock: scale events/s is machine-dependent and never gated
 		runtime.ReadMemStats(&ms)
 		if err != nil {
@@ -286,6 +326,7 @@ func ScaleExperiment(cfg ScaleConfig) ([]ScaleRow, error) {
 			WallNanos:  wall,
 			AllocBytes: int64(ms.TotalAlloc - before),
 			Workers:    cfg.Workers,
+			Drain:      drain,
 		}
 		// Worker sweep: rerun the identical cell at each count, timing
 		// only. Deterministic outputs must match the base run exactly —
@@ -293,7 +334,7 @@ func ScaleExperiment(cfg ScaleConfig) ([]ScaleRow, error) {
 		for _, w := range sweep {
 			runtime.GC()
 			swStart := time.Now() //arrow:allow determinism report-only wall clock: sweep events/s is machine-dependent and never gated
-			swOut, err := c.run(w)
+			swOut, swDrain, err := c.run(w)
 			swWall := time.Since(swStart).Nanoseconds() //arrow:allow determinism report-only wall clock: sweep events/s is machine-dependent and never gated
 			if err != nil {
 				return nil, fmt.Errorf("analysis: scale sweep %s/%s n=%d workers=%d: %w", c.protocol, c.topology, c.n, w, err)
@@ -302,7 +343,7 @@ func ScaleExperiment(cfg ScaleConfig) ([]ScaleRow, error) {
 				return nil, fmt.Errorf("analysis: scale sweep %s/%s n=%d workers=%d diverged from base run: %+v != %+v",
 					c.protocol, c.topology, c.n, w, swOut, out)
 			}
-			row.Sweep = append(row.Sweep, ScaleSweepPoint{Workers: w, Events: swOut.events, WallNanos: swWall})
+			row.Sweep = append(row.Sweep, ScaleSweepPoint{Workers: w, Events: swOut.events, WallNanos: swWall, Drain: swDrain})
 		}
 		rows = append(rows, row)
 	}
@@ -315,7 +356,8 @@ func ScaleTable(rows []ScaleRow) *Table {
 	t := &Table{
 		Title: "Scale — implicit topologies, closed loop (sequential cells)",
 		Headers: []string{"protocol", "topology", "n", "per-node", "reqs",
-			"makespan", "events", "qhops/req", "Mev/s", "B/node"},
+			"makespan", "events", "qhops/req", "Mev/s", "B/node",
+			"window", "windows", "batch"},
 	}
 	for _, r := range rows {
 		qper := 0.0
@@ -323,7 +365,8 @@ func ScaleTable(rows []ScaleRow) *Table {
 			qper = float64(r.QueueHops) / float64(r.Requests)
 		}
 		t.AddRow(r.Protocol, r.Topology, r.N, r.PerNode, r.Requests,
-			int64(r.Makespan), r.Events, qper, r.EventsPerSec()/1e6, r.BytesPerNode())
+			int64(r.Makespan), r.Events, qper, r.EventsPerSec()/1e6, r.BytesPerNode(),
+			int64(r.Drain.WindowWidth), r.Drain.Windows, r.Drain.MeanBatch())
 	}
 	return t
 }
@@ -339,6 +382,10 @@ type ScaleDocConfig struct {
 	MaxRequests int64 `json:"max_requests"`
 	Seed        int64 `json:"seed"`
 	Workers     int   `json:"workers"`
+	// LatScale is the synchronous latency scale of every cell (absent at
+	// the default unit scale); it equals the drain's lookahead window
+	// width under the scaled model.
+	LatScale int64 `json:"lat_scale,omitempty"`
 	// WorkerSweep is the normalized worker-sweep request (absent without
 	// one; always led by the serial baseline 1 otherwise).
 	WorkerSweep []int `json:"worker_sweep,omitempty"`
@@ -361,6 +408,15 @@ type ScaleDocRow struct {
 	AllocBytes   int64   `json:"alloc_bytes"`
 	BytesPerNode float64 `json:"bytes_per_node"`
 	Workers      int     `json:"workers"`
+	// WindowWidth is the drain's derived lookahead window width in ticks
+	// (the latency model's MinDelay; 1 for a serial run), Windows the
+	// number of fused parallel windows — barriers — the base run paid,
+	// and MeanBatch the mean events fused per window (0 when every
+	// window fell back to serial dispatch). Telemetry like
+	// events_per_sec: shape-checked by benchcheck, never gated on value.
+	WindowWidth int64   `json:"window_width"`
+	Windows     int64   `json:"windows"`
+	MeanBatch   float64 `json:"mean_batch"`
 	// WorkersSweep reports the cell's per-worker-count throughput and
 	// parallel speedup (absent without a sweep). Like events_per_sec,
 	// these are machine-dependent, reported for trend reading and shape
@@ -368,11 +424,15 @@ type ScaleDocRow struct {
 	WorkersSweep []ScaleSweepDocPoint `json:"workers_sweep,omitempty"`
 }
 
-// ScaleSweepDocPoint is one worker-count rerun in the document.
+// ScaleSweepDocPoint is one worker-count rerun in the document. Windows
+// and MeanBatch carry the rerun's drain telemetry so the artifact shows
+// *why* events/s moved: fewer barriers, bigger fused batches.
 type ScaleSweepDocPoint struct {
 	Workers      int     `json:"workers"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	Speedup      float64 `json:"speedup"`
+	Windows      int64   `json:"windows"`
+	MeanBatch    float64 `json:"mean_batch"`
 }
 
 // ScaleDoc is the stable schema of `arrowbench -exp scale -json`.
@@ -388,11 +448,16 @@ func ScaleDocument(cfg ScaleConfig, rows []ScaleRow) ScaleDoc {
 	if maxReq <= 0 && cfg.PerNode <= 0 {
 		maxReq = 2_000_000
 	}
+	latScale := cfg.LatScale
+	if latScale <= 1 {
+		latScale = 0 // unit scale: omitted from the document
+	}
 	doc := ScaleDoc{
 		Schema: ScaleSchema,
 		Config: ScaleDocConfig{
 			Sizes: cfg.sizes(), PerNode: cfg.PerNode,
 			MaxRequests: maxReq, Seed: cfg.Seed, Workers: cfg.Workers,
+			LatScale:    latScale,
 			WorkerSweep: cfg.workerSweep(),
 		},
 		Rows: make([]ScaleDocRow, len(rows)),
@@ -411,12 +476,17 @@ func ScaleDocument(cfg ScaleConfig, rows []ScaleRow) ScaleDoc {
 			AllocBytes:   r.AllocBytes,
 			BytesPerNode: r.BytesPerNode(),
 			Workers:      r.Workers,
+			WindowWidth:  int64(r.Drain.WindowWidth),
+			Windows:      r.Drain.Windows,
+			MeanBatch:    r.Drain.MeanBatch(),
 		}
 		for _, p := range r.Sweep {
 			doc.Rows[i].WorkersSweep = append(doc.Rows[i].WorkersSweep, ScaleSweepDocPoint{
 				Workers:      p.Workers,
 				EventsPerSec: p.EventsPerSec(),
 				Speedup:      r.SweepSpeedup(p),
+				Windows:      p.Drain.Windows,
+				MeanBatch:    p.Drain.MeanBatch(),
 			})
 		}
 	}
@@ -438,12 +508,12 @@ func ScaleSweepTable(rows []ScaleRow) *Table {
 	}
 	t := &Table{
 		Title:   "Scale — drain worker sweep (report-only; identical simulated results, wall clock varies)",
-		Headers: []string{"protocol", "topology", "n", "workers", "Mev/s", "speedup"},
+		Headers: []string{"protocol", "topology", "n", "workers", "Mev/s", "speedup", "windows", "batch"},
 	}
 	for _, r := range rows {
 		for _, p := range r.Sweep {
 			t.AddRow(r.Protocol, r.Topology, r.N, p.Workers,
-				p.EventsPerSec()/1e6, r.SweepSpeedup(p))
+				p.EventsPerSec()/1e6, r.SweepSpeedup(p), p.Drain.Windows, p.Drain.MeanBatch())
 		}
 	}
 	return t

@@ -31,7 +31,7 @@ type ShardConfig struct {
 	// 0 defaults to 1 (pass a negative value for the infinite-capacity
 	// model, which the config normalizes back to 0).
 	LinkTxTime sim.Time
-	// Workers sets both the sweep pool and each run's tick-windowed
+	// Workers sets both the sweep pool and each run's lookahead-windowed
 	// drain. Results — including the JSON document — are byte-identical
 	// at any worker count; the field is deliberately absent from the
 	// document for exactly that reason.

@@ -285,6 +285,9 @@ func RunClosedLoop(t tree.Nav, cfg LoopConfig) (*LoopResult, error) {
 		s.ScheduleNodeAt(0, graph.NodeID(v))
 	}
 	makespan := s.Run()
+	if cfg.DrainStats != nil {
+		*cfg.DrainStats = s.DrainStats()
+	}
 	res := st.merge()
 	res.N = n
 	res.Makespan = makespan

@@ -24,7 +24,7 @@ import (
 //     failover completes. The plan must be Healing.
 //   - Workers is accepted for config symmetry but always normalizes to a
 //     serial run: the center is a global serialization point (busyUntil
-//     is shared mutable state), so the tick-windowed drain has nothing
+//     is shared mutable state), so the lookahead-windowed drain has nothing
 //     to shard. Results are identical at any value.
 type LoopConfig struct {
 	loop.Spec
@@ -228,6 +228,11 @@ func RunClosedLoopTopo(topo sim.Topology, cfg LoopConfig) (*LoopResult, error) {
 		s.ScheduleNodeAt(0, graph.NodeID(v))
 	}
 	st.res.Makespan = s.Run()
+	if cfg.DrainStats != nil {
+		// Always the serial drain (window width 1, zero parallel
+		// windows); filled for config symmetry with the other drivers.
+		*cfg.DrainStats = s.DrainStats()
+	}
 	st.res.Events = s.EventsProcessed()
 	st.res.Dropped = s.MessagesDropped()
 	st.res.Deferred = s.MessagesDeferred()

@@ -260,7 +260,7 @@ type Instance struct {
 	// completions. Its length must equal Workload.Objects; entries may
 	// be nil to skip an object. Single-object and static runs reject it.
 	ObjectRecorders []stats.Recorder
-	// Workers requests the tick-windowed parallel event drain inside each
+	// Workers requests the lookahead-windowed parallel event drain inside each
 	// closed-loop run (see sim.Config.Workers). Results are bit-identical
 	// at any worker count: drivers that cannot shard safely (Ivy's
 	// directory, the centralized coordinator) and configs outside the

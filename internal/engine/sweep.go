@@ -122,7 +122,7 @@ func Grid(instances []Instance, protocols ...Protocol) []Cell {
 // across workers; fn must write its result into its own index of a
 // pre-sized slice (no two calls share an index, so no locking is needed).
 // It is a thin re-export of par.ParallelMap, the shared primitive the
-// simulator's tick-windowed parallel drain also runs on.
+// simulator's lookahead-windowed parallel drain also runs on.
 func ParallelMap(n, workers int, fn func(i int)) { par.ParallelMap(n, workers, fn) }
 
 // ParallelMapErr is ParallelMap for fallible work: it collects every

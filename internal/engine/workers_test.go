@@ -16,7 +16,7 @@ import (
 // and a spread of closed-loop workloads, the full Cost — every counter,
 // the makespan, the event count and the latency/hops distribution
 // snapshots — is bit-identical between the serial run and the
-// tick-windowed parallel drain at any worker count. Protocols that
+// lookahead-windowed parallel drain at any worker count. Protocols that
 // normalize Workers away (Ivy, centralized) ride along so the guarantee
 // reads "any Instance.Workers value is safe", not "only where sharding
 // engages".
@@ -33,6 +33,11 @@ func TestClosedLoopBitIdenticalAcrossDrainWorkers(t *testing.T) {
 		{"sync/saturated", 6, 0, nil},
 		{"sync/think16", 4, 16, nil},
 		{"async4/think3", 4, 3, sim.AsyncUniform(4)},
+		// Scaled synchronous latency widens the drain's lookahead window
+		// to 8 fused ticks per barrier; think 3 puts every think timer
+		// mid-window (the in-shard sub-queue), think 16 puts them past it.
+		{"sync8/think3", 4, 3, sim.SynchronousScaled(8)},
+		{"sync8/think16", 4, 16, sim.SynchronousScaled(8)},
 	}
 	protocols := []Protocol{Arrow{}, NTA{}, Ivy{}, Centralized{}}
 	run := func(p Protocol, wl int, workers int) Cost {

@@ -36,7 +36,7 @@ type Stepper interface {
 // ShardSafe marks a Stepper whose pointer state is partitioned by node:
 // StartFind(v) touches only state keyed by v, ForwardFind(at, ...) only
 // state keyed by at. Such a stepper may run under the simulator's
-// tick-windowed parallel drain, where same-tick events at different
+// lookahead-windowed parallel drain, where same-tick events at different
 // nodes execute on different workers — the node-keyed partition is
 // exactly the drain's shard boundary. Steppers with cross-node shared
 // state (Ivy's directory statistics, for example) must not opt in; the
@@ -79,7 +79,7 @@ type Spec struct {
 	// way. The plan must be Healing: a permanently dead entity leaves
 	// requests unservable and the run errors at drain.
 	Faults *sim.FaultPlan
-	// Workers > 1 requests the simulator's tick-windowed parallel drain.
+	// Workers > 1 requests the simulator's lookahead-windowed parallel drain.
 	// The driver normalizes it to serial whenever the run cannot be
 	// reproduced bit-identically in parallel: a stepper that is not
 	// ShardSafe, non-FIFO arbitration, the heap scheduler, or a fault
@@ -89,6 +89,12 @@ type Spec struct {
 	// capacity (see sim.Config.LinkTxTime); 0 keeps the classic
 	// infinite-capacity model.
 	LinkTxTime sim.Time
+	// DrainStats, when non-nil, receives the run's drain telemetry
+	// (lookahead window width, barrier count, fused batch sizes). It is
+	// an out-pointer rather than a Result field so Result stays exactly
+	// the determinism tuple: telemetry may legitimately differ across
+	// worker counts while Result stays bit-identical.
+	DrainStats *sim.DrainStats
 }
 
 // Config is the pre-consolidation name of Spec.
@@ -296,6 +302,9 @@ func RunTopo(topo sim.Topology, step Stepper, proto string, cfg Spec) (*Result, 
 		s.ScheduleNodeAt(0, graph.NodeID(v))
 	}
 	makespan := s.Run()
+	if cfg.DrainStats != nil {
+		*cfg.DrainStats = s.DrainStats()
+	}
 	res := st.merge()
 	res.N = n
 	res.Makespan = makespan

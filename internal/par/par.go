@@ -1,5 +1,5 @@
 // Package par holds the dependency-free parallel fan-out primitives
-// shared by the engine's cell sweeps and the simulator's tick-windowed
+// shared by the engine's cell sweeps and the simulator's lookahead-windowed
 // parallel drain. It sits below every other internal package (the
 // simulator cannot import engine), so both layers share one
 // implementation of dynamic work claiming.

@@ -45,7 +45,7 @@ type Stepper interface {
 // ShardSafe marks a Stepper whose pointer state is partitioned by node:
 // for every object, StartFind(obj, v) touches only state keyed by v and
 // ForwardFind(obj, at, ...) only state keyed by at. Such a stepper may
-// run under the simulator's tick-windowed parallel drain — the node
+// run under the simulator's lookahead-windowed parallel drain — the node
 // partition is exactly the drain's shard boundary, and the object
 // dimension adds no sharing because each request touches one object's
 // state at one node per event. Steppers with cross-node shared state
@@ -213,6 +213,9 @@ func Run(topo sim.Topology, step Stepper, proto string, spec Spec) (*Result, err
 		s.ScheduleNodeAt(0, graph.NodeID(v))
 	}
 	makespan := s.Run()
+	if spec.DrainStats != nil {
+		*spec.DrainStats = s.DrainStats()
+	}
 	res := st.merge(n, k)
 	res.Agg.Makespan = makespan
 	res.Agg.Events = s.EventsProcessed()

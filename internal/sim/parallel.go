@@ -8,43 +8,59 @@ import (
 	"repro/internal/stats"
 )
 
-// This file is the tick-windowed conservative parallel drain. Unit (and
-// uniformly scaled) latency gives every message a lookahead of at least
-// one tick, so all events sharing a timestamp are causally independent
-// *inputs*: none of them can schedule work at its own tick for a node
-// that also has an event in the batch — new work lands at least one
-// tick later, or (for zero-delay timers) behind the batch in sequence
-// order. That makes one ladder-queue tick bucket the natural parallel
-// unit:
+// This file is the lookahead-windowed conservative parallel drain. The
+// latency model's MinDelay() is a conservative Chandy–Misra–Bryant
+// lookahead bound L: a handler running at tick t cannot put work on
+// another node before t + L, so ALL events in the window [t, t+L) are
+// causally independent *inputs* — none of them can schedule cross-node
+// work inside the window, and the only intra-window products are a
+// node's own timers, which stay on the node's shard. That makes the
+// fused window (every ladder bucket in [t, t+L)) the parallel unit,
+// paying one barrier, one key walk and one merge per window instead of
+// per tick:
 //
-//  1. peekTime finds the next tick t; every event at t is popped into a
-//     batch (no handler has run yet, so nothing new can appear at t
-//     ahead of it);
+//  1. peekTime finds the next tick t; every bucket in [t, t+L) is
+//     drained into one super-batch (no handler has run yet, so nothing
+//     new can appear inside the window ahead of it; nextTickWithin
+//     never moves the ladder past the window, so the commits that land
+//     at t+L and later stay legal);
 //  2. the batch is sharded by destination node (to % workers) and each
 //     shard's handlers run concurrently — driver state is keyed by
 //     node, so shards touch disjoint state — with every mutating
-//     Context call buffered into the worker's op log;
-//  3. the logged effects are committed in serial event order. When the
+//     Context call buffered into the worker's op log. A node timer
+//     that fires inside the window appends to the worker's ordered
+//     mid-window sub-queue and executes in-shard, in exactly the
+//     (at, seq) slot the serial run would give it (same-tick entries
+//     sort behind the pre-window batch, whose sequence numbers are all
+//     smaller, and among themselves by creation order, which per shard
+//     equals serial push order); every cross-node send has delay >= L
+//     and lands strictly outside the window;
+//  3. the logged effects are committed in serial event order, once per
+//     window: a window walk enumerates every executed event — the
+//     sorted batch merged with the mid-window timers it discovers as
+//     it assigns sequence numbers — and reconstructs each effect's
+//     global (at, pri, seq) key from a running push count. When the
 //     config is commit-shardable (deterministic per-message delays —
 //     synchronous or CounterLatency — and dense-or-absent per-link
-//     state), the commit itself runs on the workers: each one
-//     redundantly walks the logs in batch order to reconstruct every
-//     effect's global (at, pri, seq) key from a running push count,
-//     then applies only the effects it owns — sends by destination
-//     link, timers by destination node — so per-link FIFO slots and
-//     capacity reservations stay single-writer sequential state. The
-//     staged events are merged into the scheduler by ascending seq, the
-//     exact order the serial loop would have pushed them. Otherwise
-//     (stream-RNG latency models, map/paged link tiers) the coordinator
-//     replays the logs serially through the real send path.
+//     state), the commit itself runs on the workers: each one walks
+//     redundantly and applies only the effects it owns — sends by
+//     destination link, timers by destination node — so per-link FIFO
+//     slots and capacity reservations stay single-writer sequential
+//     state, and the staged events merge into the scheduler by
+//     ascending seq, the exact order the serial loop would have pushed
+//     them. Otherwise (stream-RNG latency models, map/paged link
+//     tiers) the coordinator replays the logs serially through the
+//     real send path.
 //
 // Either way, sequence numbers, delays, FIFO clamps and recorder
 // accumulation reproduce exactly what the serial loop would have done,
 // so the run is bit-identical to Workers <= 1 — histogram snapshots
 // included (recorder shards merge exactly; see stats.ShardableRecorder).
-// Batches containing closure timers or fault events, and batches too
-// small to amortize the fan-out, fall back to the serial dispatch path
-// (same order again).
+// Windows containing closure timers or fault events, and windows too
+// small to amortize the fan-out (the minBatch decision is per-window,
+// not per-tick), fall back to a serial replay that interleaves the
+// batch with everything it schedules mid-window in (at, pri, seq)
+// order — the same serial order again.
 
 // op kinds of the worker-side effect log.
 const (
@@ -54,10 +70,17 @@ const (
 	opRecord
 )
 
+// dynSeqUnknown marks the Context of a mid-window node timer: its
+// global sequence number is reconstructed only at commit, so the
+// seq-keyed Context.Draw is unavailable while it runs.
+const dynSeqUnknown = ^uint64(0)
+
 // emitOp is one buffered side effect of a handler run inside a worker.
-// idx is the batch index of the event that emitted it, which is all the
-// commit phase needs to interleave the per-worker logs back into serial
-// order.
+// idx is the worker-local execution ordinal of the event that emitted
+// it (0, 1, 2, … in the order the worker ran its events, mid-window
+// timers included); the commit phase's window walk re-derives the same
+// per-worker order, so an ordinal cursor per source log is all it
+// needs to interleave the logs back into serial order.
 type emitOp struct {
 	idx  int32
 	kind uint8
@@ -69,15 +92,14 @@ type emitOp struct {
 	fn   TimerFunc
 }
 
-// opBuffer is one worker's effect log for the current batch. idx is the
-// batch index the worker is currently processing; Context's mutating
-// methods stamp it into each op. recs flags that at least one opRecord
-// was logged (non-shardable recorder), so the sharded commit knows to
-// run the serial record replay afterwards.
+// opBuffer is one worker's effect log for the current window. idx is
+// the execution ordinal the worker is currently processing; Context's
+// mutating methods stamp it into each op. recs flags that at least one
+// opRecord was logged (non-shardable recorder), so the sharded commit
+// knows to run the serial record replay afterwards.
 type opBuffer struct {
 	ops  []emitOp
 	idx  int32
-	cur  int // replay cursor
 	recs bool
 }
 
@@ -89,8 +111,87 @@ func (b *opBuffer) reset() {
 		b.ops[i] = emitOp{}
 	}
 	b.ops = b.ops[:0]
-	b.cur = 0
 	b.recs = false
+}
+
+// dynEvent is one mid-window node timer: fire tick, a monotone
+// creation/discovery ordinal that breaks same-tick ties (per shard it
+// equals the serial push order; in the window walk, the global one),
+// and the target node.
+type dynEvent struct {
+	at  Time
+	ord int64
+	v   graph.NodeID
+}
+
+// dynEvHeap is a hand-rolled min-heap of dynEvents keyed (at, ord) —
+// the ordered mid-window sub-queue. Value-typed and recycled, so the
+// steady state allocates nothing.
+type dynEvHeap []dynEvent
+
+func (h dynEvHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].ord < h[j].ord
+}
+
+//arrow:hotpath one push per mid-window timer
+func (h *dynEvHeap) push(e dynEvent) {
+	*h = append(*h, e)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+//arrow:hotpath one pop per mid-window timer
+func (h *dynEvHeap) pop() dynEvent {
+	a := *h
+	n := len(a) - 1
+	top := a[0]
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
+}
+
+// winState is one worker's view of the current fused window: its end
+// tick (events at >= end commit normally; earlier node timers execute
+// in-shard) and the ordered mid-window sub-queue with its creation
+// counter.
+type winState struct {
+	end Time
+	dyn dynEvHeap
+	ord int64
+}
+
+func (ws *winState) reset(end Time) {
+	ws.end = end
+	ws.dyn = ws.dyn[:0]
+	ws.ord = 0
 }
 
 // recShard pairs a ShardableRecorder with one worker's private shard of
@@ -101,39 +202,95 @@ type recShard struct {
 	shard  stats.Recorder
 }
 
+// windowWalker enumerates a fused window's executed events in global
+// serial order: the pre-window batch (already sorted by (at, pri, seq))
+// merged with the mid-window node timers the walk itself discovers —
+// the caller reports each opNodeTimer firing inside the window via
+// addDyn as it consumes the op, which is exactly when the serial run
+// would have pushed it, so discovery order reproduces serial seq order
+// and the (at, ord) heap replays the serial interleaving. Restricted
+// to one shard, the enumeration equals that worker's execution order,
+// which is why per-source ordinal cursors line each event up with its
+// logged ops. The walker is reusable scratch: one per commit worker,
+// one on the coordinator.
+type windowWalker struct {
+	batch  []event
+	w      int
+	i      int     // batch cursor
+	ordCur []int32 // next execution ordinal per source worker
+	opCur  []int   // op-log cursor per source worker
+	dyn    dynEvHeap
+	dynOrd int64
+}
+
+func (wk *windowWalker) resetFor(w int, batch []event) {
+	wk.batch = batch
+	wk.w = w
+	wk.i = 0
+	if len(wk.ordCur) != w {
+		wk.ordCur = make([]int32, w)
+		wk.opCur = make([]int, w)
+	} else {
+		for i := 0; i < w; i++ {
+			wk.ordCur[i] = 0
+			wk.opCur[i] = 0
+		}
+	}
+	wk.dyn = wk.dyn[:0]
+	wk.dynOrd = 0
+}
+
+// addDyn registers a discovered mid-window node timer for enumeration.
+func (wk *windowWalker) addDyn(at Time, v graph.NodeID) {
+	wk.dyn.push(dynEvent{at: at, ord: wk.dynOrd, v: v})
+	wk.dynOrd++
+}
+
+// next returns the next executed event's source shard and tick. Batch
+// events win same-tick ties against mid-window timers because every
+// mid-window seq is larger than every pre-window seq.
+//
+//arrow:hotpath one call per executed event per walking commit worker
+func (wk *windowWalker) next() (src int, at Time, ok bool) {
+	if wk.i < len(wk.batch) {
+		e := &wk.batch[wk.i]
+		if len(wk.dyn) == 0 || e.at <= wk.dyn[0].at {
+			wk.i++
+			return int(e.to) % wk.w, e.at, true
+		}
+	} else if len(wk.dyn) == 0 {
+		return 0, 0, false
+	}
+	d := wk.dyn.pop()
+	return int(d.v) % wk.w, d.at, true
+}
+
 // commitState is one commit worker's reusable scratch: the events it
-// staged this batch (ascending seq by construction), per-source-log
-// cursors for the batch-order walk, a merge cursor for the coordinator,
-// and its share of the message/hop counters.
+// staged this window (ascending seq by construction), its window
+// walker, a merge cursor for the coordinator, and its share of the
+// message/hop counters.
 type commitState struct {
 	staged   []event
-	cursors  []int
+	wk       windowWalker
 	mergeCur int
 	pushes   uint64
 	messages int64
 	hops     int64
 }
 
-func (cs *commitState) resetFor(w int) {
+func (cs *commitState) reset() {
 	// Drop references so recycled capacity doesn't pin message payloads.
 	for i := range cs.staged {
 		cs.staged[i] = event{}
 	}
 	cs.staged = cs.staged[:0]
-	if len(cs.cursors) != w {
-		cs.cursors = make([]int, w)
-	} else {
-		for i := range cs.cursors {
-			cs.cursors[i] = 0
-		}
-	}
 	cs.mergeCur = 0
 	cs.pushes = 0
 	cs.messages = 0
 	cs.hops = 0
 }
 
-// commitShardable reports whether the logged effects of a tick batch
+// commitShardable reports whether the logged effects of a fused window
 // can be committed by the workers themselves instead of a serial
 // replay. Two properties are required:
 //
@@ -177,69 +334,115 @@ func (s *Simulator) linkOwner(u, v graph.NodeID) int {
 
 // runParallel is Run for workers > 1. New has already rejected configs
 // the drain cannot reproduce bit-identically (non-FIFO arbitration, the
-// heap scheduler, fault plans).
+// heap scheduler, fault plans, an unbounded-MinDelay latency model).
 func (s *Simulator) runParallel() Time {
 	w := s.workers
 	wctx := make([]*Context, w)
 	for i := range wctx {
-		wctx[i] = &Context{s: s, shard: i, buf: &opBuffer{}}
+		wctx[i] = &Context{s: s, shard: i, buf: &opBuffer{}, win: &winState{}}
 	}
 	sharded := s.commitShardable()
 	var commits []*commitState
 	if sharded {
 		commits = make([]*commitState, w)
 		for i := range commits {
-			commits[i] = &commitState{cursors: make([]int, w)}
+			commits[i] = &commitState{}
 		}
 	}
-	// Below this, goroutine fan-out costs more than it buys; the batch
-	// runs on the serial-fallback path instead.
+	// Below this, goroutine fan-out costs more than it buys; the window
+	// runs on the serial-fallback path instead. The decision is made
+	// once per fused window, so scaled-latency configs get L ticks'
+	// worth of events to clear the bar with.
 	minBatch := 2*w + 8
 	var (
 		batch  []event
 		shards = make([][]int32, w)
+		wmax   = make([]Time, w)  // last tick each worker executed
+		wdyn   = make([]int64, w) // mid-window timers each worker executed
+		walk   windowWalker       // coordinator's walker (serial replay paths)
 	)
 	for {
-		t, ok := s.lq.peekTime()
+		t0, ok := s.lq.peekTime()
 		if !ok {
 			break
 		}
-		if t < s.now {
+		if t0 < s.now {
 			panic("sim: time went backwards")
 		}
-		// Gather the whole tick: drain the base bucket peekTime just
-		// landed on. Handlers have not run, so nothing can be scheduled
-		// at t ahead of what is already queued; events pushed at t during
-		// this batch's processing are behind every batch member in
-		// sequence order and form the next batch. The bucket probe never
-		// advances the window, so those pushes (at t, t+1, ...) stay
-		// legal.
+		winEnd := t0 + s.window
+		// Gather the fused window: drain every bucket in [t0, winEnd).
+		// Handlers have not run, so nothing can appear inside the window
+		// ahead of what is already queued, and the gathered batch is
+		// ascending (at, pri, seq) — bucket lists drain in (pri, seq)
+		// order and ticks are visited in order. nextTickWithin leaves
+		// the ladder's base at or before the last drained tick, so the
+		// commits that land at winEnd and later stay legal pushes.
 		batch = batch[:0]
+		// The pending count bounds the window's batch; growing to it in
+		// one step avoids ramping a frontier-sized slice through append's
+		// ~1.25× growth steps (which costs ~5× the peak in cumulative
+		// allocation on the first, already full-sized window).
+		if need := s.lq.size; cap(batch) < need {
+			if c := 2 * cap(batch); need < c {
+				need = c // never re-make for less than a doubling
+			}
+			batch = make([]event, 0, need)
+		}
 		serialOnly := false
+		tick := t0
 		for {
 			var e event
-			if !s.lq.pop(&e) || e.at != t {
+			if !s.lq.pop(&e) || e.at != tick {
 				// Unreachable: each pop is guarded by a probe that saw an
-				// event at t.
-				panic("sim: tick batch popped an event off its tick")
+				// event at tick.
+				panic("sim: window batch popped an event off its tick")
 			}
 			if e.kind == evTimer || e.kind == evFault {
 				serialOnly = true
 			}
 			batch = append(batch, e)
-			if !s.lq.curBucketNonEmpty() {
+			if s.lq.curBucketNonEmpty() {
+				continue
+			}
+			nt, ok := s.lq.nextTickWithin(winEnd)
+			if !ok {
 				break
 			}
+			tick = nt
 		}
-		s.now = t
+		s.now = t0
 		if serialOnly || len(batch) < minBatch {
-			for i := range batch {
+			// Serial fallback: dispatch the window's events and
+			// everything they schedule inside it in (at, pri, seq)
+			// order. The window's ladder buckets are already popped, so
+			// push diverts mid-window work into winDyn (see push) and
+			// the loop merges it with the remaining batch — batch
+			// events win same-tick ties because their seqs are all
+			// smaller than any seq assigned during the window.
+			s.winEnd = winEnd
+			i := 0
+			for {
+				var e event
+				if i < len(batch) && (len(s.winDyn) == 0 || batch[i].before(&s.winDyn[0])) {
+					e = batch[i]
+					batch[i] = event{} // release msg/fn references
+					i++
+				} else if len(s.winDyn) > 0 {
+					e = s.winDyn.pop()
+				} else {
+					break
+				}
+				if e.at < s.now {
+					panic("sim: time went backwards")
+				}
+				s.now = e.at
 				s.processed++
 				if s.cfg.MaxEvents > 0 && s.processed > s.cfg.MaxEvents {
 					panic(fmt.Sprintf("sim: exceeded MaxEvents=%d — protocol likely diverged", s.cfg.MaxEvents))
 				}
-				s.dispatch(s.ctx, &batch[i])
+				s.dispatch(s.ctx, &e)
 			}
+			s.winEnd = 0
 			continue
 		}
 		s.processed += int64(len(batch))
@@ -248,7 +451,8 @@ func (s *Simulator) runParallel() Time {
 		}
 		// Shard by destination node: driver state is keyed by node, so
 		// two workers never touch the same state, and a fixed node→shard
-		// map keeps any per-node ordering within one worker.
+		// map keeps any per-node ordering within one worker. Each shard
+		// slice is ascending batch index = ascending (at, seq).
 		for i := range shards {
 			shards[i] = shards[i][:0]
 		}
@@ -259,42 +463,86 @@ func (s *Simulator) runParallel() Time {
 		par.ParallelMap(w, w, func(wi int) {
 			ctx := wctx[wi]
 			ctx.buf.reset()
-			for _, bi := range shards[wi] {
-				e := &batch[bi]
-				ctx.buf.idx = bi
-				ctx.evTo, ctx.evSeq = e.to, e.seq
-				switch e.kind {
-				case evNodeTimer:
+			// Pre-size the op log in one step: a fused window buffers the
+			// whole in-flight frontier, and letting append ramp a
+			// multi-megabyte slice up in ~1.25× steps costs ~5× the peak
+			// in cumulative allocation. Two ops per event (send + record,
+			// or send + timer) is the common ceiling.
+			if need := 2 * len(shards[wi]); cap(ctx.buf.ops) < need {
+				if c := 2 * cap(ctx.buf.ops); need < c {
+					need = c // never re-make for less than a doubling
+				}
+				ctx.buf.ops = make([]emitOp, 0, need)
+			}
+			ws := ctx.win
+			ws.reset(winEnd)
+			mine := shards[wi]
+			maxAt := t0
+			execOrd := int32(0)
+			ii := 0
+			// Merge the shard's batch slice with its mid-window timer
+			// sub-queue: always the earliest tick next, batch first on
+			// ties (its seqs are smaller). Restricted to this shard,
+			// that is exactly the serial execution order.
+			for {
+				takeBatch := false
+				if ii < len(mine) {
+					if len(ws.dyn) == 0 || batch[mine[ii]].at <= ws.dyn[0].at {
+						takeBatch = true
+					}
+				} else if len(ws.dyn) == 0 {
+					break
+				}
+				ctx.buf.idx = execOrd
+				execOrd++
+				if takeBatch {
+					e := &batch[mine[ii]]
+					ii++
+					ctx.evAt, ctx.evTo, ctx.evSeq = e.at, e.to, e.seq
+					maxAt = e.at
+					switch e.kind {
+					case evNodeTimer:
+						h := s.timerH
+						if h == nil {
+							panic(fmt.Sprintf("sim: node timer for node %d with no TimerHandler", e.to))
+						}
+						h(ctx, e.to)
+					case evMessage:
+						h := s.handler(e.to)
+						if h == nil {
+							panic(fmt.Sprintf("sim: message for node %d with no handler", e.to))
+						}
+						h(ctx, e.to, e.from, e.msg)
+					case evTimer, evFault:
+						// The serialOnly probe routed every window containing
+						// these to the serial dispatch above; reaching here
+						// means the routing broke, not the protocol.
+						panic("sim: serial-only event kind in parallel batch")
+					}
+				} else {
+					d := ws.dyn.pop()
+					ctx.evAt, ctx.evTo, ctx.evSeq = d.at, d.v, dynSeqUnknown
+					maxAt = d.at
 					h := s.timerH
 					if h == nil {
-						panic(fmt.Sprintf("sim: node timer for node %d with no TimerHandler", e.to))
+						panic(fmt.Sprintf("sim: node timer for node %d with no TimerHandler", d.v))
 					}
-					h(ctx, e.to)
-				case evMessage:
-					h := s.handler(e.to)
-					if h == nil {
-						panic(fmt.Sprintf("sim: message for node %d with no handler", e.to))
-					}
-					h(ctx, e.to, e.from, e.msg)
-				case evTimer, evFault:
-					// The serialOnly probe routed every batch containing
-					// these to the serial dispatch above; reaching here
-					// means the routing broke, not the protocol.
-					panic("sim: serial-only event kind in parallel batch")
+					h(ctx, d.v)
 				}
 			}
+			wmax[wi] = maxAt
+			wdyn[wi] = int64(execOrd) - int64(len(mine))
 		})
-		if !sharded {
-			s.replayLogs(batch, wctx)
-			continue
+		dynTotal := int64(0)
+		for _, d := range wdyn {
+			dynTotal += d
 		}
-		// Sharded commit: every commit worker walks ALL the logs in batch
-		// order (cheap — it reads each op once) to reconstruct the global
-		// push sequence, and applies just the effects it owns. The
-		// ParallelMap join gives the happens-before edge between the
-		// handler phase's log writes and the commit phase's reads, and
-		// between the commit phase's link-cell writes and the next
-		// batch's.
+		s.processed += dynTotal
+		if s.cfg.MaxEvents > 0 && s.processed > s.cfg.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d — protocol likely diverged", s.cfg.MaxEvents))
+		}
+		s.statWindows++
+		s.statWindowEvents += int64(len(batch)) + dynTotal
 		baseSeq := s.seq
 		anyRecs := false
 		for _, ctx := range wctx {
@@ -302,23 +550,41 @@ func (s *Simulator) runParallel() Time {
 				anyRecs = true
 			}
 		}
-		par.ParallelMap(w, w, func(ci int) {
-			s.commitShard(ci, batch, wctx, commits[ci], baseSeq)
-		})
-		pushes := commits[0].pushes
-		for _, cs := range commits[1:] {
-			if cs.pushes != pushes {
-				panic("sim: parallel commit push-count divergence")
+		if sharded {
+			// Sharded commit: every commit worker walks ALL the logs in
+			// window order (cheap — it reads each op once) to
+			// reconstruct the global push sequence, and applies just the
+			// effects it owns. The ParallelMap join gives the
+			// happens-before edge between the handler phase's log writes
+			// and the commit phase's reads, and between the commit
+			// phase's link-cell writes and the next window's.
+			par.ParallelMap(w, w, func(ci int) {
+				s.commitShard(ci, batch, wctx, commits[ci], baseSeq, winEnd)
+			})
+			pushes := commits[0].pushes
+			for _, cs := range commits[1:] {
+				if cs.pushes != pushes {
+					panic("sim: parallel commit push-count divergence")
+				}
 			}
+			s.mergeStaged(commits)
+			s.seq = baseSeq + pushes
+			for _, cs := range commits {
+				s.messages += cs.messages
+				s.hops += cs.hops
+			}
+			if anyRecs {
+				s.replayRecords(wctx, winEnd, &walk, batch)
+			}
+		} else {
+			s.replayLogs(wctx, winEnd, &walk, batch)
 		}
-		s.mergeStaged(commits)
-		s.seq = baseSeq + pushes
-		for _, cs := range commits {
-			s.messages += cs.messages
-			s.hops += cs.hops
-		}
-		if anyRecs {
-			s.replayRecords(batch, wctx)
+		// Advance the clock to the last tick the window executed, like
+		// the serial loop would have.
+		for _, m := range wmax {
+			if m > s.now {
+				s.now = m
+			}
 		}
 	}
 	// Fold each worker's recorder shards back into their parents. Worker
@@ -335,59 +601,97 @@ func (s *Simulator) runParallel() Time {
 	return s.now
 }
 
-// replayLogs is the serial commit fallback: the coordinator replays the
-// effect logs in batch order through the real send/schedule/record
-// paths. Each worker emitted its ops with ascending batch indices, so a
-// per-buffer cursor and an idx match suffice to merge the logs into the
-// exact serial interleaving.
-func (s *Simulator) replayLogs(batch []event, wctx []*Context) {
-	w := s.workers
-	for i := range batch {
-		buf := wctx[int(batch[i].to)%w].buf
-		for buf.cur < len(buf.ops) && buf.ops[buf.cur].idx == int32(i) {
-			op := &buf.ops[buf.cur]
-			buf.cur++
+// replayLogs is the serial commit fallback for non-shardable configs:
+// the coordinator replays the effect logs through the real
+// send/schedule/record paths in the window walk's serial order, with
+// the clock set to each event's own tick so delays, capacity
+// reservations and stream-RNG draws match the serial run exactly. A
+// node timer that fired inside the window already executed in-shard:
+// its push is skipped but its sequence number is consumed, and the
+// walker enumerates it so its own ops land in the right slot.
+func (s *Simulator) replayLogs(wctx []*Context, winEnd Time, wk *windowWalker, batch []event) {
+	wk.resetFor(s.workers, batch)
+	s.replayGuard = winEnd
+	for {
+		src, at, ok := wk.next()
+		if !ok {
+			break
+		}
+		s.now = at
+		buf := wctx[src].buf
+		ord := wk.ordCur[src]
+		wk.ordCur[src]++
+		cur := wk.opCur[src]
+		for cur < len(buf.ops) && buf.ops[cur].idx == ord {
+			op := &buf.ops[cur]
+			cur++
 			switch op.kind {
 			case opSend:
 				s.send(op.u, op.v, op.msg)
 			case opTimer:
 				s.scheduleTimer(op.t, op.fn)
 			case opNodeTimer:
-				s.push(event{at: op.t, kind: evNodeTimer, to: op.v})
+				if op.t < winEnd {
+					s.seq++
+					wk.addDyn(op.t, op.v)
+				} else {
+					s.push(event{at: op.t, kind: evNodeTimer, to: op.v})
+				}
 			case opRecord:
 				op.rec.RecordRequest(op.t, op.h)
 			}
 		}
+		wk.opCur[src] = cur
 	}
+	s.replayGuard = 0
 }
 
 // commitShard is one worker's slice of the sharded commit. It walks all
-// op logs in batch order, counting pushes to derive each op's global
+// op logs in window order, counting pushes to derive each op's global
 // sequence number — the count is identical on every worker, so the
 // (at, pri, seq) keys match what the serial replay would have stamped —
 // and applies the ops it owns: sends whose destination link hashes to
 // this worker (their FIFO clamp and capacity reservation touch only
-// cells this worker owns), node timers whose node shard is this worker,
-// and closure timers round-robined by seq. Applied events are staged in
+// cells this worker owns), node timers landing past the window whose
+// node shard is this worker, and closure timers round-robined by seq.
+// Mid-window node timers consume a sequence number but stage nothing
+// (they already executed in-shard); the walker enumerates them so
+// their ops are keyed correctly. Applied events are staged in
 // ascending seq order for the coordinator's merge.
 //
 //arrow:hotpath every logged effect is walked here once per commit worker
-func (s *Simulator) commitShard(ci int, batch []event, wctx []*Context, cs *commitState, baseSeq uint64) {
+func (s *Simulator) commitShard(ci int, batch []event, wctx []*Context, cs *commitState, baseSeq uint64, winEnd Time) {
 	w := s.workers
-	cs.resetFor(w)
+	cs.reset()
+	// Pre-size the staging slice in one step (see the op-log pre-size in
+	// runParallel): in steady state each executed event pushes about one
+	// future event, split evenly across the commit workers.
+	if need := 2*len(batch)/w + 16; cap(cs.staged) < need {
+		if c := 2 * cap(cs.staged); need < c {
+			need = c // never re-make for less than a doubling
+		}
+		cs.staged = make([]event, 0, need)
+	}
+	wk := &cs.wk
+	wk.resetFor(w, batch)
 	pushes := uint64(0)
-	for i := range batch {
-		src := int(batch[i].to) % w
+	for {
+		src, at, ok := wk.next()
+		if !ok {
+			break
+		}
 		buf := wctx[src].buf
-		cur := cs.cursors[src]
-		for cur < len(buf.ops) && buf.ops[cur].idx == int32(i) {
+		ord := wk.ordCur[src]
+		wk.ordCur[src]++
+		cur := wk.opCur[src]
+		for cur < len(buf.ops) && buf.ops[cur].idx == ord {
 			op := &buf.ops[cur]
 			cur++
 			switch op.kind {
 			case opSend:
 				pushes++
 				if s.linkOwner(op.u, op.v) == ci {
-					s.commitSend(cs, op, baseSeq+pushes)
+					s.commitSend(cs, op, baseSeq+pushes, at, winEnd)
 				}
 			case opTimer:
 				pushes++
@@ -397,7 +701,9 @@ func (s *Simulator) commitShard(ci int, batch []event, wctx []*Context, cs *comm
 				}
 			case opNodeTimer:
 				pushes++
-				if int(op.v)%w == ci {
+				if op.t < winEnd {
+					wk.addDyn(op.t, op.v)
+				} else if int(op.v)%w == ci {
 					seq := baseSeq + pushes
 					cs.staged = append(cs.staged, event{at: op.t, pri: int64(seq), seq: seq, kind: evNodeTimer, to: op.v})
 				}
@@ -407,19 +713,22 @@ func (s *Simulator) commitShard(ci int, batch []event, wctx []*Context, cs *comm
 				// not consume a sequence number.
 			}
 		}
-		cs.cursors[src] = cur
+		wk.opCur[src] = cur
 	}
 	cs.pushes = pushes
 }
 
 // commitSend applies one owned send: the same latency lookup, delay,
 // capacity reservation and FIFO clamp as the serial path, against link
-// cells only this worker touches. The delay needs no RNG stream — the
-// config is commit-shardable, so it is a pure function of the edge
-// weight (synchronous) or of the message's seq (CounterLatency).
+// cells only this worker touches, departing at the emitting event's own
+// tick. The delay needs no RNG stream — the config is commit-shardable,
+// so it is a pure function of the edge weight (synchronous) or of the
+// message's seq (CounterLatency). An arrival inside the window would
+// mean the latency model's MinDelay() bound lied; the panic is the
+// drain's safety check, not a recoverable condition.
 //
 //arrow:hotpath one call per owned send during the sharded commit
-func (s *Simulator) commitSend(cs *commitState, op *emitOp, seq uint64) {
+func (s *Simulator) commitSend(cs *commitState, op *emitOp, seq uint64, at, winEnd Time) {
 	wgt, ok := s.cfg.Topology.Latency(op.u, op.v)
 	if !ok {
 		panic(fmt.Sprintf("sim: illegal send %d -> %d (not connected in topology)", op.u, op.v))
@@ -433,13 +742,16 @@ func (s *Simulator) commitSend(cs *commitState, op *emitOp, seq uint64) {
 	if delay < 1 {
 		delay = 1
 	}
-	depart := s.now
+	depart := at
 	if s.busy != nil {
 		depart = s.busy.reserve(op.u, op.v, depart, s.txTime)
 	}
 	arrive := depart + delay
 	if !s.fifoFree {
 		arrive = s.fifo.clamp(op.u, op.v, arrive)
+	}
+	if arrive < winEnd {
+		panic(fmt.Sprintf("sim: message arrives at %d inside the parallel window ending %d — latency model %q violated its MinDelay() bound", arrive, winEnd, s.cfg.Latency.Name()))
 	}
 	cs.messages++
 	cs.hops += int64(s.cfg.Topology.Hops(op.u, op.v))
@@ -452,7 +764,7 @@ func (s *Simulator) commitSend(cs *commitState, op *emitOp, seq uint64) {
 // worker's staged list is already seq-sorted, so this is a w-way merge
 // with a linear head scan (w is small).
 //
-//arrow:hotpath one pass per parallel batch over every staged event
+//arrow:hotpath one pass per parallel window over every staged event
 func (s *Simulator) mergeStaged(commits []*commitState) {
 	for {
 		best := -1
@@ -474,19 +786,32 @@ func (s *Simulator) mergeStaged(commits []*commitState) {
 }
 
 // replayRecords applies the buffered opRecord effects of non-shardable
-// recorders in batch (= serial event) order; it runs only when a batch
-// actually logged one, and reuses the buffers' replay cursors (the
-// sharded commit keeps its own).
-func (s *Simulator) replayRecords(batch []event, wctx []*Context) {
-	w := s.workers
-	for i := range batch {
-		buf := wctx[int(batch[i].to)%w].buf
-		for buf.cur < len(buf.ops) && buf.ops[buf.cur].idx == int32(i) {
-			op := &buf.ops[buf.cur]
-			buf.cur++
-			if op.kind == opRecord {
+// recorders in window-walk (= serial event) order; it runs only when a
+// window actually logged one, after the sharded commit, on the
+// coordinator's own walker.
+func (s *Simulator) replayRecords(wctx []*Context, winEnd Time, wk *windowWalker, batch []event) {
+	wk.resetFor(s.workers, batch)
+	for {
+		src, _, ok := wk.next()
+		if !ok {
+			break
+		}
+		buf := wctx[src].buf
+		ord := wk.ordCur[src]
+		wk.ordCur[src]++
+		cur := wk.opCur[src]
+		for cur < len(buf.ops) && buf.ops[cur].idx == ord {
+			op := &buf.ops[cur]
+			cur++
+			switch op.kind {
+			case opRecord:
 				op.rec.RecordRequest(op.t, op.h)
+			case opNodeTimer:
+				if op.t < winEnd {
+					wk.addDyn(op.t, op.v)
+				}
 			}
 		}
+		wk.opCur[src] = cur
 	}
 }

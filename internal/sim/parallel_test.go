@@ -71,7 +71,7 @@ type find struct {
 	up     bool
 }
 
-// TestParallelDrainBitIdentical pins the tick-windowed parallel drain
+// TestParallelDrainBitIdentical pins the lookahead-windowed parallel drain
 // against the serial loop: every observable — makespan, message/hop/
 // event counters, and the recorded latency and hop distributions down
 // to their floating-point means — must match for every worker count.
@@ -90,6 +90,11 @@ func TestParallelDrainBitIdentical(t *testing.T) {
 		"async4":      {model: func() LatencyModel { return AsyncUniform(4) }},
 		"asyncctr":    {model: func() LatencyModel { return AsyncCounter(4) }},
 		"asyncctr/tx": {model: func() LatencyModel { return AsyncCounter(4) }, tx: 1},
+		// The scaled synchronous model is the wide-window case: MinDelay 8
+		// fuses eight ticks per barrier, and the protocol's 1–3-tick think
+		// timers all fire mid-window through the in-shard sub-queue.
+		"sync8":    {model: func() LatencyModel { return SynchronousScaled(8) }},
+		"sync8/tx": {model: func() LatencyModel { return SynchronousScaled(8) }, tx: 2},
 	}
 	for name, c := range cases {
 		mk0, msg0, hop0, ev0, lat0, hops0 := tokenRun(t, 300, 4, 0, c.model(), c.tx)
@@ -102,6 +107,116 @@ func TestParallelDrainBitIdentical(t *testing.T) {
 			if !reflect.DeepEqual(lat, lat0) || !reflect.DeepEqual(hops, hops0) {
 				t.Fatalf("%s workers=%d: distributions diverged\nlat: %+v\nwant %+v\nhops: %+v\nwant %+v",
 					name, w, lat, lat0, hops, hops0)
+			}
+		}
+	}
+}
+
+// TestLatencyMinDelay pins every built-in model's lookahead bound: the
+// synchronous family promises its scale, everything that can produce a
+// unit delay promises exactly 1.
+func TestLatencyMinDelay(t *testing.T) {
+	cases := []struct {
+		m    LatencyModel
+		want Time
+	}{
+		{Synchronous(), 1},
+		{SynchronousScaled(8), 8},
+		{AsyncUniform(4), 1},
+		{AsyncCounter(4), 1},
+		{AsyncBimodal(8, 0.5), 1},
+	}
+	for _, c := range cases {
+		if got := c.m.MinDelay(); got != c.want {
+			t.Errorf("%s: MinDelay() = %d, want %d", c.m.Name(), got, c.want)
+		}
+	}
+}
+
+// unboundedLat is a window-incompatible model: it cannot bound its
+// delays (MinDelay < 1), so Validate must reject it under Workers > 1
+// instead of silently degrading.
+type unboundedLat struct{ LatencyModel }
+
+func (unboundedLat) MinDelay() Time { return 0 }
+func (unboundedLat) Name() string   { return "unbounded" }
+
+// TestValidateRejectsUnboundedMinDelay pins the typed rejection: a
+// model whose MinDelay cannot anchor the lookahead window fails
+// Validate with a *ConfigError on Workers — but stays legal serially.
+func TestValidateRejectsUnboundedMinDelay(t *testing.T) {
+	topo := TreeTopology{T: tree.BinaryWalker(8)}
+	bad := Config{Topology: topo, Workers: 2, Latency: unboundedLat{Synchronous()}}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted Workers=2 with an unbounded-MinDelay model")
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "Workers" {
+		t.Fatalf("Validate error = %v (%T), want *ConfigError on Workers", err, err)
+	}
+	serial := Config{Topology: topo, Latency: unboundedLat{Synchronous()}}
+	if err := serial.Validate(); err != nil {
+		t.Fatalf("serial config with unbounded model rejected: %v", err)
+	}
+}
+
+// TestWindowZeroDelayTimerOrder pins the in-window sub-queue's ordering
+// contract directly: a zero-delay node timer created mid-window must
+// execute before the same node's pre-scheduled later-tick event — the
+// serial (at, seq) order — not drift to the window end or the next
+// barrier. The run is wide-window parallel by construction (64 nodes ×
+// two initial ticks inside one 8-tick window clears minBatch), verified
+// via the drain telemetry.
+func TestWindowZeroDelayTimerOrder(t *testing.T) {
+	const n = 64
+	nav := tree.BinaryWalker(n)
+	type step struct {
+		label string
+		at    Time
+	}
+	run := func(workers int) ([][]step, DrainStats) {
+		s := New(Config{
+			Topology: TreeTopology{T: nav},
+			Latency:  SynchronousScaled(8),
+			Workers:  workers,
+		})
+		order := make([][]step, n)
+		phase := make([]int, n)
+		s.SetTimerHandler(func(ctx *Context, v graph.NodeID) {
+			switch phase[v] {
+			case 0: // tick 1: schedule the zero-delay follow-up
+				order[v] = append(order[v], step{"first", ctx.Now()})
+				ctx.AfterNode(0, v)
+			case 1: // still tick 1, mid-window
+				order[v] = append(order[v], step{"zero", ctx.Now()})
+			default: // tick 4, same window
+				order[v] = append(order[v], step{"later", ctx.Now()})
+			}
+			phase[v]++
+		})
+		for v := 0; v < n; v++ {
+			s.ScheduleNodeAt(1, graph.NodeID(v))
+			s.ScheduleNodeAt(4, graph.NodeID(v))
+		}
+		s.Run()
+		return order, s.DrainStats()
+	}
+	want := []step{{"first", 1}, {"zero", 1}, {"later", 4}}
+	serial, _ := run(0)
+	for _, workers := range []int{0, 2, 4} {
+		order, ds := run(workers)
+		for v := range order {
+			if !reflect.DeepEqual(order[v], want) {
+				t.Fatalf("workers=%d node %d ran %v, want %v", workers, v, order[v], want)
+			}
+		}
+		if !reflect.DeepEqual(order, serial) {
+			t.Fatalf("workers=%d diverged from serial", workers)
+		}
+		if workers > 1 {
+			if ds.WindowWidth != 8 || ds.Windows < 1 || ds.MeanBatch() <= 0 {
+				t.Fatalf("workers=%d: no parallel window ran (stats %+v); the test exercised only the fallback", workers, ds)
 			}
 		}
 	}

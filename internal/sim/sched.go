@@ -415,6 +415,38 @@ func (q *ladderQueue) curBucketNonEmpty() bool {
 	return q.size > 0 && q.ring[int(q.base)&ringMask].head != nilSlot
 }
 
+// nextTickWithin advances base to the next occupied tick if — and only
+// if — that tick is strictly below limit, returning it. When the next
+// pending tick is at or past limit (or nothing is pending) base stays
+// where it is, so events the caller pushes afterwards at limit and
+// later remain legal: this is how the parallel drain walks every
+// bucket of a lookahead window [t, t+L) without ever moving the window
+// past events the fused batch will commit at t+L. Valid only when the
+// bucket at base has just been drained (pop leaves base on the emptied
+// tick).
+func (q *ladderQueue) nextTickWithin(limit Time) (Time, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	if q.ringCnt > 0 {
+		next := q.base + Time(q.nextOccupiedDelta(int(q.base)&ringMask))
+		if next >= limit {
+			return 0, false
+		}
+		q.curPrepared = false
+		q.base = next
+		return next, true
+	}
+	// Ring empty: the earliest pending event sits in overflow. Refill
+	// only when it falls inside the window — a refill moves base there.
+	if q.overflow[0].at >= limit {
+		return 0, false
+	}
+	q.curPrepared = false
+	q.refill()
+	return q.base, true
+}
+
 // nextOccupiedDelta returns the circular distance from slot idx to the
 // next occupied slot — equal to the tick gap, since all ring events lie
 // within one window. Callers guarantee ringCnt > 0 and slot idx itself

@@ -125,19 +125,24 @@ type Config struct {
 	// drivers that accept plans from callers run FaultPlan.Validate first
 	// and return the error).
 	Faults *FaultPlan
-	// Workers > 1 enables the tick-windowed parallel drain: each tick's
-	// event bucket is processed by that many workers over disjoint node
-	// shards, and the logged side effects are committed in the serial
-	// event order, so results stay bit-identical to Workers <= 1 (the
-	// equivalence tests pin this, histograms included). When delays are
-	// deterministic per message (synchronous or a CounterLatency model)
-	// and per-link state is dense or absent, the commit itself is
+	// Workers > 1 enables the lookahead-windowed parallel drain: all
+	// ladder buckets within one lookahead window [t, t+L) — where L is
+	// the latency model's MinDelay(), the conservative Chandy–Misra–
+	// Bryant bound below which no handler can affect another node — are
+	// fused into one batch, processed by that many workers over disjoint
+	// node shards, and the logged side effects are committed in the
+	// serial event order, so results stay bit-identical to Workers <= 1
+	// (the equivalence tests pin this, histograms included). When delays
+	// are deterministic per message (synchronous or a CounterLatency
+	// model) and per-link state is dense or absent, the commit itself is
 	// sharded across the workers by destination link/node; otherwise the
 	// coordinator replays the logs serially. Either way the realized
 	// event sequence is identical. Requires FIFO arbitration, the ladder
-	// scheduler and a fault-free plan — Validate reports the conflict as
+	// scheduler, a fault-free plan, and a latency model that bounds its
+	// minimum delay (MinDelay() >= 1) — Validate reports any conflict as
 	// an error and New panics as a last resort; drivers normalize
-	// incompatible configs to serial instead.
+	// incompatible configs to serial instead (except the MinDelay bound,
+	// which Validate rejects outright rather than silently degrading).
 	Workers int
 	// LinkTxTime, when positive, gives every directed link a finite
 	// serialization capacity: consecutive messages on one link depart at
@@ -191,8 +196,31 @@ func (c Config) Validate() error {
 		if c.Faults != nil {
 			return &ConfigError{Field: "Workers", Reason: "parallel drain is incompatible with a fault plan"}
 		}
+		if md := c.windowWidth(); md < 1 {
+			lat := c.Latency
+			if lat == nil {
+				lat = Synchronous()
+			}
+			return &ConfigError{Field: "Workers", Reason: fmt.Sprintf(
+				"latency model %q cannot bound its minimum delay (MinDelay() = %d < 1); the parallel drain's lookahead window needs a positive bound", lat.Name(), md)}
+		}
 	}
 	return nil
+}
+
+// windowWidth derives the parallel drain's lookahead window L from the
+// latency model: every cross-node send takes at least MinDelay() ticks,
+// so all events in [t, t+L) are causally independent inputs and fuse
+// into one barrier. A nil model is the synchronous default (L = 1).
+// LinkTxTime needs no clamp here: capacity reservations only push
+// departures later, so an arrival is always >= send tick + MinDelay()
+// regardless of link contention.
+func (c Config) windowWidth() Time {
+	lat := c.Latency
+	if lat == nil {
+		lat = Synchronous()
+	}
+	return lat.MinDelay()
 }
 
 // Simulator is a deterministic discrete-event engine.
@@ -253,9 +281,55 @@ type Simulator struct {
 	syncScale int64
 	ctrLat    CounterLatency
 
+	// window is the parallel drain's lookahead width L (1 on serial
+	// runs): all ladder ticks in [t, t+window) fuse into one barrier.
+	// winEnd is non-zero only while the drain replays a fused window on
+	// the serial-fallback path: push then diverts events landing inside
+	// the window into winDyn (a (at, pri, seq) min-heap) instead of the
+	// ladder, because the window's already-popped batch still holds
+	// events at those ticks. replayGuard is non-zero only during the
+	// serial log replay of a parallel window; send panics if an arrival
+	// undercuts it, catching a latency model whose MinDelay() lied.
+	window      Time
+	winEnd      Time
+	winDyn      eventHeap
+	replayGuard Time
+
+	// Drain telemetry: barriers (fused windows that took the parallel
+	// path) and the events they carried. Serial runs and serial-fallback
+	// windows leave both zero, so windows == barrier count.
+	statWindows      int64
+	statWindowEvents int64
+
 	processed int64 // number of events processed
 	messages  int64
 	hops      int64
+}
+
+// DrainStats is the parallel drain's telemetry: the derived lookahead
+// window width, how many fused windows actually fanned out to the
+// worker pool (the barrier count), and how many events those windows
+// carried. BatchEvents/Windows is the mean parallel batch size — the
+// quantity the window fusion exists to raise. All zero except
+// WindowWidth on serial runs.
+type DrainStats struct {
+	WindowWidth Time
+	Windows     int64
+	BatchEvents int64
+}
+
+// MeanBatch returns events per parallel barrier (0 when no window ever
+// fanned out).
+func (d DrainStats) MeanBatch() float64 {
+	if d.Windows == 0 {
+		return 0
+	}
+	return float64(d.BatchEvents) / float64(d.Windows)
+}
+
+// DrainStats returns the run's drain telemetry (see DrainStats).
+func (s *Simulator) DrainStats() DrainStats {
+	return DrainStats{WindowWidth: s.window, Windows: s.statWindows, BatchEvents: s.statWindowEvents}
 }
 
 type linkKey struct{ u, v graph.NodeID }
@@ -391,6 +465,11 @@ func New(cfg Config) *Simulator {
 		useHeap: cfg.Scheduler == SchedHeap,
 		workers: cfg.Workers,
 	}
+	s.window = 1
+	if cfg.Workers > 1 {
+		// Validate established windowWidth() >= 1.
+		s.window = cfg.windowWidth()
+	}
 	s.txTime = cfg.LinkTxTime
 	if m, ok := cfg.Latency.(syncModel); ok {
 		s.syncScale = m.scale
@@ -483,13 +562,20 @@ type Context struct {
 	s     *Simulator
 	shard int
 	buf   *opBuffer // nil on the serial context
+	win   *winState // nil on the serial context; the worker's window state
 
 	// Identity of the event currently being dispatched through this
-	// context: destination node (0 for closure timers) and global
-	// sequence number. They key the counter-based Draw/Uniform RNG, so
-	// the same event draws the same values at any worker count.
+	// context: destination node (0 for closure timers), global sequence
+	// number, and tick. evTo/evSeq key the counter-based Draw/Uniform
+	// RNG, so the same event draws the same values at any worker count
+	// (evSeq is dynSeqUnknown for a node timer executed mid-window,
+	// whose global seq is only reconstructed at commit — Draw panics
+	// there). evAt is the event's own tick: inside a fused window
+	// workers process events at different ticks concurrently, so the
+	// shared s.now cannot serve as "now".
 	evTo  graph.NodeID
 	evSeq uint64
+	evAt  Time
 
 	// Per-worker shards of ShardableRecorders, created on first use
 	// under the parallel drain and absorbed into their parents in fixed
@@ -500,8 +586,16 @@ type Context struct {
 	recList []recShard
 }
 
-// Now returns the current simulated time.
-func (c *Context) Now() Time { return c.s.now }
+// Now returns the current simulated time: the tick of the event being
+// handled. Under the parallel drain that is the event's own tick
+// (workers run different ticks of one fused window concurrently); on
+// the serial path it is the simulator clock.
+func (c *Context) Now() Time {
+	if c.buf != nil {
+		return c.evAt
+	}
+	return c.s.now
+}
 
 // Shard identifies which worker shard this context serves: 0 on a
 // serial run, the worker index under the parallel drain. Drivers use it
@@ -521,10 +615,20 @@ func (c *Context) Send(u, v graph.NodeID, msg Message) {
 	c.s.send(u, v, msg)
 }
 
-// After schedules fn to run at node-local time Now()+d.
+// After schedules fn to run at node-local time Now()+d. Under the
+// parallel drain the fire time must land at or past the fused window's
+// end: a closure timer is global (it belongs to no node shard), so one
+// firing mid-window could not execute on any single worker without
+// racing. No driver schedules same-window closure timers on a
+// parallel-capable path; batches that already contain them take the
+// serial-fallback route, where everything is legal.
 func (c *Context) After(d Time, fn TimerFunc) {
 	if c.buf != nil {
-		c.buf.add(emitOp{idx: c.buf.idx, kind: opTimer, t: c.s.now + d, fn: fn})
+		fire := c.evAt + d
+		if fire < c.win.end {
+			panic(fmt.Sprintf("sim: Context.After(%d) inside a parallel window (fires at %d, window ends %d): closure timers cannot execute mid-window (use AfterNode, or run with Workers <= 1)", d, fire, c.win.end))
+		}
+		c.buf.add(emitOp{idx: c.buf.idx, kind: opTimer, t: fire, fn: fn})
 		return
 	}
 	c.s.scheduleTimer(c.s.now+d, fn)
@@ -533,12 +637,29 @@ func (c *Context) After(d Time, fn TimerFunc) {
 // AfterNode schedules a timer for node v at time Now()+d, dispatched to
 // the simulator's registered TimerHandler. Unlike After it captures no
 // closure: the hot-path timer of a closed-loop run costs zero
-// allocations.
+// allocations. Under the parallel drain a timer firing inside the
+// current fused window stays in-shard: it is appended to the worker's
+// ordered mid-window sub-queue and executes there, in exactly the
+// (at, seq) slot the serial run would give it — legal only when v is
+// the worker's own shard, which every parallel-capable driver
+// satisfies by construction (node timers self-target). A cross-shard
+// mid-window timer would race and panics instead.
 //
 //arrow:hotpath the closed loop's per-completion timer
 func (c *Context) AfterNode(d Time, v graph.NodeID) {
 	if c.buf != nil {
-		c.buf.add(emitOp{idx: c.buf.idx, kind: opNodeTimer, t: c.s.now + d, v: v})
+		fire := c.evAt + d
+		c.buf.add(emitOp{idx: c.buf.idx, kind: opNodeTimer, t: fire, v: v})
+		if fire < c.win.end {
+			if fire < c.evAt {
+				panic(fmt.Sprintf("sim: AfterNode(%d) schedules into the past", d))
+			}
+			if int(v)%c.s.workers != c.shard {
+				panic(fmt.Sprintf("sim: AfterNode for node %d fires at %d inside the parallel window ending %d but belongs to another shard; cross-node work needs a delay >= the latency model's MinDelay()", v, fire, c.win.end))
+			}
+			c.win.dyn.push(dynEvent{at: fire, ord: c.win.ord, v: v})
+			c.win.ord++
+		}
 		return
 	}
 	c.s.push(event{at: c.s.now + d, kind: evNodeTimer, to: v})
@@ -592,6 +713,9 @@ func (c *Context) shardFor(parent stats.ShardableRecorder) stats.Recorder {
 // parallel drain at any worker count. This is the parallel-safe
 // replacement for Context.Rand.
 func (c *Context) Draw(i int) uint64 {
+	if c.evSeq == dynSeqUnknown {
+		panic("sim: Context.Draw inside a mid-window node timer: its global sequence number is only reconstructed at commit (key randomness on per-node state, or run with Workers <= 1)")
+	}
 	h := DeriveSeed(c.s.cfg.Seed, int(c.evTo))
 	h = DeriveSeed(h, int(c.evSeq))
 	return uint64(DeriveSeed(h, i))
@@ -686,6 +810,14 @@ func (s *Simulator) send(u, v graph.NodeID, msg Message) {
 	if !s.fifoFree {
 		arrive = s.fifo.clamp(u, v, arrive)
 	}
+	// Safety net for the windowed drain's serial log replay: an arrival
+	// inside the fused window would mean the latency model's MinDelay()
+	// promised more lookahead than its Delay() honors — the window has
+	// already executed past that tick. Zero (always, outside a replay)
+	// never trips.
+	if arrive < s.replayGuard {
+		panic(fmt.Sprintf("sim: message arrives at %d inside the parallel window ending %d — latency model %q violated its MinDelay() bound", arrive, s.replayGuard, s.cfg.Latency.Name()))
+	}
 	s.messages++
 	s.hops += int64(s.cfg.Topology.Hops(u, v))
 	s.push(event{at: arrive, kind: evMessage, to: v, from: u, msg: msg})
@@ -730,6 +862,17 @@ func (s *Simulator) push(e event) {
 		e.pri = -int64(e.seq)
 	case ArbRandom:
 		e.pri = s.arbRNG.Int63()
+	}
+	// While the parallel drain replays a fused window serially, events
+	// landing inside that window cannot enter the ladder (its buckets
+	// for those ticks were already popped into the batch); they divert
+	// to the window's own (at, pri, seq) heap, which the fallback loop
+	// merges with the remaining batch — the exact serial interleaving.
+	// winEnd is 0 everywhere else, so serial runs pay one predictable
+	// compare.
+	if s.winEnd != 0 && e.at < s.winEnd {
+		s.winDyn.push(e)
+		return
 	}
 	if s.useHeap {
 		s.heap.push(e)

@@ -140,7 +140,7 @@ func Hotspot(n, count int, hotFrac float64, horizon sim.Time, seed int64) queuin
 // (node, request-index) pair through the simulator's splitmix mixer and
 // inverts the CDF on the resulting uniform variate. No shared RNG stream
 // is consumed, so concurrent drivers — in particular the multi-object
-// shard driver under the tick-windowed parallel drain — draw object IDs
+// shard driver under the lookahead-windowed parallel drain — draw object IDs
 // that are bit-identical regardless of event interleaving or worker
 // count.
 type Zipf struct {

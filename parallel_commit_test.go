@@ -93,9 +93,15 @@ func TestParallelCommitBitIdentical(t *testing.T) {
 		lat  sim.LatencyModel
 		tx   sim.Time
 	}{
+		// Window width 1: the unit-MinDelay models, one tick per barrier.
 		{"capacity", nil, 2},
 		{"counter", sim.AsyncCounter(3), 0},
 		{"counter/capacity", sim.AsyncCounter(3), 1},
+		// Window width L = 8: the scaled synchronous model fuses eight
+		// ticks per barrier, so every driver think timer (1 tick) fires
+		// mid-window through the in-shard sub-queue.
+		{"window8", sim.SynchronousScaled(8), 0},
+		{"window8/capacity", sim.SynchronousScaled(8), 2},
 	}
 	for _, proto := range []string{"arrow", "centralized", "nta", "ivy"} {
 		for _, tc := range cases {
@@ -141,6 +147,53 @@ func TestParallelCommitLoopDriver(t *testing.T) {
 		if !reflect.DeepEqual(res, baseRes) || lat != baseLat || hops != baseHops {
 			t.Errorf("workers=%d diverges from serial:\n got %+v %+v %+v\nwant %+v %+v %+v",
 				w, res, lat, hops, baseRes, baseLat, baseHops)
+		}
+	}
+}
+
+// TestWindowedDrainLoopDriver is TestParallelCommitLoopDriver's
+// wide-window sibling: the same implicit-tree closed loop under
+// SynchronousScaled(6) with link capacity, so every barrier fuses six
+// ticks and the drain telemetry must show it. The telemetry is read
+// through the loop.Spec out-pointer — deliberately outside the compared
+// result, since barrier counts legitimately differ across worker
+// counts.
+func TestWindowedDrainLoopDriver(t *testing.T) {
+	run := func(workers int) (*arrow.LoopResult, stats.Dist, stats.Dist, sim.DrainStats) {
+		rec := stats.NewDistRecorder()
+		var ds sim.DrainStats
+		res, err := arrow.RunClosedLoop(tree.BinaryWalker(301), arrow.LoopConfig{
+			Spec: loop.Spec{
+				PerNode:    5,
+				Seed:       3,
+				Latency:    sim.SynchronousScaled(6),
+				Recorder:   rec,
+				Workers:    workers,
+				LinkTxTime: 1,
+				DrainStats: &ds,
+			},
+			Root: 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec.Latency.Snapshot(), rec.Hops.Snapshot(), ds
+	}
+	baseRes, baseLat, baseHops, baseDS := run(1)
+	if baseDS.WindowWidth != 1 || baseDS.Windows != 0 {
+		t.Fatalf("serial run reported parallel drain stats %+v", baseDS)
+	}
+	for _, w := range []int{2, 4, 8} {
+		res, lat, hops, ds := run(w)
+		if !reflect.DeepEqual(res, baseRes) || lat != baseLat || hops != baseHops {
+			t.Errorf("workers=%d diverges from serial:\n got %+v %+v %+v\nwant %+v %+v %+v",
+				w, res, lat, hops, baseRes, baseLat, baseHops)
+		}
+		if ds.WindowWidth != 6 {
+			t.Errorf("workers=%d: window width %d, want 6", w, ds.WindowWidth)
+		}
+		if ds.Windows < 1 || ds.MeanBatch() <= 0 {
+			t.Errorf("workers=%d: no fused parallel window ran (stats %+v)", w, ds)
 		}
 	}
 }

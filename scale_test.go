@@ -11,21 +11,25 @@ import (
 
 	"repro/internal/arrow"
 	"repro/internal/loop"
+	"repro/internal/sim"
 	"repro/internal/tree"
 )
 
 // allocPerNode measures cumulative heap allocation (TotalAlloc delta)
-// of one serial closed-loop arrow run on an implicit binary tree,
-// divided by the node count. TotalAlloc is the honest metric: transient
-// garbage counts, so a per-request allocation would scale the number
-// with PerNode·n instead of n and blow the gate.
-func allocPerNode(t *testing.T, n, perNode int) float64 {
+// of one closed-loop arrow run on an implicit binary tree, divided by
+// the node count. TotalAlloc is the honest metric: transient garbage
+// counts, so a per-request allocation would scale the number with
+// PerNode·n instead of n and blow the gate — and under the parallel
+// drain, a window that failed to recycle its op buffers, sub-queue
+// heaps or staging slices would scale it with the window count.
+func allocPerNode(t *testing.T, n, perNode int, spec loop.Spec) float64 {
 	t.Helper()
+	spec.PerNode = perNode
 	var ms gort.MemStats
 	gort.GC()
 	gort.ReadMemStats(&ms)
 	before := ms.TotalAlloc
-	res, err := arrow.RunClosedLoop(tree.BinaryWalker(n), arrow.LoopConfig{Spec: loop.Spec{PerNode: perNode}, Root: 0})
+	res, err := arrow.RunClosedLoop(tree.BinaryWalker(n), arrow.LoopConfig{Spec: spec, Root: 0})
 	gort.ReadMemStats(&ms)
 	if err != nil {
 		t.Fatal(err)
@@ -44,13 +48,46 @@ func allocPerNode(t *testing.T, n, perNode int) float64 {
 // costs ~8·log₂(n) ≈ 136 bytes/node in parent tables at 100k).
 func TestScaleBytesPerNodeFlat(t *testing.T) {
 	const perNode = 4
-	small := allocPerNode(t, 10_001, perNode)
-	big := allocPerNode(t, 100_001, perNode)
+	small := allocPerNode(t, 10_001, perNode, loop.Spec{})
+	big := allocPerNode(t, 100_001, perNode, loop.Spec{})
 	t.Logf("bytes/node: n=10001 %.1f, n=100001 %.1f", small, big)
 	if big > small*1.5 {
 		t.Errorf("bytes/node grew from %.1f (10k) to %.1f (100k): not flat", small, big)
 	}
 	const budget = 1024
+	if big > budget {
+		t.Errorf("bytes/node at 100k = %.1f exceeds the %d-byte budget", big, budget)
+	}
+}
+
+// TestScaleBytesPerNodeFlatWindowed is the same gate under the
+// lookahead-windowed parallel drain: workers=4 with SynchronousScaled(8)
+// fuses eight ticks per barrier, so ~a hundred windows run per cell,
+// each re-using the pooled op buffers, in-shard sub-queue heaps, walker
+// scratch and staging slices. A fused window under this saturated load
+// buffers the ENTIRE in-flight frontier (~n events) in four places at
+// once — the gathered batch, the per-worker op logs, the staged commit
+// slices and the ladder re-push — plus the redundant walkers' sub-queue
+// heaps, so its footprint is a small constant multiple of the serial
+// run's ~440 B/node, independent of n. The flatness gate is the real
+// regression catch (a per-window allocation would scale with the window
+// count and blow it); the absolute budget pins the constant at ~4× the
+// serial budget, which a leaked or un-pooled frontier-sized structure
+// (one extra copy ≈ +700 B/node with append's growth ramp) would break.
+func TestScaleBytesPerNodeFlatWindowed(t *testing.T) {
+	const perNode = 4
+	spec := loop.Spec{Workers: 4, Latency: sim.SynchronousScaled(8), DrainStats: &sim.DrainStats{}}
+	small := allocPerNode(t, 10_001, perNode, spec)
+	big := allocPerNode(t, 100_001, perNode, spec)
+	if ds := spec.DrainStats; ds.WindowWidth != 8 || ds.Windows < 1 {
+		t.Fatalf("windowed run did not engage the parallel drain (stats %+v)", *ds)
+	}
+	t.Logf("bytes/node (windowed, %d windows at 100k): n=10001 %.1f, n=100001 %.1f",
+		spec.DrainStats.Windows, small, big)
+	if big > small*1.5 {
+		t.Errorf("bytes/node grew from %.1f (10k) to %.1f (100k): not flat", small, big)
+	}
+	const budget = 2048
 	if big > budget {
 		t.Errorf("bytes/node at 100k = %.1f exceeds the %d-byte budget", big, budget)
 	}
